@@ -1,0 +1,50 @@
+"""Shared paper-scale state for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+original scale (4,762 indoor antennas, 73 services) and asserts the
+paper's qualitative findings (the "shape criteria" of DESIGN.md section
+4).  The expensive artefacts — the dataset, the fitted aligned profile,
+the SHAP explanations, the outdoor classification — are computed once per
+session and shared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ICNProfiler
+from repro.datagen.dataset import generate_dataset
+
+#: Seed of the headline reproduction run.
+PAPER_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The paper-scale synthetic dataset."""
+    return generate_dataset(master_seed=PAPER_SEED)
+
+
+@pytest.fixture(scope="session")
+def profile(dataset):
+    """The fitted pipeline, aligned to the paper's cluster numbering."""
+    profiler = ICNProfiler(n_clusters=9)
+    return profiler.fit(dataset, align_to=dataset.archetypes())
+
+
+@pytest.fixture(scope="session")
+def explanations(profile):
+    """Per-cluster SHAP summaries (shared by Fig. 5 and Fig. 11 benches)."""
+    return profile.explain(samples_per_cluster=25)
+
+
+@pytest.fixture(scope="session")
+def outdoor(dataset):
+    """The 20,000-antenna outdoor population of Section 5.3."""
+    return dataset.outdoor(count=20000)
+
+
+def run_once(benchmark, fn):
+    """Benchmark an expensive stage with a single measured round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

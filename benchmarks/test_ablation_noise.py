@@ -1,0 +1,65 @@
+"""Ablation — robustness of the pipeline to demand heterogeneity.
+
+The paper's clusters emerge from noisy production measurements.  This
+ablation regenerates the deployment at increasing per-antenna service-mix
+noise and measures how archetype recovery degrades: the structure should
+survive realistic noise and fail gracefully, not cliff, beyond it —
+evidence that the reproduction's headline results are not an artefact of
+an unrealistically clean generator.
+"""
+
+import numpy as np
+
+from repro.core.cluster import AgglomerativeClustering
+from repro.core.compare import adjusted_rand_index
+from repro.core.rca import rsca
+from repro.datagen.dataset import generate_dataset
+from repro.datagen.environments import DEFAULT_SPECS, EnvironmentSpec
+
+from conftest import run_once
+
+#: Reduced deployment for the sweep (4 noise levels x full clustering).
+SWEEP_SCALE = 0.25
+
+
+def sweep_specs():
+    return tuple(
+        EnvironmentSpec(
+            env_type=s.env_type,
+            count=max(8, int(round(s.count * SWEEP_SCALE))),
+            paris_fraction=s.paris_fraction,
+            antennas_per_site=s.antennas_per_site,
+            volume_scale=s.volume_scale,
+            surrounding_weights=s.surrounding_weights,
+        )
+        for s in DEFAULT_SPECS
+    )
+
+
+def recovery_at(noise_sigma: float) -> float:
+    dataset = generate_dataset(
+        master_seed=5, specs=sweep_specs(), share_noise_sigma=noise_sigma
+    )
+    features = rsca(dataset.totals)
+    labels = AgglomerativeClustering(n_clusters=9).fit_predict(features)
+    return adjusted_rand_index(labels, dataset.archetypes())
+
+
+def test_ablation_noise_robustness(benchmark):
+    levels = (0.2, 0.35, 0.6, 1.0)
+
+    def sweep():
+        return {sigma: recovery_at(sigma) for sigma in levels}
+
+    recovery = run_once(benchmark, sweep)
+
+    # At the default noise (0.35) recovery is essentially perfect.
+    assert recovery[0.35] > 0.95
+    # Recovery decays monotonically (graceful, no cliff at default).
+    values = [recovery[sigma] for sigma in levels]
+    assert all(a >= b - 0.05 for a, b in zip(values, values[1:])), values
+    # Even at ~3x the default noise some structure survives.
+    assert recovery[1.0] > 0.3
+
+    print("\n[ablation/noise] ARI vs archetypes by share-noise sigma: "
+          + ", ".join(f"{s}: {r:.3f}" for s, r in recovery.items()))

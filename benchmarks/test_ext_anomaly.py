@@ -1,0 +1,73 @@
+"""Extension — automatic discovery of the paper's temporal anomalies.
+
+Section 6 of the paper identifies its calendar anomalies by inspecting
+heatmaps: the 19 Jan national strike (commuter clusters near-empty), the
+NBA Paris Game that same evening (Accor Arena burst), and the Sirha Lyon
+fair (19-24 Jan, Eurexpo).  The anomaly detector should recover all three
+from the raw series, without being told the calendar.
+"""
+
+import numpy as np
+
+from repro.apps.anomaly import anomalies_on_date, detect_anomalies
+from repro.datagen.calendar import SIRHA_DAYS, STRIKE_DAY
+from repro.datagen.environments import EnvironmentType
+
+from conftest import run_once
+
+
+def test_extension_anomaly_discovery(benchmark, dataset, profile):
+    hours = dataset.calendar.hours
+
+    def detect_everywhere():
+        out = {}
+        # Commuter clusters: mean member series.
+        for cluster in (0, 4):
+            members = np.flatnonzero(profile.labels == cluster)[:60]
+            series = dataset.hourly_total(antenna_ids=members).mean(axis=0)
+            out[f"cluster{cluster}"] = detect_anomalies(series)
+        # The two single-venue anecdotes.
+        nba_site = next(
+            s.site_id for s in dataset.sites
+            if s.env_type == EnvironmentType.STADIUM and s.is_paris
+        )
+        sirha_site = next(
+            s.site_id for s in dataset.sites
+            if s.env_type == EnvironmentType.EXPO and s.city == "Lyon"
+        )
+        for name, site_id in (("nba", nba_site), ("sirha", sirha_site)):
+            members = [a.antenna_id for a in dataset.antennas
+                       if a.site_id == site_id]
+            series = dataset.hourly_total(antenna_ids=members).mean(axis=0)
+            out[name] = detect_anomalies(series)
+        return out
+
+    anomalies = run_once(benchmark, detect_everywhere)
+
+    # The strike is a drought at both Paris commuter clusters.
+    for cluster in (0, 4):
+        droughts = anomalies_on_date(
+            anomalies[f"cluster{cluster}"], hours, STRIKE_DAY, kind="drought"
+        )
+        assert droughts, f"strike drought missing in cluster {cluster}"
+
+    # The NBA evening is a surge at the hosting arena.
+    nba_surges = anomalies_on_date(anomalies["nba"], hours, STRIKE_DAY,
+                                   kind="surge")
+    assert nba_surges, "NBA surge missing at the arena"
+
+    # The Sirha fair surges on multiple consecutive days at Eurexpo.
+    sirha_days_hit = sum(
+        1 for offset in range(5)
+        if anomalies_on_date(anomalies["sirha"], hours,
+                             SIRHA_DAYS[0] + np.timedelta64(offset, "D"),
+                             kind="surge")
+    )
+    assert sirha_days_hit >= 3, (
+        f"Sirha fair surges on only {sirha_days_hit} days"
+    )
+
+    print(f"\n[ext/anomaly] strike droughts found in clusters 0 and 4; "
+          f"NBA surge at the arena ({len(nba_surges)} span); "
+          f"Sirha surges on {sirha_days_hit}/5 fair days — all three "
+          "Section 6 anecdotes recovered without calendar knowledge")

@@ -1,0 +1,64 @@
+"""Extension — Section 7 applications: slicing, caching, energy.
+
+The paper's discussion proposes environment-aware resource orchestration:
+slices tuned to each cluster's characterizing applications, content
+caching per environment, and energy adaptation in predictable idle hours.
+This benchmark runs all three planners on the fitted profile and asserts
+the operational claims quantitatively.
+"""
+
+import numpy as np
+
+from repro.apps import (
+    cluster_aware_gain,
+    fleet_energy_saving,
+    plan_energy,
+    plan_slices,
+)
+
+from conftest import run_once
+
+
+def test_extension_operations_planning(benchmark, dataset, profile):
+    def plan_everything():
+        slices = plan_slices(dataset, profile, max_antennas=60)
+        caches = cluster_aware_gain(
+            dataset.totals, profile.labels, dataset.catalog, budget=10
+        )
+        energy = plan_energy(dataset, profile, max_antennas=60)
+        return slices, caches, energy
+
+    slices, (aware_hit, global_hit), energy = run_once(
+        benchmark, plan_everything
+    )
+
+    # Slicing: commuter slices are commute-windowed; venue slices are
+    # event-driven; office slice idles weekends.
+    assert any(7 <= h <= 9 for h in slices[0].busy_hours)
+    assert any(17 <= h <= 19 for h in slices[0].busy_hours)
+    assert slices[6].event_driven and slices[8].event_driven
+    assert slices[3].weekend_factor < 0.3
+    office_services = set(slices[3].priority_services)
+    assert office_services & {"Microsoft Teams", "LinkedIn", "Slack",
+                              "Zoom", "Microsoft 365"}
+
+    # Caching: environment-aware selection beats the nationwide policy.
+    assert aware_hit > global_hit
+    assert aware_hit > 0.3
+
+    # Energy: offices and commuter clusters allow large savings with
+    # minimal traffic at risk; fleet-wide saving is substantial.
+    assert energy[3].energy_saving > 0.3
+    assert energy[0].energy_saving > 0.2
+    for schedule in energy.values():
+        assert schedule.traffic_at_risk < 0.12
+    fleet = fleet_energy_saving(energy, profile.cluster_sizes())
+    assert fleet > 0.15
+
+    print(f"\n[ext/ops] cache hit: cluster-aware {aware_hit:.1%} vs "
+          f"global {global_hit:.1%}")
+    print(f"[ext/ops] fleet energy saving {fleet:.1%}")
+    for cluster in sorted(slices):
+        print(f"[ext/ops] {slices[cluster].describe()}")
+    for cluster in sorted(energy):
+        print(f"[ext/ops] {energy[cluster].describe()}")

@@ -1,0 +1,46 @@
+"""Extension — stability of the demand profiles.
+
+The paper measures one two-month window and recommends planning actions
+on the resulting profiles; that only makes sense if the profiles are a
+persistent property of the deployment.  Two checks at paper scale:
+
+* *temporal*: clustering each month independently yields (nearly) the
+  same partition;
+* *bootstrap*: subsample-and-recluster keeps co-clustered antennas
+  together.
+"""
+
+import numpy as np
+
+from repro.analysis.stability import bootstrap_stability, temporal_stability
+
+from conftest import run_once
+
+
+def test_extension_profile_stability(benchmark, dataset, profile):
+    def run_both():
+        temporal, _ = temporal_stability(dataset, n_windows=2, n_clusters=9)
+        bootstrap = bootstrap_stability(
+            profile.features, profile.labels,
+            n_replicates=5, sample_fraction=0.7, random_state=0,
+        )
+        return temporal, bootstrap
+
+    temporal, bootstrap = run_once(benchmark, run_both)
+
+    # Month-over-month: the partitions of the two halves agree.
+    assert temporal[0, 1] > 0.9, f"temporal ARI {temporal[0, 1]:.3f}"
+
+    # Bootstrap: replicates agree with the reference partition, and every
+    # cluster's members persist together.
+    assert bootstrap.mean_ari > 0.9, f"bootstrap ARI {bootstrap.mean_ari:.3f}"
+    weakest = bootstrap.least_stable_cluster()
+    assert bootstrap.per_cluster_stability[weakest] > 0.7, (
+        f"cluster {weakest} stability "
+        f"{bootstrap.per_cluster_stability[weakest]:.2f}"
+    )
+
+    print(f"\n[ext/stability] month-over-month ARI {temporal[0, 1]:.3f}")
+    print(f"[ext/stability] bootstrap mean ARI {bootstrap.mean_ari:.3f}; "
+          f"weakest cluster {weakest} persistence "
+          f"{bootstrap.per_cluster_stability[weakest]:.2f}")

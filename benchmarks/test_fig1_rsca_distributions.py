@@ -1,0 +1,44 @@
+"""Fig. 1 — normalized traffic vs RCA vs RSCA distributions.
+
+Paper claims: the globally normalized traffic collapses into a spike at
+0; RCA is better spread but skewed, with under-utilization wedged in
+[0, 1) and an unbounded over-utilization tail (their example max: 75.88);
+RSCA is balanced over [-1, 1].
+"""
+
+import numpy as np
+
+from repro.core.rca import feature_histograms
+
+from conftest import run_once
+
+
+def test_fig1_feature_distributions(benchmark, dataset):
+    hists = run_once(
+        benchmark, lambda: feature_histograms(dataset.totals, bins=40)
+    )
+
+    norm_counts, _ = hists["normalized"]
+    spike_share = norm_counts[0] / norm_counts.sum()
+    assert spike_share > 0.9, "normalized traffic must collapse near zero"
+
+    rca_counts, rca_edges = hists["rca"]
+    assert hists["max_rca"] > 10.0, "RCA must exhibit an unbounded tail"
+    below_one = rca_counts[rca_edges[1:] <= 1.0].sum()
+    assert below_one > 0.3 * rca_counts.sum(), (
+        "under-utilization must be wedged into [0, 1)"
+    )
+
+    rsca_counts, rsca_edges = hists["rsca"]
+    total = rsca_counts.sum()
+    negative = rsca_counts[rsca_edges[:-1] < 0].sum() / total
+    positive = 1.0 - negative
+    assert 0.2 < negative < 0.8, "RSCA must spread over both halves"
+    assert 0.2 < positive < 0.8
+    # No mass outside [-1, 1] by construction.
+    assert rsca_edges[0] >= -1.0 and rsca_edges[-1] <= 1.0
+
+    print("\n[fig1] normalized-traffic spike share: "
+          f"{spike_share:.1%} (paper: spike-like at 0)")
+    print(f"[fig1] max RCA: {hists['max_rca']:.2f} (paper example: 75.88)")
+    print(f"[fig1] RSCA mass below 0: {negative:.1%} (paper: balanced)")

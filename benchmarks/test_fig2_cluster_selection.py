@@ -1,0 +1,42 @@
+"""Fig. 2 — Silhouette score and Dunn index vs number of clusters.
+
+Paper claims: both indices show a high value followed by an abrupt drop
+at k = 6 and k = 9; the paper selects k = 9.
+"""
+
+from repro.core.pipeline import ICNProfiler
+
+from conftest import run_once
+
+
+def test_fig2_k_selection_scan(benchmark, dataset):
+    profiler = ICNProfiler(n_clusters=9)
+    result = run_once(
+        benchmark,
+        lambda: profiler.scan_cluster_counts(dataset, ks=range(2, 16)),
+    )
+
+    silhouette_peaks = set(result.local_peaks("silhouette"))
+    dunn_peaks = set(result.local_peaks("dunn"))
+    # Each candidate k of the paper must show the high-then-drop
+    # signature in at least one index.
+    assert 6 in silhouette_peaks | dunn_peaks, (
+        f"k=6 signature missing: sil peaks {silhouette_peaks}, "
+        f"dunn peaks {dunn_peaks}"
+    )
+    assert 9 in silhouette_peaks | dunn_peaks, (
+        f"k=9 signature missing: sil peaks {silhouette_peaks}, "
+        f"dunn peaks {dunn_peaks}"
+    )
+    # Beyond k = 9 the partition quality decays (paper: merging natural
+    # clusters is over).
+    nine = result.ks.index(9)
+    assert result.silhouette[nine] > result.silhouette[-1]
+
+    rows = "\n".join(
+        f"[fig2] k={k:<2d} silhouette={s:.4f} dunn={d:.4f}"
+        for k, s, d in zip(result.ks, result.silhouette, result.dunn)
+    )
+    print("\n" + rows)
+    print(f"[fig2] silhouette peaks: {sorted(silhouette_peaks)}; "
+          f"dunn peaks: {sorted(dunn_peaks)} (paper: 6 and 9)")

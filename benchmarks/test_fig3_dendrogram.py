@@ -1,0 +1,60 @@
+"""Fig. 3 — dendrogram: three groups of three clusters; k = 6 behaviour.
+
+Paper claims: at k = 9, the hierarchy splits into three larger groups —
+orange {0, 4, 7}, green {5, 6, 8}, red {1, 2, 3} — each holding three
+sub-clusters; cutting at k = 6 consolidates the orange group into one
+cluster and merges clusters 6 and 8.
+"""
+
+import numpy as np
+
+from repro.core.cluster import AgglomerativeClustering
+from repro.core.rca import rsca
+from repro.utils.assignment import align_labels
+
+from conftest import run_once
+
+
+def test_fig3_dendrogram_structure(benchmark, dataset):
+    features = rsca(dataset.totals)
+    model = run_once(
+        benchmark,
+        lambda: AgglomerativeClustering(n_clusters=9, linkage="ward").fit(
+            features
+        ),
+    )
+
+    # Align the raw cut to the paper numbering via the latent archetypes.
+    mapping = align_labels(model.labels_, dataset.archetypes())
+
+    def aligned_partition(n_groups):
+        groups = model.dendrogram_.group_of_clusters(9, n_groups)
+        out = {}
+        for raw, group in groups.items():
+            out.setdefault(group, set()).add(mapping[int(raw)])
+        return sorted(sorted(v) for v in out.values())
+
+    three = aligned_partition(3)
+    assert three == [[0, 4, 7], [1, 2, 3], [5, 6, 8]], three
+
+    six = aligned_partition(6)
+    # Paper's k = 6: orange consolidated, clusters 6 and 8 merged.
+    assert [0, 4, 7] in six, six
+    assert [6, 8] in six, six
+    assert [1] in six and [2] in six and [3] in six and [5] in six, six
+
+    # The orange group is the most distinct: its merge into the rest
+    # happens at the greatest height (the final merge joins orange last or
+    # the root separates orange from green+red).
+    heights = model.linkage_matrix_[:, 2]
+    assert np.all(np.diff(heights) >= -1e-9), "merge heights must be monotone"
+
+    thresholds = {
+        k: model.dendrogram_.threshold_for(k) for k in (6, 9)
+    }
+    assert thresholds[6] > thresholds[9]
+    print(f"\n[fig3] groups at k=3: {three} (paper: orange/red/green)")
+    print(f"[fig3] partition at k=6: {six} "
+          "(paper: orange consolidated, 6+8 merged)")
+    print(f"[fig3] cut thresholds: k=6 at {thresholds[6]:.2f}, "
+          f"k=9 at {thresholds[9]:.2f}")

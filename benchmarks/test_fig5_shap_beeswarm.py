@@ -1,0 +1,105 @@
+"""Fig. 5 — SHAP beeswarm panels: per-cluster service importance.
+
+Paper claims (Section 5.1.2), per dendrogram group:
+
+* orange (0, 4, 7): music services over-utilized everywhere; navigation
+  (Mappy, transportation websites) over in 0/4 but *under* in 7;
+  entertainment scarce in 4.
+* green (5, 6, 8): broad under-utilization in 5; Snapchat/Twitter/sports
+  over in 6 and 8; Giphy/WhatsApp/Canal+ present in 8 but absent in 6.
+* red (1, 2, 3): music/navigation under-used; 3 is business (Teams,
+  LinkedIn, email); 1 has streaming (Netflix/Disney+/Prime) and Waze;
+  2 has Google Play Store and shopping.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+
+TOP = 25  # the paper shows the 25 most influential services per panel
+
+
+def top_services(explanation, direction=None, k=TOP):
+    chosen = explanation.top(k)
+    if direction is not None:
+        chosen = [si for si in chosen if si.direction == direction]
+    return {si.service for si in chosen}
+
+
+def test_fig5_shap_explanations(benchmark, profile):
+    explanations = run_once(
+        benchmark, lambda: profile.explain(samples_per_cluster=25)
+    )
+    assert sorted(explanations) == list(range(9))
+
+    # --- orange group ------------------------------------------------
+    for cluster in (0, 4, 7):
+        over = top_services(explanations[cluster], "over")
+        assert over & {"Spotify", "Deezer", "Apple Music", "SoundCloud",
+                       "YouTube Music"}, (
+            f"cluster {cluster} must over-use music, got {sorted(over)}"
+        )
+    for cluster in (0, 4):
+        over = top_services(explanations[cluster], "over")
+        assert over & {"Mappy", "Transportation Websites", "Google Maps"}, (
+            f"cluster {cluster} must over-use navigation"
+        )
+    under7 = top_services(explanations[7], "under")
+    assert under7 & {"Mappy", "Transportation Websites"}, (
+        "cluster 7 is distinguished by under-use of Mappy/transport sites"
+    )
+    under4 = top_services(explanations[4], "under")
+    assert under4 & {"Yahoo", "Entertainment Websites", "Shopping Websites",
+                     "Sports Websites"}, (
+        "cluster 4 under-uses entertainment/shopping/sports services"
+    )
+
+    # --- green group -------------------------------------------------
+    for cluster in (6, 8):
+        over = top_services(explanations[cluster], "over")
+        assert over & {"Snapchat", "Twitter", "Sports Websites", "L'Equipe",
+                       "OneFootball"}, (
+            f"cluster {cluster} must over-use social sharing / sports"
+        )
+    eight_over = top_services(explanations[8], "over")
+    six_over = top_services(explanations[6], "over")
+    distinctive_eight = {"Giphy", "WhatsApp", "Canal+"}
+    assert eight_over & distinctive_eight, (
+        "cluster 8 must feature Giphy/WhatsApp/Canal+"
+    )
+    assert not (six_over & distinctive_eight), (
+        "Giphy/WhatsApp/Canal+ must be absent from cluster 6's over-use"
+    )
+    five_under = top_services(explanations[5], "under")
+    assert len(five_under) >= 8, (
+        "cluster 5 is characterized by broad under-utilization"
+    )
+
+    # --- red group ---------------------------------------------------
+    over3 = top_services(explanations[3], "over")
+    assert over3 & {"Microsoft Teams", "LinkedIn"}, (
+        "cluster 3 must feature business services"
+    )
+    assert over3 & {"Gmail", "Outlook", "Orange Mail", "Yahoo Mail"}, (
+        "cluster 3 must feature emailing services"
+    )
+    over1 = top_services(explanations[1], "over")
+    assert over1 & {"Netflix", "Disney+", "Amazon Prime Video"}, (
+        "cluster 1 must feature streaming services"
+    )
+    assert "Waze" in over1, "cluster 1 must feature Waze"
+    over2 = top_services(explanations[2], "over")
+    assert over2 & {"Google Play Store", "Shopping Websites"}, (
+        "cluster 2 must feature digital distribution / shopping"
+    )
+    for cluster in (1, 2, 3):
+        under = top_services(explanations[cluster], "under")
+        assert under & {"Spotify", "SoundCloud", "Deezer", "Apple Music",
+                        "YouTube Music", "Mappy", "Transportation Websites"}, (
+            f"red cluster {cluster} must under-use music/navigation"
+        )
+
+    for cluster in sorted(explanations):
+        names = [si.service for si in explanations[cluster].top(5)]
+        print(f"\n[fig5] cluster {cluster} top-5: {', '.join(names)}")

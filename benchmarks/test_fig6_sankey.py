@@ -1,0 +1,72 @@
+"""Fig. 6 — Sankey diagram: how clusters flow into environment types.
+
+Paper claims: metro and train stations are monopolized by the orange
+group; the preponderance of stadiums goes to green clusters; the dominant
+flux into workspaces originates from cluster 3; clusters 1 and 2 populate
+the remaining environments.
+"""
+
+import numpy as np
+
+from repro.analysis.environment import contingency
+from repro.datagen.environments import EnvironmentType
+
+from conftest import run_once
+
+
+def test_fig6_sankey_flows(benchmark, dataset, profile):
+    table = run_once(
+        benchmark,
+        lambda: contingency(profile.labels, dataset.environment_types()),
+    )
+    flows = table.sankey_flows()
+    assert sum(count for _, _, count in flows) == dataset.n_antennas
+
+    def flow_share(envs, clusters):
+        selected = sum(
+            count for cluster, env, count in flows
+            if env in envs and cluster in clusters
+        )
+        total = sum(count for _, env, count in flows if env in envs)
+        return selected / total
+
+    transit = {EnvironmentType.METRO, EnvironmentType.TRAIN}
+    assert flow_share(transit, {0, 4, 7}) > 0.99, (
+        "metro/train must be monopolized by the orange group"
+    )
+    assert flow_share({EnvironmentType.STADIUM}, {5, 6, 8}) > 0.7, (
+        "most stadium antennas must flow to green clusters"
+    )
+    workspace_flows = {
+        cluster: count for cluster, env, count in flows
+        if env == EnvironmentType.WORKSPACE
+    }
+    assert max(workspace_flows, key=workspace_flows.get) == 3, (
+        "the dominant flux into workspaces must originate from cluster 3"
+    )
+    remaining = {EnvironmentType.HOTEL, EnvironmentType.HOSPITAL,
+                 EnvironmentType.PUBLIC, EnvironmentType.AIRPORT,
+                 EnvironmentType.TUNNEL, EnvironmentType.COMMERCIAL}
+    assert flow_share(remaining, {1, 2}) > 0.75, (
+        "clusters 1 and 2 must populate the remaining environments"
+    )
+
+    # Quantify the association strength behind the Sankey picture.
+    from repro.analysis.association import association_test
+
+    envs = np.array([e.value for e in dataset.environment_types()])
+    association = association_test(
+        profile.labels, envs, n_permutations=100, random_state=0
+    )
+    # Cramér's V ~0.6 over an 9 x 11 table is a very strong association
+    # (V is dimension-penalized; 1.0 would need a bijection).
+    assert association.cramers_v > 0.5, (
+        f"cluster-environment Cramér's V {association.cramers_v:.2f}"
+    )
+    assert association.p_value < 0.02
+
+    print("\n[fig6] top flows:")
+    for cluster, env, count in flows[:10]:
+        print(f"[fig6]   cluster {cluster} -> {env.value}: {count}")
+    print(f"[fig6] association: Cramér's V {association.cramers_v:.2f}, "
+          f"permutation p {association.p_value:.3f}")

@@ -1,0 +1,66 @@
+"""Fig. 7 — indoor environment composition of each cluster.
+
+Paper claims: (a) the orange clusters 0/4/7 comprise solely metro and
+train stations, with >92% of clusters 0/4 antennas in Paris and cluster 7
+consisting solely of non-capital metro antennas; (b) stadiums dominate
+clusters 6 and 8 (>75%) while cluster 5 is a ~35% stadium mix with expo
+centres/offices/commercial; (c) >70% of cluster 3 is workplaces.
+"""
+
+from repro.analysis.environment import contingency, paris_share
+from repro.datagen.environments import EnvironmentType
+
+from conftest import run_once
+
+
+def test_fig7_cluster_composition(benchmark, dataset, profile):
+    table = run_once(
+        benchmark,
+        lambda: contingency(profile.labels, dataset.environment_types()),
+    )
+
+    # (a) orange group: transit only, Paris split per the paper.
+    transit = {EnvironmentType.METRO, EnvironmentType.TRAIN}
+    for cluster in (0, 4, 7):
+        composition = table.composition_of(cluster)
+        share = sum(composition[env] for env in transit)
+        assert share > 0.99, f"cluster {cluster} transit share {share:.2f}"
+    shares = paris_share(profile.labels, dataset.paris_mask())
+    assert shares[0] > 0.9, f"cluster 0 Paris share {shares[0]:.2f}"
+    assert shares[4] > 0.9, f"cluster 4 Paris share {shares[4]:.2f}"
+    assert shares[7] < 0.02, "cluster 7 must be non-capital metros"
+    comp7 = table.composition_of(7)
+    assert comp7[EnvironmentType.METRO] > 0.95
+
+    # (b) green group.
+    for cluster in (6, 8):
+        composition = table.composition_of(cluster)
+        assert composition[EnvironmentType.STADIUM] > 0.75, (
+            f"cluster {cluster} stadium share "
+            f"{composition[EnvironmentType.STADIUM]:.2f}"
+        )
+    comp5 = table.composition_of(5)
+    assert 0.2 < comp5[EnvironmentType.STADIUM] < 0.55, (
+        f"cluster 5 stadium share {comp5[EnvironmentType.STADIUM]:.2f} "
+        "(paper: ~35%)"
+    )
+    diverse5 = (
+        comp5[EnvironmentType.EXPO]
+        + comp5[EnvironmentType.WORKSPACE]
+        + comp5[EnvironmentType.COMMERCIAL]
+    )
+    assert diverse5 > 0.3, "cluster 5 must mix expo/offices/commercial"
+
+    # (c) red group's office cluster.
+    comp3 = table.composition_of(3)
+    assert comp3[EnvironmentType.WORKSPACE] > 0.7, (
+        f"cluster 3 workspace share {comp3[EnvironmentType.WORKSPACE]:.2f}"
+    )
+
+    for cluster in sorted(profile.cluster_sizes()):
+        composition = table.composition_of(cluster)
+        top = sorted(composition.items(), key=lambda kv: kv[1],
+                     reverse=True)[:3]
+        listing = ", ".join(f"{env.value} {share:.0%}" for env, share in top
+                            if share > 0)
+        print(f"\n[fig7] cluster {cluster}: {listing}")

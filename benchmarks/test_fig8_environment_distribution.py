@@ -1,0 +1,60 @@
+"""Fig. 8 — how each environment type distributes over clusters.
+
+Paper claims: (a) almost all airport and tunnel antennas fall in cluster
+1, and cluster 2 hosts ~50% of commercial centres; (b) cluster 2 holds
+most hotels and public buildings and almost all hospitals; (c) >50% of
+expo centres belong to cluster 3, stadiums split across the green group,
+and the dominant workspace share goes to cluster 3.
+"""
+
+from repro.analysis.environment import contingency
+from repro.datagen.environments import EnvironmentType
+
+from conftest import run_once
+
+
+def test_fig8_environment_distribution(benchmark, dataset, profile):
+    table = run_once(
+        benchmark,
+        lambda: contingency(profile.labels, dataset.environment_types()),
+    )
+
+    # (a) airports, tunnels, commercial centres.
+    assert table.distribution_of(EnvironmentType.AIRPORT)[1] > 0.9, (
+        "almost all airports must be in cluster 1"
+    )
+    assert table.distribution_of(EnvironmentType.TUNNEL)[1] > 0.9, (
+        "almost all tunnels must be in cluster 1"
+    )
+    commercial = table.distribution_of(EnvironmentType.COMMERCIAL)
+    assert 0.35 < commercial[2] < 0.65, (
+        f"cluster 2 hosts {commercial[2]:.0%} of commercial centres "
+        "(paper: ~50%)"
+    )
+
+    # (b) hotels, hospitals, public buildings.
+    assert table.distribution_of(EnvironmentType.HOSPITAL)[2] > 0.85, (
+        "almost all hospitals must be in cluster 2"
+    )
+    hotels = table.distribution_of(EnvironmentType.HOTEL)
+    assert max(hotels, key=hotels.get) == 2, "most hotels in cluster 2"
+    public = table.distribution_of(EnvironmentType.PUBLIC)
+    assert max(public, key=public.get) == 2, "most public buildings in 2"
+
+    # (c) stadiums, expo centres, workspaces.
+    expo = table.distribution_of(EnvironmentType.EXPO)
+    assert expo[3] > 0.5, f"expo share in cluster 3 is {expo[3]:.0%}"
+    stadium = table.distribution_of(EnvironmentType.STADIUM)
+    green_share = stadium[5] + stadium[6] + stadium[8]
+    assert green_share > 0.7, (
+        f"stadium mass in the green group is {green_share:.0%}"
+    )
+    workspace = table.distribution_of(EnvironmentType.WORKSPACE)
+    assert max(workspace, key=workspace.get) == 3
+
+    for env in EnvironmentType:
+        dist = table.distribution_of(env)
+        top = sorted(dist.items(), key=lambda kv: kv[1], reverse=True)[:3]
+        listing = ", ".join(f"c{c} {share:.0%}" for c, share in top
+                            if share > 0)
+        print(f"\n[fig8] {env.value}: {listing}")

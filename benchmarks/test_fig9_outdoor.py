@@ -1,0 +1,38 @@
+"""Fig. 9 — cluster distribution of ~20,000 nearby outdoor antennas.
+
+Paper claims: the indoor demand diversity is absent outdoors — almost
+70% of outdoor antennas classify into the general-use cluster 1, and the
+specialized workplace/stadium/metro/train clusters are nearly empty.
+"""
+
+from conftest import run_once
+
+
+def test_fig9_outdoor_distribution(benchmark, dataset, profile, outdoor):
+    _, outdoor_totals = outdoor
+    comparison = run_once(
+        benchmark,
+        lambda: profile.classify_outdoor(outdoor_totals, dataset.totals),
+    )
+
+    assert comparison.labels.shape[0] == 20000
+    assert comparison.dominant_cluster() == 1
+    general = comparison.fraction_of(1)
+    assert 0.55 < general < 0.85, (
+        f"general-use share {general:.0%} (paper: ~70%)"
+    )
+    # Specialized clusters nearly absent.
+    for cluster in (0, 4, 7, 6, 8, 3):
+        fraction = comparison.fraction_of(cluster)
+        assert fraction < 0.10, (
+            f"specialized cluster {cluster} absorbs {fraction:.0%} outdoors"
+        )
+    orange_green = comparison.fraction_in([0, 4, 7, 5, 6, 8])
+    assert orange_green < 0.25, (
+        f"orange+green combined outdoors: {orange_green:.0%}"
+    )
+
+    print(f"\n[fig9] general-use cluster 1: {general:.1%} (paper: ~70%)")
+    for cluster in sorted(comparison.distribution):
+        print(f"[fig9]   cluster {cluster}: "
+              f"{comparison.distribution[cluster]:.1%}")

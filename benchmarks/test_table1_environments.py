@@ -1,0 +1,25 @@
+"""Table 1 — indoor environment types recovered from antenna names.
+
+Paper claims: keyword extraction over BS names identifies eleven indoor
+environment categories with the N_env counts of Table 1 (metro 1794,
+train 434, airport 187, workspace 774, commercial 469, stadium 451,
+expo 230, hotel 28, hospital 53, tunnel 220, public 122; total 4,762).
+"""
+
+from repro.analysis.environment import environment_table
+from repro.datagen.environments import TABLE1_COUNTS
+
+from conftest import run_once
+
+
+def test_table1_environment_counts(benchmark, dataset):
+    table = run_once(
+        benchmark, lambda: environment_table(dataset.antenna_names())
+    )
+    for env, expected in TABLE1_COUNTS.items():
+        assert table[env] == expected, (
+            f"{env.value}: extracted {table[env]}, Table 1 says {expected}"
+        )
+    assert sum(table.values()) == 4762
+    print("\n[table1] "
+          + ", ".join(f"{env.value}={count}" for env, count in table.items()))

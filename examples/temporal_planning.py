@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Environment-aware temporal planning (the paper's Section 6 + roadmap).
+
+Scenario: an MNO wants per-environment activity calendars to drive the
+resource-orchestration ideas in the paper's Section 7 — slice capacity by
+indoor environment, schedule energy saving in dead hours, and pre-stage
+content caches before peaks.
+
+The script renders Fig. 10-style heatmaps for one cluster per dendrogram
+group and extracts the operational signals: commute peaks, office
+diurnality, event burstiness, the 19 Jan strike impact, and the lag
+between event social traffic and post-event vehicular navigation.
+
+Run:  python examples/temporal_planning.py
+"""
+
+import numpy as np
+
+from repro import ICNProfiler, generate_dataset
+from repro.analysis.temporal import (
+    cluster_temporal_heatmap,
+    service_temporal_heatmap,
+)
+from repro.viz import render_heatmap
+
+from quickstart import reduced_specs
+
+
+def describe(name, heatmap):
+    peaks = sorted(heatmap.peak_hours(2))
+    print(f"\n--- {name} ---")
+    print(f"busiest hours (weekdays): {peaks[0]:02d}:00 and {peaks[1]:02d}:00")
+    print(f"weekend/weekday load ratio: {heatmap.weekend_weekday_ratio():.2f}")
+    print(f"burstiness (peak/mean):      {heatmap.burstiness():.1f}")
+    try:
+        print(f"strike-day load vs normal:   {heatmap.strike_suppression():.2f}")
+    except ValueError:
+        pass
+
+
+def main():
+    dataset = generate_dataset(master_seed=0, specs=reduced_specs())
+    profile = ICNProfiler(n_clusters=9).fit(
+        dataset, align_to=dataset.archetypes()
+    )
+    labels = profile.labels
+
+    # One representative cluster per dendrogram group.
+    representatives = {
+        "cluster 0 — Paris metro/train (orange)": 0,
+        "cluster 8 — Paris stadiums (green)": 8,
+        "cluster 3 — corporate offices (red)": 3,
+    }
+    for name, cluster in representatives.items():
+        heatmap = cluster_temporal_heatmap(dataset, labels, cluster,
+                                           max_antennas=60)
+        describe(name, heatmap)
+        print(render_heatmap(
+            heatmap.values,
+            [str(d) for d in heatmap.dates],
+        ))
+
+    print("\n=== Service-level signals (Fig. 11 style) ===")
+    snapchat = service_temporal_heatmap(dataset, labels, 8, "Snapchat",
+                                        max_antennas=40)
+    waze = service_temporal_heatmap(dataset, labels, 8, "Waze",
+                                    max_antennas=40)
+    social_peak = snapchat.peak_hours(1)[0]
+    nav_peak = waze.peak_hours(1)[0]
+    print(f"stadium Snapchat peak hour: {social_peak:02d}:00")
+    print(f"stadium Waze peak hour:     {nav_peak:02d}:00 "
+          f"(attendees driving home ~{nav_peak - social_peak}h later)")
+
+    teams = service_temporal_heatmap(dataset, labels, 3, "Microsoft Teams",
+                                     max_antennas=40)
+    netflix = service_temporal_heatmap(dataset, labels, 3, "Netflix",
+                                       max_antennas=40)
+    print(f"office Teams business-hours share: "
+          f"{teams.business_hours_share():.0%}")
+    print(f"office Netflix peak hour: {netflix.peak_hours(1)[0]:02d}:00 "
+          f"(lunch break)")
+
+    print(
+        "\nPlanning take-aways:"
+        "\n  * transit slices need capacity 07-10 and 17-20 only;"
+        "\n    weekend + strike days are energy-saving windows"
+        "\n  * venue slices are event-driven: pre-stage capacity on the"
+        "\n    shared fixture calendar, add post-event navigation headroom"
+        "\n  * office slices idle outside 09-18 weekdays; cache video for"
+        "\n    the lunch-break surge"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environments lacking
+the ``wheel`` package cannot use PEP 660 editable builds)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""Interpretation analyses: environments, outdoor comparison, temporal."""
+
+from repro.analysis.environment import (
+    ContingencyTable,
+    contingency,
+    environment_table,
+    extract_environment,
+    paris_share,
+)
+from repro.analysis.outdoor import OutdoorComparison, classify_outdoor
+from repro.analysis.association import (
+    AssociationResult,
+    association_test,
+    chi_square_statistic,
+    cramers_v,
+)
+from repro.analysis.drift import ClusterMatch, DriftReport, compare_partitions
+from repro.analysis.markov import (
+    MarkovUsageModel,
+    activity_states,
+    cluster_markov_models,
+    fit_markov,
+)
+from repro.analysis.report import profile_report
+from repro.analysis.stability import (
+    StabilityResult,
+    bootstrap_stability,
+    temporal_stability,
+)
+from repro.analysis.spatial import (
+    SpatialBreakdown,
+    city_cluster_inventory,
+    paper_geography_checks,
+    spatial_breakdown,
+)
+from repro.analysis.updown import (
+    most_uplink_heavy_services,
+    uplink_share_per_cluster,
+)
+from repro.analysis.temporal import (
+    TemporalHeatmap,
+    cluster_temporal_heatmap,
+    group_heatmaps,
+    service_temporal_heatmap,
+)
+
+__all__ = [
+    "ContingencyTable",
+    "contingency",
+    "environment_table",
+    "extract_environment",
+    "paris_share",
+    "OutdoorComparison",
+    "classify_outdoor",
+    "profile_report",
+    "MarkovUsageModel",
+    "activity_states",
+    "fit_markov",
+    "cluster_markov_models",
+    "AssociationResult",
+    "association_test",
+    "chi_square_statistic",
+    "cramers_v",
+    "ClusterMatch",
+    "DriftReport",
+    "compare_partitions",
+    "StabilityResult",
+    "bootstrap_stability",
+    "temporal_stability",
+    "SpatialBreakdown",
+    "spatial_breakdown",
+    "city_cluster_inventory",
+    "paper_geography_checks",
+    "uplink_share_per_cluster",
+    "most_uplink_heavy_services",
+    "TemporalHeatmap",
+    "cluster_temporal_heatmap",
+    "service_temporal_heatmap",
+    "group_heatmaps",
+]

@@ -1,0 +1,114 @@
+"""Statistical strength of the cluster <-> environment association.
+
+The paper argues qualitatively (Figs. 6-8) that clusters and indoor
+environments are strongly linked.  This module quantifies that link:
+Pearson's chi-square statistic over the contingency table, Cramér's V as
+a bounded effect size, and a permutation test for the p-value (exact
+chi-square reference distributions are unnecessary — and unavailable
+without scipy — when permutations are cheap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AssociationResult:
+    """Chi-square association between two categorical labelings."""
+
+    chi_square: float
+    cramers_v: float
+    p_value: float
+    n_permutations: int
+
+    def __post_init__(self) -> None:
+        if self.chi_square < 0:
+            raise ValueError("chi_square must be non-negative")
+        if not 0.0 <= self.cramers_v <= 1.0 + 1e-9:
+            raise ValueError(f"cramers_v out of range: {self.cramers_v}")
+        if not 0.0 <= self.p_value <= 1.0:
+            raise ValueError(f"p_value out of range: {self.p_value}")
+
+
+def _contingency_codes(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    a_labels, a_codes = np.unique(a, return_inverse=True)
+    b_labels, b_codes = np.unique(b, return_inverse=True)
+    table = np.zeros((a_labels.size, b_labels.size))
+    np.add.at(table, (a_codes, b_codes), 1.0)
+    return table
+
+
+def chi_square_statistic(table: np.ndarray) -> float:
+    """Pearson chi-square of a contingency table."""
+    counts = np.asarray(table, dtype=float)
+    if counts.ndim != 2 or counts.size == 0:
+        raise ValueError(f"table must be a non-empty matrix, got {counts.shape}")
+    if np.any(counts < 0):
+        raise ValueError("table counts must be non-negative")
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("table is empty")
+    expected = np.outer(counts.sum(axis=1), counts.sum(axis=0)) / total
+    mask = expected > 0
+    return float((((counts - expected) ** 2)[mask] / expected[mask]).sum())
+
+
+def cramers_v(table: np.ndarray) -> float:
+    """Cramér's V effect size in [0, 1] (1 = perfect association)."""
+    counts = np.asarray(table, dtype=float)
+    chi2 = chi_square_statistic(counts)
+    n = counts.sum()
+    r, c = counts.shape
+    k = min(r - 1, c - 1)
+    if k == 0:
+        return 0.0
+    return float(np.sqrt(chi2 / (n * k)))
+
+
+def association_test(
+    labels_a: Sequence,
+    labels_b: Sequence,
+    n_permutations: int = 500,
+    random_state: int = 0,
+) -> AssociationResult:
+    """Permutation test of independence between two labelings.
+
+    The null distribution of the chi-square statistic is estimated by
+    shuffling one labeling; the p-value is the (add-one-smoothed) fraction
+    of permuted statistics at least as large as the observed one.
+    """
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.ndim != 1 or a.shape != b.shape:
+        raise ValueError(
+            f"labelings must be 1-D and equal length, got {a.shape} "
+            f"and {b.shape}"
+        )
+    if a.size < 2:
+        raise ValueError("at least two samples are required")
+    if n_permutations < 1:
+        raise ValueError(
+            f"n_permutations must be >= 1, got {n_permutations}"
+        )
+    observed_table = _contingency_codes(a, b)
+    observed = chi_square_statistic(observed_table)
+    v = cramers_v(observed_table)
+    rng = np.random.default_rng(random_state)
+    shuffled = a.copy()
+    exceed = 0
+    for _ in range(n_permutations):
+        rng.shuffle(shuffled)
+        stat = chi_square_statistic(_contingency_codes(shuffled, b))
+        if stat >= observed:
+            exceed += 1
+    p_value = (exceed + 1) / (n_permutations + 1)
+    return AssociationResult(
+        chi_square=observed,
+        cramers_v=v,
+        p_value=float(p_value),
+        n_permutations=n_permutations,
+    )

@@ -1,0 +1,168 @@
+"""Longitudinal profile comparison (demand drift).
+
+The paper's roadmap (Section 7) anticipates that new application families
+will create *additional clusters* over time, requiring re-profiling.
+This module compares two fitted partitions of the same antennas — e.g.
+the two halves of the study period, or this quarter vs last quarter —
+and reports:
+
+* the optimal cluster correspondence (Hungarian matching on centroid
+  distances),
+* per-cluster *service-mix drift* (how far each matched cluster's mean
+  RSCA moved, and which services moved most),
+* *unmatched* clusters on either side — the "emerging" or "vanished"
+  demand profiles the paper warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.assignment import hungarian
+from repro.utils.checks import check_matrix
+
+
+@dataclass(frozen=True)
+class ClusterMatch:
+    """One matched cluster pair across the two periods."""
+
+    cluster_a: int
+    cluster_b: int
+    centroid_distance: float
+    membership_overlap: float  # Jaccard of the two member sets
+    top_drifting_services: Tuple[Tuple[str, float], ...]
+
+
+@dataclass
+class DriftReport:
+    """Full comparison of two partitions of the same antennas."""
+
+    matches: List[ClusterMatch]
+    emerging: List[int]  # clusters of B with no counterpart in A
+    vanished: List[int]  # clusters of A with no counterpart in B
+    mean_centroid_drift: float
+
+    def match_for(self, cluster_a: int) -> Optional[ClusterMatch]:
+        """The match of one period-A cluster, or None if it vanished."""
+        for match in self.matches:
+            if match.cluster_a == cluster_a:
+                return match
+        return None
+
+    def summary(self) -> str:
+        """Human-readable drift summary."""
+        lines = [
+            f"{len(self.matches)} matched clusters, "
+            f"{len(self.emerging)} emerging, {len(self.vanished)} vanished; "
+            f"mean centroid drift {self.mean_centroid_drift:.3f}"
+        ]
+        for match in self.matches:
+            services = ", ".join(
+                f"{name} ({delta:+.2f})"
+                for name, delta in match.top_drifting_services[:3]
+            )
+            lines.append(
+                f"  A:{match.cluster_a} <-> B:{match.cluster_b} "
+                f"distance {match.centroid_distance:.3f}, "
+                f"overlap {match.membership_overlap:.0%}"
+                + (f"; drifted: {services}" if services else "")
+            )
+        if self.emerging:
+            lines.append(f"  emerging in B: {self.emerging}")
+        if self.vanished:
+            lines.append(f"  vanished from A: {self.vanished}")
+        return "\n".join(lines)
+
+
+def compare_partitions(
+    features_a: np.ndarray,
+    labels_a: Sequence[int],
+    features_b: np.ndarray,
+    labels_b: Sequence[int],
+    service_names: Sequence[str],
+    match_threshold: float = 1.5,
+    top_services: int = 5,
+) -> DriftReport:
+    """Compare two clusterings of the same antenna population.
+
+    Args:
+        features_a / features_b: RSCA matrices of the two periods (same
+            rows: the same antennas, same columns: the same services).
+        labels_a / labels_b: the two partitions.
+        service_names: feature names (drift attribution).
+        match_threshold: centroid distance above which a best-match pair
+            is *not* considered the same profile (emerging/vanished).
+        top_services: drifting services reported per matched pair.
+
+    Returns:
+        a :class:`DriftReport`.
+    """
+    xa = check_matrix(features_a, "features_a")
+    xb = check_matrix(features_b, "features_b")
+    if xa.shape != xb.shape:
+        raise ValueError(
+            f"period features must share a shape, got {xa.shape} vs {xb.shape}"
+        )
+    if len(service_names) != xa.shape[1]:
+        raise ValueError(
+            f"{len(service_names)} service names for {xa.shape[1]} features"
+        )
+    la = np.asarray(labels_a, dtype=int)
+    lb = np.asarray(labels_b, dtype=int)
+    if la.shape[0] != xa.shape[0] or lb.shape[0] != xb.shape[0]:
+        raise ValueError("one label per row is required for both periods")
+    if match_threshold <= 0:
+        raise ValueError(f"match_threshold must be positive, got {match_threshold}")
+
+    clusters_a = sorted(int(c) for c in np.unique(la))
+    clusters_b = sorted(int(c) for c in np.unique(lb))
+    centroids_a = np.vstack([xa[la == c].mean(axis=0) for c in clusters_a])
+    centroids_b = np.vstack([xb[lb == c].mean(axis=0) for c in clusters_b])
+    cost = np.linalg.norm(
+        centroids_a[:, None, :] - centroids_b[None, :, :], axis=2
+    )
+    rows, cols = hungarian(cost)
+
+    matches: List[ClusterMatch] = []
+    matched_a, matched_b = set(), set()
+    for r, c in zip(rows, cols):
+        distance = float(cost[r, c])
+        if distance > match_threshold:
+            continue
+        cluster_a, cluster_b = clusters_a[r], clusters_b[c]
+        members_a = set(np.flatnonzero(la == cluster_a).tolist())
+        members_b = set(np.flatnonzero(lb == cluster_b).tolist())
+        union = len(members_a | members_b)
+        overlap = len(members_a & members_b) / union if union else 0.0
+        delta = centroids_b[c] - centroids_a[r]
+        order = np.argsort(np.abs(delta))[::-1][:top_services]
+        drifting = tuple(
+            (service_names[j], float(delta[j])) for j in order
+        )
+        matches.append(
+            ClusterMatch(
+                cluster_a=cluster_a,
+                cluster_b=cluster_b,
+                centroid_distance=distance,
+                membership_overlap=overlap,
+                top_drifting_services=drifting,
+            )
+        )
+        matched_a.add(cluster_a)
+        matched_b.add(cluster_b)
+
+    emerging = [c for c in clusters_b if c not in matched_b]
+    vanished = [c for c in clusters_a if c not in matched_a]
+    mean_drift = (
+        float(np.mean([m.centroid_distance for m in matches]))
+        if matches else float("inf")
+    )
+    return DriftReport(
+        matches=matches,
+        emerging=emerging,
+        vanished=vanished,
+        mean_centroid_drift=mean_drift,
+    )

@@ -1,0 +1,178 @@
+"""Indoor-environment analysis (paper Section 5.2, Table 1, Figs. 6-8).
+
+The paper identifies environment types "by inspecting the names of the
+antennas, applying simple string manipulation to extract keywords", and
+then cross-tabulates clusters against environments.  This module
+implements the keyword extractor over the generated BS names and the
+cluster <-> environment contingency views behind the Sankey diagram
+(Fig. 6), the per-cluster composition (Fig. 7), and the per-environment
+distribution (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.environments import EnvironmentType, NAME_KEYWORDS
+
+#: Keyword -> environment lookup, longest keywords first so compound
+#: tokens ("CAMPUS-ENTREPRISE") win over any embedded shorter ones.
+_KEYWORD_TO_ENV: List[Tuple[str, EnvironmentType]] = sorted(
+    (
+        (keyword, env)
+        for env, keywords in NAME_KEYWORDS.items()
+        for keyword in keywords
+    ),
+    key=lambda pair: len(pair[0]),
+    reverse=True,
+)
+
+
+def extract_environment(name: str) -> Optional[EnvironmentType]:
+    """Infer the environment type from a BS name, or None if no keyword.
+
+    Matching is case-insensitive on hyphen/space-delimited tokens; compound
+    keywords match as substrings of the hyphenated name.
+
+    >>> extract_environment("PARIS-METRO-0007-ANT02")
+    <EnvironmentType.METRO: 'metro'>
+    >>> extract_environment("LYON-STADE-0001-ANT01")
+    <EnvironmentType.STADIUM: 'stadium'>
+    >>> extract_environment("UNKNOWN-SITE") is None
+    True
+    """
+    if not name:
+        return None
+    upper = name.upper()
+    tokens = set(re.split(r"[-_\s/]+", upper))
+    for keyword, env in _KEYWORD_TO_ENV:
+        if "-" in keyword:
+            if keyword in upper:
+                return env
+        elif keyword in tokens:
+            return env
+    return None
+
+
+def environment_table(names: Sequence[str]) -> Dict[EnvironmentType, int]:
+    """Reproduce Table 1: antenna counts per recognized environment type."""
+    counts: Dict[EnvironmentType, int] = {env: 0 for env in EnvironmentType}
+    for name in names:
+        env = extract_environment(name)
+        if env is not None:
+            counts[env] += 1
+    return counts
+
+
+@dataclass
+class ContingencyTable:
+    """Cluster x environment cross-tabulation with normalized views."""
+
+    counts: np.ndarray  # (n_clusters, n_envs)
+    clusters: List[int]
+    environments: List[EnvironmentType]
+
+    def __post_init__(self) -> None:
+        expected = (len(self.clusters), len(self.environments))
+        if self.counts.shape != expected:
+            raise ValueError(
+                f"counts shape {self.counts.shape} != {expected}"
+            )
+
+    def _cluster_row(self, cluster: int) -> int:
+        try:
+            return self.clusters.index(cluster)
+        except ValueError:
+            raise KeyError(f"unknown cluster {cluster}; have {self.clusters}") from None
+
+    def _env_col(self, env: EnvironmentType) -> int:
+        try:
+            return self.environments.index(env)
+        except ValueError:
+            raise KeyError(f"unknown environment {env}") from None
+
+    def cluster_composition(self) -> np.ndarray:
+        """Row-normalized: which environments make up each cluster (Fig. 7)."""
+        totals = self.counts.sum(axis=1, keepdims=True).astype(float)
+        with np.errstate(invalid="ignore"):
+            out = np.where(totals > 0, self.counts / totals, 0.0)
+        return out
+
+    def environment_distribution(self) -> np.ndarray:
+        """Column-normalized: how each environment spreads over clusters
+        (Fig. 8)."""
+        totals = self.counts.sum(axis=0, keepdims=True).astype(float)
+        with np.errstate(invalid="ignore"):
+            out = np.where(totals > 0, self.counts / totals, 0.0)
+        return out
+
+    def composition_of(self, cluster: int) -> Dict[EnvironmentType, float]:
+        """Environment shares inside one cluster."""
+        row = self.cluster_composition()[self._cluster_row(cluster)]
+        return {env: float(row[j]) for j, env in enumerate(self.environments)}
+
+    def distribution_of(self, env: EnvironmentType) -> Dict[int, float]:
+        """Cluster shares of one environment type."""
+        col = self.environment_distribution()[:, self._env_col(env)]
+        return {cluster: float(col[i]) for i, cluster in enumerate(self.clusters)}
+
+    def sankey_flows(self) -> List[Tuple[int, EnvironmentType, int]]:
+        """Non-zero (cluster, environment, count) flows — Fig. 6's links."""
+        flows = []
+        for i, cluster in enumerate(self.clusters):
+            for j, env in enumerate(self.environments):
+                count = int(self.counts[i, j])
+                if count > 0:
+                    flows.append((cluster, env, count))
+        flows.sort(key=lambda f: f[2], reverse=True)
+        return flows
+
+    def dominant_environment(self, cluster: int) -> EnvironmentType:
+        """The environment type holding the largest share of a cluster."""
+        row = self.counts[self._cluster_row(cluster)]
+        return self.environments[int(np.argmax(row))]
+
+
+def contingency(
+    labels: Sequence[int], env_types: Sequence[EnvironmentType]
+) -> ContingencyTable:
+    """Cross-tabulate cluster labels against environment types."""
+    labels = np.asarray(labels, dtype=int)
+    if labels.shape[0] != len(env_types):
+        raise ValueError(
+            f"labels length {labels.shape[0]} != env_types length {len(env_types)}"
+        )
+    clusters = sorted(int(c) for c in np.unique(labels))
+    environments = list(EnvironmentType)
+    env_index = {env: j for j, env in enumerate(environments)}
+    counts = np.zeros((len(clusters), len(environments)), dtype=int)
+    cluster_index = {c: i for i, c in enumerate(clusters)}
+    for label, env in zip(labels.tolist(), env_types):
+        counts[cluster_index[label], env_index[env]] += 1
+    return ContingencyTable(counts=counts, clusters=clusters, environments=environments)
+
+
+def paris_share(
+    labels: Sequence[int], paris_mask: Sequence[bool]
+) -> Dict[int, float]:
+    """Fraction of each cluster's antennas located in Paris.
+
+    The paper quotes these shares to separate, e.g., the Paris commuter
+    clusters 0/4 (>92% Paris) from the non-capital cluster 7 and the
+    provincial retail cluster 2 (~92% outside Paris).
+    """
+    labels = np.asarray(labels, dtype=int)
+    mask = np.asarray(paris_mask, dtype=bool)
+    if labels.shape != mask.shape:
+        raise ValueError(
+            f"labels shape {labels.shape} != paris_mask shape {mask.shape}"
+        )
+    shares: Dict[int, float] = {}
+    for cluster in np.unique(labels):
+        members = labels == cluster
+        shares[int(cluster)] = float(mask[members].mean())
+    return shares

@@ -1,0 +1,124 @@
+"""Two-state Markov model of hourly activity (related-work baseline).
+
+The paper's related work (Section 2, citing Jin et al. [28]) characterizes
+temporal data usage with a two-state Markov model — each hour an antenna
+is *active* (traffic above a threshold) or *idle*, and the chain's
+transition probabilities summarize its usage rhythm.  This module fits
+that baseline on the generated data so the cluster-level temporal
+characterization of Section 6 can be compared against the older
+methodology: clusters discovered from RSCA also separate cleanly in
+Markov-parameter space (duty cycle, persistence), but the Markov view
+alone cannot tell apart clusters that differ in *which services* they use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.datagen.dataset import TrafficDataset
+from repro.utils.checks import check_probability
+
+
+@dataclass(frozen=True)
+class MarkovUsageModel:
+    """Fitted two-state (idle/active) hourly usage chain.
+
+    Attributes:
+        p_stay_active: P(active -> active).
+        p_stay_idle: P(idle -> idle).
+        duty_cycle: stationary probability of the active state.
+    """
+
+    p_stay_active: float
+    p_stay_idle: float
+    duty_cycle: float
+
+    def __post_init__(self) -> None:
+        check_probability(self.p_stay_active, "p_stay_active")
+        check_probability(self.p_stay_idle, "p_stay_idle")
+        check_probability(self.duty_cycle, "duty_cycle")
+
+    @property
+    def mean_active_run_hours(self) -> float:
+        """Expected length of an active streak (geometric run length)."""
+        leave = 1.0 - self.p_stay_active
+        return 1.0 / leave if leave > 0 else float("inf")
+
+    @property
+    def mean_idle_run_hours(self) -> float:
+        """Expected length of an idle streak."""
+        leave = 1.0 - self.p_stay_idle
+        return 1.0 / leave if leave > 0 else float("inf")
+
+
+def activity_states(series, threshold_fraction: float = 0.2) -> np.ndarray:
+    """Binarize an hourly series: active if above a fraction of its mean."""
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1 or values.size < 2:
+        raise ValueError(
+            f"series must be 1-D with >= 2 samples, got shape {values.shape}"
+        )
+    if not 0.0 < threshold_fraction < 10.0:
+        raise ValueError(
+            f"threshold_fraction must be in (0, 10), got {threshold_fraction}"
+        )
+    mean = values.mean()
+    if mean == 0:
+        return np.zeros(values.size, dtype=bool)
+    return values > threshold_fraction * mean
+
+
+def fit_markov(states) -> MarkovUsageModel:
+    """Estimate the two-state chain from a boolean activity sequence.
+
+    Transition probabilities use add-one smoothing so all-active or
+    all-idle sequences stay well defined.
+    """
+    active = np.asarray(states, dtype=bool)
+    if active.ndim != 1 or active.size < 2:
+        raise ValueError(
+            f"states must be 1-D with >= 2 samples, got shape {active.shape}"
+        )
+    current, following = active[:-1], active[1:]
+    active_to_active = np.sum(current & following) + 1.0
+    active_total = np.sum(current) + 2.0
+    idle_to_idle = np.sum(~current & ~following) + 1.0
+    idle_total = np.sum(~current) + 2.0
+    p_aa = float(active_to_active / active_total)
+    p_ii = float(idle_to_idle / idle_total)
+    # Stationary distribution of the 2-state chain.
+    leave_active = 1.0 - p_aa
+    leave_idle = 1.0 - p_ii
+    duty = leave_idle / (leave_idle + leave_active)
+    return MarkovUsageModel(
+        p_stay_active=p_aa, p_stay_idle=p_ii, duty_cycle=float(duty)
+    )
+
+
+def cluster_markov_models(
+    dataset: TrafficDataset,
+    labels: Sequence[int],
+    threshold_fraction: float = 0.2,
+    max_antennas: int = 30,
+    random_state: int = 0,
+) -> Dict[int, MarkovUsageModel]:
+    """Fit one Markov usage model per cluster (on the mean member series)."""
+    labels = np.asarray(labels, dtype=int)
+    if labels.shape[0] != dataset.n_antennas:
+        raise ValueError(
+            f"labels length {labels.shape[0]} != {dataset.n_antennas}"
+        )
+    rng = np.random.default_rng(random_state)
+    models: Dict[int, MarkovUsageModel] = {}
+    for cluster in np.unique(labels):
+        members = np.flatnonzero(labels == cluster)
+        if members.size > max_antennas:
+            members = rng.choice(members, size=max_antennas, replace=False)
+        series = dataset.hourly_total(antenna_ids=members).mean(axis=0)
+        models[int(cluster)] = fit_markov(
+            activity_states(series, threshold_fraction)
+        )
+    return models

@@ -1,0 +1,149 @@
+"""Stability analysis of the clustering (bootstrap and temporal).
+
+The paper's profiles are one two-month snapshot; before acting on them an
+operator should know how *stable* they are.  Two instruments:
+
+* :func:`bootstrap_stability` — resample antennas with replacement,
+  recluster, and measure how consistently co-clustered pairs stay
+  together (pairwise co-assignment agreement and per-replicate ARI
+  against the reference partition).
+* :func:`temporal_stability` — split the study period into windows,
+  recompute RSCA per window, recluster, and compare partitions across
+  windows; high agreement means the profiles are a property of the
+  deployment, not of the particular weeks measured (the premise behind
+  the paper's planning recommendations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cluster import AgglomerativeClustering
+from repro.core.compare import adjusted_rand_index
+from repro.core.rca import rsca
+from repro.datagen.dataset import TrafficDataset
+from repro.utils.checks import check_matrix
+
+
+@dataclass
+class StabilityResult:
+    """Outcome of a bootstrap stability run."""
+
+    replicate_ari: np.ndarray  # ARI of each replicate vs the reference
+    per_cluster_stability: dict  # cluster -> co-assignment persistence
+
+    @property
+    def mean_ari(self) -> float:
+        """Mean agreement of bootstrap partitions with the reference."""
+        return float(self.replicate_ari.mean())
+
+    def least_stable_cluster(self) -> int:
+        """The cluster whose members most often drift apart."""
+        return min(self.per_cluster_stability,
+                   key=self.per_cluster_stability.get)
+
+
+def bootstrap_stability(
+    features: np.ndarray,
+    reference_labels: Sequence[int],
+    n_replicates: int = 10,
+    n_clusters: Optional[int] = None,
+    sample_fraction: float = 0.8,
+    random_state: int = 0,
+) -> StabilityResult:
+    """Resample-and-recluster stability of a partition.
+
+    Each replicate draws a subsample (without replacement, so ARI against
+    the reference restriction is well defined), reclusters it, and scores
+    agreement.  Per-cluster stability is the fraction of same-cluster
+    pairs (in the reference) that stay together in the replicates.
+
+    Args:
+        features: the RSCA matrix used for the reference clustering.
+        reference_labels: the reference partition.
+        n_replicates: bootstrap repetitions.
+        n_clusters: cluster count per replicate (defaults to the
+            reference's).
+        sample_fraction: subsample size as a fraction of N.
+        random_state: sampling seed.
+    """
+    x = check_matrix(features, "features")
+    reference = np.asarray(reference_labels, dtype=int)
+    if reference.shape[0] != x.shape[0]:
+        raise ValueError(
+            f"labels length {reference.shape[0]} != rows {x.shape[0]}"
+        )
+    if not 0.0 < sample_fraction <= 1.0:
+        raise ValueError(
+            f"sample_fraction must be in (0, 1], got {sample_fraction}"
+        )
+    if n_replicates < 2:
+        raise ValueError(f"n_replicates must be >= 2, got {n_replicates}")
+    k = int(np.unique(reference).size if n_clusters is None else n_clusters)
+    rng = np.random.default_rng(random_state)
+    n = x.shape[0]
+    size = max(k + 1, int(round(sample_fraction * n)))
+
+    replicate_ari = np.empty(n_replicates)
+    together_counts = {int(c): 0 for c in np.unique(reference)}
+    pair_counts = {int(c): 0 for c in np.unique(reference)}
+    for r in range(n_replicates):
+        idx = rng.choice(n, size=size, replace=False)
+        labels = AgglomerativeClustering(n_clusters=k).fit_predict(x[idx])
+        replicate_ari[r] = adjusted_rand_index(labels, reference[idx])
+        # Pair persistence per reference cluster (sampled pairs).
+        for cluster in together_counts:
+            members = np.flatnonzero(reference[idx] == cluster)
+            if members.size < 2:
+                continue
+            pairs = min(200, members.size * (members.size - 1) // 2)
+            a = rng.choice(members, size=pairs)
+            b = rng.choice(members, size=pairs)
+            valid = a != b
+            together_counts[cluster] += int(
+                np.sum(labels[a[valid]] == labels[b[valid]])
+            )
+            pair_counts[cluster] += int(valid.sum())
+    per_cluster = {
+        cluster: (together_counts[cluster] / pair_counts[cluster]
+                  if pair_counts[cluster] else 0.0)
+        for cluster in together_counts
+    }
+    return StabilityResult(
+        replicate_ari=replicate_ari, per_cluster_stability=per_cluster
+    )
+
+
+def temporal_stability(
+    dataset: TrafficDataset,
+    n_windows: int = 2,
+    n_clusters: int = 9,
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Cluster each time window independently and compare partitions.
+
+    Splits the study calendar into ``n_windows`` equal spans, computes
+    per-window totals analytically, reclusters each window's RSCA, and
+    returns the matrix of pairwise ARIs plus the per-window labels.
+    """
+    if n_windows < 2:
+        raise ValueError(f"n_windows must be >= 2, got {n_windows}")
+    n_hours = dataset.calendar.n_hours
+    edges = np.linspace(0, n_hours, n_windows + 1).astype(int)
+    labelings: List[np.ndarray] = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        window_totals = dataset.model.window_totals(slice(int(lo), int(hi)))
+        features = rsca(window_totals)
+        labelings.append(
+            AgglomerativeClustering(n_clusters=n_clusters).fit_predict(
+                features
+            )
+        )
+    agreement = np.eye(n_windows)
+    for a in range(n_windows):
+        for b in range(a + 1, n_windows):
+            value = adjusted_rand_index(labelings[a], labelings[b])
+            agreement[a, b] = agreement[b, a] = value
+    return agreement, labelings

@@ -1,0 +1,73 @@
+"""Downlink/uplink composition of the cluster demands.
+
+The paper's traces are DL+UL aggregates, but its narratives have a
+directional subtext: stadium crowds *upload* (Snapchat/Twitter photo
+sharing, "via which one can upload photos and information relevant to
+sports events") while streaming-heavy environments *download*.  The
+generator carries per-service downlink fractions, so the uplink share of
+each cluster's demand is computable and the directional story testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.datagen.services import ServiceCatalog
+from repro.utils.checks import check_matrix
+
+
+def uplink_share_per_cluster(
+    totals: np.ndarray,
+    labels: Sequence[int],
+    catalog: ServiceCatalog,
+) -> Dict[int, float]:
+    """Fraction of each cluster's traffic on the uplink."""
+    matrix = check_matrix(totals, "totals", non_negative=True)
+    labels = np.asarray(labels, dtype=int)
+    if labels.shape[0] != matrix.shape[0]:
+        raise ValueError(
+            f"labels length {labels.shape[0]} != rows {matrix.shape[0]}"
+        )
+    if matrix.shape[1] != len(catalog):
+        raise ValueError(
+            f"totals has {matrix.shape[1]} services, catalog has {len(catalog)}"
+        )
+    uplink_fraction = np.array(
+        [1.0 - svc.downlink_fraction for svc in catalog]
+    )
+    shares: Dict[int, float] = {}
+    for cluster in np.unique(labels):
+        cluster_totals = matrix[labels == cluster].sum(axis=0)
+        total = cluster_totals.sum()
+        shares[int(cluster)] = float(
+            (cluster_totals * uplink_fraction).sum() / total
+        )
+    return shares
+
+
+def most_uplink_heavy_services(
+    totals: np.ndarray,
+    labels: Sequence[int],
+    cluster: int,
+    catalog: ServiceCatalog,
+    top: int = 5,
+) -> Dict[str, float]:
+    """The services carrying the most uplink traffic in one cluster."""
+    matrix = check_matrix(totals, "totals", non_negative=True)
+    labels = np.asarray(labels, dtype=int)
+    members = labels == cluster
+    if not np.any(members):
+        raise ValueError(f"cluster {cluster} has no member antennas")
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    uplink_fraction = np.array(
+        [1.0 - svc.downlink_fraction for svc in catalog]
+    )
+    uplink_volume = matrix[members].sum(axis=0) * uplink_fraction
+    order = np.argsort(uplink_volume)[::-1][:top]
+    total = uplink_volume.sum()
+    return {
+        catalog.names[j]: float(uplink_volume[j] / total) for j in order
+    }

@@ -1,0 +1,50 @@
+"""Operational applications of the profiling (paper Section 7):
+environment-aware slicing, caching, and energy adaptation."""
+
+from repro.apps.slicing import (
+    SliceTemplate,
+    build_slice_template,
+    capacity_schedule,
+    plan_slices,
+)
+from repro.apps.caching import (
+    CachePlan,
+    cacheable_fractions,
+    cluster_aware_gain,
+    global_cache_hit,
+    plan_all_caches,
+    plan_cluster_cache,
+)
+from repro.apps.anomaly import (
+    Anomaly,
+    anomalies_on_date,
+    detect_anomalies,
+    weekly_baseline,
+)
+from repro.apps.energy import (
+    SleepSchedule,
+    derive_sleep_schedule,
+    fleet_energy_saving,
+    plan_energy,
+)
+
+__all__ = [
+    "Anomaly",
+    "detect_anomalies",
+    "anomalies_on_date",
+    "weekly_baseline",
+    "SliceTemplate",
+    "build_slice_template",
+    "plan_slices",
+    "capacity_schedule",
+    "CachePlan",
+    "cacheable_fractions",
+    "plan_cluster_cache",
+    "plan_all_caches",
+    "global_cache_hit",
+    "cluster_aware_gain",
+    "SleepSchedule",
+    "derive_sleep_schedule",
+    "plan_energy",
+    "fleet_energy_saving",
+]

@@ -1,0 +1,126 @@
+"""Demand-anomaly detection against the weekly profile.
+
+The paper reads its anomalies off the heatmaps by eye — the 19 Jan
+national strike emptying the commuter clusters, the NBA game lighting up
+the Accor Arena.  An operator wants those flagged automatically: this
+module scores every hour of a series against the cluster's weekly
+profile and flags sustained deviations, in both directions (demand
+*surges* — events — and demand *droughts* — strikes, outages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.forecast.models import WEEK_HOURS, _validate_series
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One contiguous anomalous span of hours."""
+
+    start_index: int
+    end_index: int  # inclusive
+    kind: str  # "surge" or "drought"
+    peak_score: float  # largest |log-ratio| inside the span
+
+    def __post_init__(self) -> None:
+        if self.end_index < self.start_index:
+            raise ValueError("end_index precedes start_index")
+        if self.kind not in ("surge", "drought"):
+            raise ValueError(f"kind must be surge/drought, got {self.kind!r}")
+
+    @property
+    def duration_hours(self) -> int:
+        return self.end_index - self.start_index + 1
+
+
+def weekly_baseline(series: np.ndarray) -> np.ndarray:
+    """Per-hour expectation: the median of the same week-hour's samples.
+
+    The median makes the baseline robust to the anomalies being hunted.
+    """
+    values = _validate_series(series, 2 * WEEK_HOURS)
+    week_hour = np.arange(values.size) % WEEK_HOURS
+    baseline = np.empty_like(values)
+    for wh in range(WEEK_HOURS):
+        mask = week_hour == wh
+        baseline[mask] = np.median(values[mask])
+    return baseline
+
+
+def detect_anomalies(
+    series,
+    threshold: float = 1.0,
+    min_duration: int = 2,
+) -> List[Anomaly]:
+    """Flag sustained deviations from the weekly baseline.
+
+    An hour is anomalous when ``|log((x + eps) / (baseline + eps))|``
+    exceeds ``threshold`` (a log-ratio of 1 is ~2.7x above or below
+    expectation); consecutive anomalous hours of the same sign merge into
+    one :class:`Anomaly`, and spans shorter than ``min_duration`` are
+    dropped (single-hour noise).
+    """
+    values = _validate_series(series, 2 * WEEK_HOURS)
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    if min_duration < 1:
+        raise ValueError(f"min_duration must be >= 1, got {min_duration}")
+    baseline = weekly_baseline(values)
+    scale = max(float(baseline.mean()), 1e-12)
+    eps = 0.01 * scale
+    scores = np.log((values + eps) / (baseline + eps))
+
+    anomalies: List[Anomaly] = []
+    span_start: Optional[int] = None
+    span_sign = 0
+    for i in range(values.size + 1):
+        sign = 0
+        if i < values.size:
+            if scores[i] > threshold:
+                sign = 1
+            elif scores[i] < -threshold:
+                sign = -1
+        if sign == span_sign and sign != 0:
+            continue
+        if span_sign != 0 and span_start is not None:
+            end = i - 1
+            if end - span_start + 1 >= min_duration:
+                segment = scores[span_start:end + 1]
+                anomalies.append(
+                    Anomaly(
+                        start_index=span_start,
+                        end_index=end,
+                        kind="surge" if span_sign > 0 else "drought",
+                        peak_score=float(np.abs(segment).max()),
+                    )
+                )
+        span_start = i if sign != 0 else None
+        span_sign = sign
+    return anomalies
+
+
+def anomalies_on_date(
+    anomalies: Sequence[Anomaly],
+    hours: np.ndarray,
+    date: np.datetime64,
+    kind: Optional[str] = None,
+) -> List[Anomaly]:
+    """Filter anomalies whose span touches the given calendar date."""
+    date = np.datetime64(date, "D")
+    if hours.ndim != 1:
+        raise ValueError("hours must be the series' 1-D timestamp grid")
+    out = []
+    for anomaly in anomalies:
+        if kind is not None and anomaly.kind != kind:
+            continue
+        span_dates = hours[anomaly.start_index:anomaly.end_index + 1].astype(
+            "datetime64[D]"
+        )
+        if np.any(span_dates == date):
+            out.append(anomaly)
+    return out

@@ -1,0 +1,158 @@
+"""Environment-aware network-slice dimensioning (paper Section 7).
+
+The paper concludes that "ICN resource orchestration should not target
+overall capacity, as in outdoor environments, but must take into account
+the most important application usage per indoor environment", proposing a
+"distinct network slicing dimension" tuned per cluster.  This module
+turns a fitted profile into concrete slice templates: per-cluster busy
+hours, capacity headroom, and the characterizing services each slice
+should prioritize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.temporal import TemporalHeatmap, cluster_temporal_heatmap
+from repro.core.pipeline import ICNProfile
+from repro.datagen.dataset import TrafficDataset
+
+
+@dataclass(frozen=True)
+class SliceTemplate:
+    """Dimensioning template for one cluster-aligned network slice.
+
+    Attributes:
+        cluster: the cluster this slice serves.
+        n_antennas: antennas covered by the slice.
+        busy_hours: hours of day (0-23) whose load exceeds the busy
+            threshold; capacity must be provisioned for these.
+        peak_to_mean: ratio of the peak hourly load to the mean —
+            1 means flat demand, large values mean bursty venues that
+            need elastic capacity.
+        weekend_factor: weekend/weekday load ratio; low values allow
+            weekend scale-down.
+        priority_services: services the slice should prioritize (the
+            cluster's over-utilized services by SHAP importance).
+        event_driven: whether capacity should track an event calendar
+            rather than a daily profile.
+    """
+
+    cluster: int
+    n_antennas: int
+    busy_hours: tuple
+    peak_to_mean: float
+    weekend_factor: float
+    priority_services: tuple
+    event_driven: bool
+
+    def __post_init__(self) -> None:
+        if self.n_antennas < 1:
+            raise ValueError(f"n_antennas must be >= 1, got {self.n_antennas}")
+        if self.peak_to_mean < 1.0:
+            raise ValueError(
+                f"peak_to_mean must be >= 1, got {self.peak_to_mean}"
+            )
+        if any(not 0 <= h <= 23 for h in self.busy_hours):
+            raise ValueError(f"busy_hours out of range: {self.busy_hours}")
+
+    def describe(self) -> str:
+        """One-line operator-facing summary."""
+        hours = (
+            ", ".join(f"{h:02d}" for h in self.busy_hours)
+            if self.busy_hours else "none"
+        )
+        kind = "event-driven" if self.event_driven else "scheduled"
+        services = ", ".join(self.priority_services[:3]) or "none"
+        return (
+            f"slice c{self.cluster} ({kind}): {self.n_antennas} antennas, "
+            f"busy hours [{hours}], peak/mean {self.peak_to_mean:.1f}, "
+            f"weekend x{self.weekend_factor:.2f}, priority: {services}"
+        )
+
+
+#: Peak-to-mean ratio above which a slice is *candidate* event-driven.
+EVENT_DRIVEN_THRESHOLD = 4.0
+#: Scheduled environments (commutes, offices) go quiet on weekends;
+#: event venues do not.  A bursty slice is event-driven only when its
+#: weekend load stays at least this fraction of the weekday load.
+EVENT_WEEKEND_FLOOR = 0.8
+#: A busy hour carries at least this fraction of the peak hour's load.
+BUSY_HOUR_FRACTION = 0.5
+
+
+def build_slice_template(
+    heatmap: TemporalHeatmap,
+    n_antennas: int,
+    priority_services: Sequence[str],
+) -> SliceTemplate:
+    """Derive one slice template from a cluster temporal heatmap."""
+    profile = heatmap.hour_profile(weekdays_only=True)
+    peak = profile.max()
+    busy = tuple(
+        int(h) for h in range(24)
+        if peak > 0 and profile[h] >= BUSY_HOUR_FRACTION * peak
+    )
+    peak_to_mean = heatmap.burstiness()
+    weekend_factor = heatmap.weekend_weekday_ratio()
+    # Commuter/office slices are bursty too (quiet nights and weekends),
+    # but their bursts follow the clock; only venues whose weekend load
+    # persists are genuinely event-driven.
+    event_driven = (
+        peak_to_mean > EVENT_DRIVEN_THRESHOLD
+        and weekend_factor >= EVENT_WEEKEND_FLOOR
+    )
+    return SliceTemplate(
+        cluster=heatmap.cluster,
+        n_antennas=n_antennas,
+        busy_hours=busy,
+        peak_to_mean=max(1.0, peak_to_mean),
+        weekend_factor=weekend_factor,
+        priority_services=tuple(priority_services),
+        event_driven=event_driven,
+    )
+
+
+def plan_slices(
+    dataset: TrafficDataset,
+    profile: ICNProfile,
+    top_services: int = 5,
+    max_antennas: int = 80,
+) -> Dict[int, SliceTemplate]:
+    """Build one slice template per cluster from a fitted profile.
+
+    Args:
+        dataset: the dataset the profile was fitted on.
+        profile: fitted :class:`ICNProfile`.
+        top_services: how many priority services to attach per slice
+            (the over-utilized services among the cluster's SHAP top-25).
+        max_antennas: antennas sampled per heatmap.
+    """
+    explanations = profile.explain()
+    sizes = profile.cluster_sizes()
+    templates: Dict[int, SliceTemplate] = {}
+    for cluster, size in sizes.items():
+        heatmap = cluster_temporal_heatmap(
+            dataset, profile.labels, cluster, max_antennas=max_antennas
+        )
+        over = explanations[cluster].over_utilized(25)[:top_services]
+        templates[cluster] = build_slice_template(heatmap, size, over)
+    return templates
+
+
+def capacity_schedule(template: SliceTemplate) -> np.ndarray:
+    """Relative per-hour weekday capacity allocation for one slice.
+
+    Busy hours get full capacity; other hours get the complementary
+    baseline 1/peak_to_mean (never below 10%).  Event-driven slices keep
+    the baseline everywhere — their capacity rides the event calendar.
+    """
+    baseline = max(0.1, 1.0 / template.peak_to_mean)
+    schedule = np.full(24, baseline)
+    if not template.event_driven:
+        for hour in template.busy_hours:
+            schedule[hour] = 1.0
+    return schedule

@@ -1,0 +1,308 @@
+"""Command-line interface: ``repro-icn`` / ``python -m repro``.
+
+Subcommands:
+
+* ``generate``   — synthesize a dataset and write it to a ``.npz`` file.
+* ``profile``    — run the full pipeline and print the profile summary.
+* ``scan``       — print the Fig. 2 k-selection table.
+* ``figure``     — regenerate one paper figure as a terminal rendering.
+* ``validate``   — run the dataset statistical checks.
+* ``operations`` — print slice / cache / energy plans (paper Section 7).
+* ``report``     — write a markdown operations report for the profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.pipeline import ICNProfiler
+from repro.datagen.dataset import TrafficDataset, generate_dataset
+from repro.viz.render import (
+    render_beeswarm_table,
+    render_dendrogram_summary,
+    render_distribution,
+    render_heatmap,
+    render_histogram,
+    render_rsca_heatmap,
+    render_sankey,
+    render_scan,
+)
+
+#: Figures the CLI can regenerate.
+FIGURES = ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+           "fig9", "fig10", "fig11")
+
+
+def _load_or_generate(args) -> TrafficDataset:
+    if getattr(args, "dataset", None):
+        return TrafficDataset.load(args.dataset)
+    return generate_dataset(master_seed=args.seed)
+
+
+def _cmd_generate(args) -> int:
+    dataset = generate_dataset(master_seed=args.seed)
+    dataset.save(args.output)
+    print(
+        f"wrote {dataset.n_antennas} antennas x {dataset.n_services} services "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    dataset = _load_or_generate(args)
+    profiler = ICNProfiler(n_clusters=args.clusters)
+    align = dataset.archetypes() if args.align else None
+    profile = profiler.fit(dataset, align_to=align)
+    print(profile.summary())
+    return 0
+
+
+def _cmd_scan(args) -> int:
+    dataset = _load_or_generate(args)
+    profiler = ICNProfiler()
+    result = profiler.scan_cluster_counts(dataset, ks=range(2, args.max_k + 1))
+    print(render_scan(result.ks, result.silhouette, result.dunn))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.datagen.validate import validate_dataset, validation_report
+
+    dataset = _load_or_generate(args)
+    results = validate_dataset(dataset)
+    print(validation_report(results))
+    return 0 if all(result.passed for result in results) else 1
+
+
+def _cmd_operations(args) -> int:
+    from repro.apps import (
+        cluster_aware_gain,
+        fleet_energy_saving,
+        plan_energy,
+        plan_slices,
+    )
+
+    dataset = _load_or_generate(args)
+    profiler = ICNProfiler(n_clusters=args.clusters)
+    align = dataset.archetypes() if args.align else None
+    profile = profiler.fit(dataset, align_to=align)
+    print("slice templates:")
+    for cluster, template in sorted(plan_slices(
+            dataset, profile, max_antennas=40).items()):
+        print(" ", template.describe())
+    aware, global_hit = cluster_aware_gain(
+        dataset.totals, profile.labels, dataset.catalog, budget=10
+    )
+    print(f"caching: cluster-aware hit {aware:.1%} vs global {global_hit:.1%}")
+    energy = plan_energy(dataset, profile, max_antennas=40)
+    for cluster in sorted(energy):
+        print(" ", energy[cluster].describe())
+    print(f"fleet energy saving: "
+          f"{fleet_energy_saving(energy, profile.cluster_sizes()):.1%}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import profile_report
+
+    dataset = _load_or_generate(args)
+    profiler = ICNProfiler(n_clusters=args.clusters)
+    align = dataset.archetypes() if args.align else None
+    profile = profiler.fit(dataset, align_to=align)
+    text = profile_report(
+        dataset, profile,
+        outdoor_count=args.outdoor if args.outdoor else None,
+        samples_per_cluster=args.shap_samples,
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    dataset = _load_or_generate(args)
+    profiler = ICNProfiler(n_clusters=args.clusters)
+    if args.figure == "fig1":
+        from repro.core.rca import feature_histograms
+
+        hists = feature_histograms(dataset.totals)
+        for key in ("normalized", "rca", "rsca"):
+            counts, edges = hists[key]
+            print(render_histogram(counts, edges, title=f"Fig. 1 — {key}"))
+            print()
+        print(f"max RCA observed: {hists['max_rca']:.2f}")
+        return 0
+    if args.figure == "fig2":
+        result = profiler.scan_cluster_counts(dataset, ks=range(2, 16))
+        print(render_scan(result.ks, result.silhouette, result.dunn))
+        return 0
+
+    align = dataset.archetypes() if args.align else None
+    profile = profiler.fit(dataset, align_to=align)
+    if args.figure == "fig3":
+        print(
+            render_dendrogram_summary(
+                profile.clustering.linkage_matrix_,
+                profile.n_clusters,
+                profile.cluster_sizes(),
+                profile.groups(3),
+            )
+        )
+    elif args.figure == "fig4":
+        print(
+            render_rsca_heatmap(
+                profile.features, profile.labels, profile.service_names
+            )
+        )
+    elif args.figure == "fig5":
+        explanations = profile.explain(samples_per_cluster=40)
+        for cluster in sorted(explanations):
+            print(render_beeswarm_table(explanations[cluster], top=10))
+            print()
+    elif args.figure == "fig6":
+        print(render_sankey(profile.environment_table().sankey_flows()))
+    elif args.figure == "fig7":
+        table = profile.environment_table()
+        for cluster in sorted(profile.cluster_sizes()):
+            composition = table.composition_of(cluster)
+            top = sorted(composition.items(), key=lambda kv: kv[1],
+                         reverse=True)
+            listing = ", ".join(
+                f"{env.value} {share:.0%}" for env, share in top if share > 0
+            )
+            print(f"cluster {cluster}: {listing}")
+    elif args.figure == "fig8":
+        table = profile.environment_table()
+        for env in list(table.environments):
+            dist = table.distribution_of(env)
+            top = sorted(dist.items(), key=lambda kv: kv[1], reverse=True)
+            listing = ", ".join(
+                f"c{c} {share:.0%}" for c, share in top if share > 0
+            )
+            print(f"{env.value}: {listing}")
+    elif args.figure == "fig9":
+        outdoor_antennas, outdoor_totals = dataset.outdoor(count=args.outdoor)
+        comparison = profile.classify_outdoor(outdoor_totals, dataset.totals)
+        print(render_distribution(comparison.distribution))
+    elif args.figure == "fig10":
+        from repro.analysis.temporal import cluster_temporal_heatmap
+
+        for cluster in sorted(profile.cluster_sizes()):
+            heatmap = cluster_temporal_heatmap(
+                dataset, profile.labels, cluster, max_antennas=60
+            )
+            print(
+                render_heatmap(
+                    heatmap.values,
+                    [str(d) for d in heatmap.dates],
+                    title=f"Fig. 10 — cluster {cluster}",
+                )
+            )
+            print()
+    elif args.figure == "fig11":
+        from repro.analysis.temporal import service_temporal_heatmap
+
+        panels = (
+            ("Spotify", 0), ("Twitter", 0), ("Transportation Websites", 0),
+            ("Netflix", 8), ("Waze", 8), ("Snapchat", 8),
+            ("Microsoft Teams", 3), ("Netflix", 3), ("Waze", 1),
+        )
+        for service, cluster in panels:
+            heatmap = service_temporal_heatmap(
+                dataset, profile.labels, cluster, service, max_antennas=40
+            )
+            print(
+                render_heatmap(
+                    heatmap.values,
+                    [str(d) for d in heatmap.dates],
+                    title=f"Fig. 11 — {service}, cluster {cluster}",
+                )
+            )
+            print()
+    else:
+        print(f"unknown figure {args.figure!r}; choose from {FIGURES}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-icn",
+        description="Reproduction of 'Characterizing Mobile Service Demands "
+        "at Indoor Cellular Networks' (IMC '23)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a dataset to .npz")
+    gen.add_argument("output", help="output .npz path")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    prof = sub.add_parser("profile", help="run the full pipeline")
+    prof.add_argument("--dataset", help="existing .npz dataset (else generate)")
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--clusters", type=int, default=9)
+    prof.add_argument("--align", action="store_true",
+                      help="align cluster ids to the latent archetypes")
+    prof.set_defaults(func=_cmd_profile)
+
+    scan = sub.add_parser("scan", help="Fig. 2 k-selection scan")
+    scan.add_argument("--dataset", help="existing .npz dataset (else generate)")
+    scan.add_argument("--seed", type=int, default=0)
+    scan.add_argument("--max-k", type=int, default=15)
+    scan.set_defaults(func=_cmd_scan)
+
+    val = sub.add_parser("validate", help="run dataset statistical checks")
+    val.add_argument("--dataset", help="existing .npz dataset (else generate)")
+    val.add_argument("--seed", type=int, default=0)
+    val.set_defaults(func=_cmd_validate)
+
+    ops = sub.add_parser("operations",
+                         help="slice/cache/energy plans (Section 7)")
+    ops.add_argument("--dataset", help="existing .npz dataset (else generate)")
+    ops.add_argument("--seed", type=int, default=0)
+    ops.add_argument("--clusters", type=int, default=9)
+    ops.add_argument("--align", action="store_true")
+    ops.set_defaults(func=_cmd_operations)
+
+    rep = sub.add_parser("report", help="markdown operations report")
+    rep.add_argument("--dataset", help="existing .npz dataset (else generate)")
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument("--clusters", type=int, default=9)
+    rep.add_argument("--align", action="store_true")
+    rep.add_argument("--output", help="write to this path (else stdout)")
+    rep.add_argument("--outdoor", type=int, default=0,
+                     help="include the outdoor comparison with N antennas")
+    rep.add_argument("--shap-samples", type=int, default=15)
+    rep.set_defaults(func=_cmd_report)
+
+    fig = sub.add_parser("figure", help="regenerate one paper figure")
+    fig.add_argument("figure", choices=FIGURES)
+    fig.add_argument("--dataset", help="existing .npz dataset (else generate)")
+    fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument("--clusters", type=int, default=9)
+    fig.add_argument("--align", action="store_true")
+    fig.add_argument("--outdoor", type=int, default=2000,
+                     help="outdoor antenna count for fig9")
+    fig.set_defaults(func=_cmd_figure)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""Core analysis pipeline: transforms, clustering, validation, profiler."""
+
+from repro.core.rca import (
+    feature_histograms,
+    normalized_traffic,
+    outdoor_rca,
+    outdoor_rsca,
+    rca,
+    rsca,
+    rsca_from_rca,
+)
+from repro.core.cluster import (
+    AgglomerativeClustering,
+    Dendrogram,
+    DendrogramNode,
+    cophenetic_distances,
+    cut_tree,
+    linkage,
+    pairwise_distances,
+    threshold_for_k,
+)
+from repro.core.validation import (
+    KScanResult,
+    davies_bouldin_index,
+    dunn_index,
+    gap_statistic,
+    scan_k,
+    silhouette_samples,
+    silhouette_score,
+)
+from repro.core.pca import PCA
+from repro.core.density import DBSCAN, NOISE
+from repro.core.spectral import SpectralClustering
+from repro.core.compare import (
+    KMeans,
+    adjusted_rand_index,
+    cluster_purity,
+    normalized_mutual_information,
+)
+from repro.core.pipeline import ICNProfile, ICNProfiler
+
+__all__ = [
+    "rca",
+    "rsca",
+    "rsca_from_rca",
+    "outdoor_rca",
+    "outdoor_rsca",
+    "normalized_traffic",
+    "feature_histograms",
+    "AgglomerativeClustering",
+    "Dendrogram",
+    "DendrogramNode",
+    "linkage",
+    "cut_tree",
+    "threshold_for_k",
+    "cophenetic_distances",
+    "pairwise_distances",
+    "KScanResult",
+    "silhouette_score",
+    "silhouette_samples",
+    "dunn_index",
+    "davies_bouldin_index",
+    "gap_statistic",
+    "scan_k",
+    "PCA",
+    "SpectralClustering",
+    "DBSCAN",
+    "NOISE",
+    "KMeans",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "cluster_purity",
+    "ICNProfile",
+    "ICNProfiler",
+]

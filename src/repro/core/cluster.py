@@ -1,0 +1,390 @@
+"""Agglomerative hierarchical clustering, implemented from scratch.
+
+The paper clusters antennas with bottom-up agglomerative clustering under
+Ward's minimum-variance criterion (Section 4.2.1).  This module implements
+the nearest-neighbour-chain algorithm — O(N^2) time, exact for *reducible*
+linkage criteria (Ward, single, complete, average) — producing a
+scipy-compatible linkage matrix, flat cluster cuts, and a navigable
+dendrogram tree (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.checks import check_matrix
+
+#: Supported linkage criteria.
+LINKAGES = ("ward", "single", "complete", "average")
+
+
+def pairwise_distances(
+    features: np.ndarray, squared: bool = False, chunk_size: int = 512
+) -> np.ndarray:
+    """Dense Euclidean distance matrix, computed in row chunks.
+
+    Args:
+        features: N x M feature matrix.
+        squared: return squared distances (used internally by Ward).
+        chunk_size: rows per chunk, bounding peak temporary memory.
+
+    Returns:
+        N x N symmetric matrix with a zero diagonal.
+    """
+    x = check_matrix(features, "features")
+    n = x.shape[0]
+    sq_norms = np.einsum("ij,ij->i", x, x)
+    out = np.empty((n, n))
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        block = sq_norms[start:stop, None] + sq_norms[None, :] - 2.0 * (x[start:stop] @ x.T)
+        np.maximum(block, 0.0, out=block)
+        out[start:stop] = block
+    np.fill_diagonal(out, 0.0)
+    if not squared:
+        np.sqrt(out, out=out)
+    return out
+
+
+def _lance_williams_update(
+    method: str,
+    dist_a: np.ndarray,
+    dist_b: np.ndarray,
+    dist_ab: float,
+    size_a: float,
+    size_b: float,
+    sizes: np.ndarray,
+) -> np.ndarray:
+    """Distance from the merged cluster (a u b) to every other cluster.
+
+    For ``ward`` the inputs and output are *squared* Euclidean distances;
+    for the other criteria they are plain distances.
+    """
+    if method == "ward":
+        total = size_a + size_b + sizes
+        return (
+            (size_a + sizes) * dist_a
+            + (size_b + sizes) * dist_b
+            - sizes * dist_ab
+        ) / total
+    if method == "single":
+        return np.minimum(dist_a, dist_b)
+    if method == "complete":
+        return np.maximum(dist_a, dist_b)
+    if method == "average":
+        return (size_a * dist_a + size_b * dist_b) / (size_a + size_b)
+    raise ValueError(f"unknown linkage method {method!r}; expected one of {LINKAGES}")
+
+
+def _nn_chain_merges(
+    dist: np.ndarray, method: str
+) -> List[Tuple[int, int, float]]:
+    """Run the nearest-neighbour chain, returning raw merges.
+
+    ``dist`` is consumed destructively.  Returned tuples are
+    ``(slot_a, slot_b, height)`` where slots are original point indices of
+    cluster representatives; heights are in the method's working metric
+    (squared distances for ward).
+    """
+    n = dist.shape[0]
+    sizes = np.ones(n)
+    active = np.ones(n, dtype=bool)
+    merges: List[Tuple[int, int, float]] = []
+    # cluster_of[slot] tracks which original slot currently represents the
+    # cluster containing that slot's points; merged-away slots deactivate.
+    chain: List[int] = []
+    inf = np.inf
+    for _ in range(n - 1):
+        if not chain:
+            chain.append(int(np.flatnonzero(active)[0]))
+        while True:
+            a = chain[-1]
+            row = np.where(active, dist[a], inf)
+            row[a] = inf
+            b = int(np.argmin(row))
+            if len(chain) >= 2 and b == chain[-2]:
+                break
+            chain.append(b)
+        chain.pop()
+        chain.pop()
+        height = dist[a, b]
+        # Merge b into a's slot: update distances via Lance-Williams.
+        others = active.copy()
+        others[a] = False
+        others[b] = False
+        idx = np.flatnonzero(others)
+        if idx.size:
+            updated = _lance_williams_update(
+                method, dist[a, idx], dist[b, idx], height,
+                sizes[a], sizes[b], sizes[idx],
+            )
+            dist[a, idx] = updated
+            dist[idx, a] = updated
+        sizes[a] = sizes[a] + sizes[b]
+        active[b] = False
+        merges.append((a, b, float(height)))
+    return merges
+
+
+def _label_merges(
+    merges: Sequence[Tuple[int, int, float]], n: int, method: str
+) -> np.ndarray:
+    """Sort raw merges by height and produce a scipy-style linkage matrix.
+
+    Rows are ``[id_a, id_b, height, size]``; ids < n are leaves and
+    id ``n + t`` is the cluster created by row ``t``.  Ward heights are
+    converted from the squared working metric back to Euclidean units.
+    """
+    order = np.argsort([m[2] for m in merges], kind="stable")
+    parent = np.arange(2 * n - 1)
+
+    def find(node: int) -> int:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    linkage_matrix = np.empty((n - 1, 4))
+    cluster_id = np.arange(n)  # representative slot -> current cluster id
+    sizes = np.ones(2 * n - 1)
+    for t, merge_idx in enumerate(order):
+        slot_a, slot_b, height = merges[merge_idx]
+        id_a = find(slot_a)
+        id_b = find(slot_b)
+        new_id = n + t
+        lo, hi = (id_a, id_b) if id_a < id_b else (id_b, id_a)
+        value = np.sqrt(height) if method == "ward" else height
+        sizes[new_id] = sizes[id_a] + sizes[id_b]
+        linkage_matrix[t] = (lo, hi, value, sizes[new_id])
+        parent[id_a] = new_id
+        parent[id_b] = new_id
+    return linkage_matrix
+
+
+def linkage(features: np.ndarray, method: str = "ward") -> np.ndarray:
+    """Agglomerative linkage of row vectors under Euclidean distance.
+
+    Args:
+        features: N x M matrix; each row is one observation (for the paper,
+            one antenna's RSCA vector).
+        method: one of ``"ward"``, ``"single"``, ``"complete"``,
+            ``"average"``.
+
+    Returns:
+        (N-1) x 4 linkage matrix ``[id_a, id_b, height, size]`` with the
+        same conventions as ``scipy.cluster.hierarchy.linkage``.
+    """
+    if method not in LINKAGES:
+        raise ValueError(f"unknown linkage method {method!r}; expected one of {LINKAGES}")
+    x = check_matrix(features, "features")
+    n = x.shape[0]
+    if n < 2:
+        raise ValueError("clustering needs at least two observations")
+    dist = pairwise_distances(x, squared=(method == "ward"))
+    merges = _nn_chain_merges(dist, method)
+    return _label_merges(merges, n, method)
+
+
+def cut_tree(linkage_matrix: np.ndarray, n_clusters: int) -> np.ndarray:
+    """Flat cluster labels obtained by undoing the top merges.
+
+    Labels are 0..k-1, assigned in order of first appearance, so they are
+    deterministic but arbitrary (align with
+    :func:`repro.utils.align_labels` for paper numbering).
+    """
+    z = np.asarray(linkage_matrix, dtype=float)
+    n = z.shape[0] + 1
+    if not 1 <= n_clusters <= n:
+        raise ValueError(f"n_clusters must be in [1, {n}], got {n_clusters}")
+    parent = np.arange(2 * n - 1)
+
+    def find(node: int) -> int:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    for t in range(n - n_clusters):
+        new_id = n + t
+        parent[int(z[t, 0])] = new_id
+        parent[int(z[t, 1])] = new_id
+    roots: Dict[int, int] = {}
+    labels = np.empty(n, dtype=int)
+    for leaf in range(n):
+        root = find(leaf)
+        if root not in roots:
+            roots[root] = len(roots)
+        labels[leaf] = roots[root]
+    return labels
+
+
+def threshold_for_k(linkage_matrix: np.ndarray, n_clusters: int) -> float:
+    """Distance threshold separating exactly ``n_clusters`` flat clusters.
+
+    Cutting the dendrogram at any height in the half-open interval
+    ``[h, h_next)`` — where this function returns the midpoint — yields
+    ``n_clusters`` clusters (the horizontal lines of Fig. 3).
+    """
+    z = np.asarray(linkage_matrix, dtype=float)
+    n = z.shape[0] + 1
+    if not 1 <= n_clusters <= n:
+        raise ValueError(f"n_clusters must be in [1, {n}], got {n_clusters}")
+    if n_clusters == 1:
+        return float(z[-1, 2] * 1.05)
+    if n_clusters == n:
+        return float(z[0, 2] / 2.0)
+    lower = z[n - n_clusters - 1, 2]
+    upper = z[n - n_clusters, 2]
+    return float((lower + upper) / 2.0)
+
+
+def cophenetic_distances(linkage_matrix: np.ndarray) -> np.ndarray:
+    """N x N matrix of cophenetic distances (merge height joining i and j)."""
+    z = np.asarray(linkage_matrix, dtype=float)
+    n = z.shape[0] + 1
+    members: Dict[int, np.ndarray] = {i: np.array([i]) for i in range(n)}
+    out = np.zeros((n, n))
+    for t in range(n - 1):
+        id_a, id_b, height = int(z[t, 0]), int(z[t, 1]), z[t, 2]
+        left = members.pop(id_a)
+        right = members.pop(id_b)
+        out[np.ix_(left, right)] = height
+        out[np.ix_(right, left)] = height
+        members[n + t] = np.concatenate([left, right])
+    return out
+
+
+@dataclass
+class DendrogramNode:
+    """One node of the dendrogram tree."""
+
+    node_id: int
+    height: float
+    left: Optional["DendrogramNode"] = None
+    right: Optional["DendrogramNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    def leaves(self) -> List[int]:
+        """Original observation indices under this node, left-to-right."""
+        if self.is_leaf:
+            return [self.node_id]
+        return self.left.leaves() + self.right.leaves()
+
+    def count(self) -> int:
+        """Number of observations under this node."""
+        if self.is_leaf:
+            return 1
+        return self.left.count() + self.right.count()
+
+
+class Dendrogram:
+    """Navigable merge tree over a linkage matrix (paper Fig. 3).
+
+    Supports flat cuts, per-cut distance thresholds, and the grouping view
+    the paper uses ("three large groups of clusters, each split into three
+    sub-clusters").
+    """
+
+    def __init__(self, linkage_matrix: np.ndarray) -> None:
+        z = np.asarray(linkage_matrix, dtype=float)
+        if z.ndim != 2 or z.shape[1] != 4:
+            raise ValueError(f"linkage matrix must be (N-1) x 4, got {z.shape}")
+        self.linkage_matrix = z
+        self.n_leaves = z.shape[0] + 1
+        nodes: Dict[int, DendrogramNode] = {
+            i: DendrogramNode(i, 0.0) for i in range(self.n_leaves)
+        }
+        for t in range(z.shape[0]):
+            nodes[self.n_leaves + t] = DendrogramNode(
+                self.n_leaves + t,
+                float(z[t, 2]),
+                left=nodes[int(z[t, 0])],
+                right=nodes[int(z[t, 1])],
+            )
+        self.root = nodes[2 * self.n_leaves - 2]
+        self._nodes = nodes
+
+    def cut(self, n_clusters: int) -> np.ndarray:
+        """Flat labels for ``n_clusters`` clusters (see :func:`cut_tree`)."""
+        return cut_tree(self.linkage_matrix, n_clusters)
+
+    def threshold_for(self, n_clusters: int) -> float:
+        """Cut height yielding ``n_clusters`` clusters."""
+        return threshold_for_k(self.linkage_matrix, n_clusters)
+
+    def nodes_at(self, n_clusters: int) -> List[DendrogramNode]:
+        """The subtree roots forming the ``n_clusters``-cluster partition."""
+        if not 1 <= n_clusters <= self.n_leaves:
+            raise ValueError(
+                f"n_clusters must be in [1, {self.n_leaves}], got {n_clusters}"
+            )
+        frontier = [self.root]
+        while len(frontier) < n_clusters:
+            # Split the frontier node with the greatest merge height.
+            splittable = [node for node in frontier if not node.is_leaf]
+            node = max(splittable, key=lambda nd: nd.height)
+            frontier.remove(node)
+            frontier.extend([node.left, node.right])
+        return frontier
+
+    def group_of_clusters(
+        self, n_clusters: int, n_groups: int
+    ) -> Dict[int, int]:
+        """Map fine-cut labels to coarse-cut labels.
+
+        For the paper's structure, ``group_of_clusters(9, 3)`` reports which
+        of the three dendrogram branches (orange/green/red) each of the nine
+        clusters belongs to.
+        """
+        fine = self.cut(n_clusters)
+        coarse = self.cut(n_groups)
+        mapping: Dict[int, int] = {}
+        for fine_label in np.unique(fine):
+            members = np.flatnonzero(fine == fine_label)
+            coarse_labels = np.unique(coarse[members])
+            if coarse_labels.size != 1:
+                raise RuntimeError(
+                    "hierarchy violation: a fine cluster spans coarse groups"
+                )
+            mapping[int(fine_label)] = int(coarse_labels[0])
+        return mapping
+
+
+class AgglomerativeClustering:
+    """Scikit-learn-style front door for the hierarchical clustering.
+
+    >>> model = AgglomerativeClustering(n_clusters=9, linkage="ward")
+    >>> labels = model.fit_predict(features)          # doctest: +SKIP
+    """
+
+    def __init__(self, n_clusters: int = 9, linkage: str = "ward") -> None:
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if linkage not in LINKAGES:
+            raise ValueError(f"unknown linkage {linkage!r}; expected one of {LINKAGES}")
+        self.n_clusters = n_clusters
+        self.linkage = linkage
+        self.linkage_matrix_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.dendrogram_: Optional[Dendrogram] = None
+
+    def fit(self, features: np.ndarray) -> "AgglomerativeClustering":
+        """Cluster the rows of ``features``; fills the fitted attributes."""
+        self.linkage_matrix_ = linkage(features, self.linkage)
+        self.dendrogram_ = Dendrogram(self.linkage_matrix_)
+        self.labels_ = self.dendrogram_.cut(self.n_clusters)
+        return self
+
+    def fit_predict(self, features: np.ndarray) -> np.ndarray:
+        """Fit and return the flat cluster labels."""
+        return self.fit(features).labels_

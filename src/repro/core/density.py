@@ -1,0 +1,88 @@
+"""DBSCAN density clustering (the noise-aware baseline).
+
+Completes the clustering-algorithm family for the ablations: unlike
+Ward/k-means/spectral, DBSCAN does not fix k and labels low-density
+points as noise (-1).  On the RSCA features it tests whether the paper's
+nine profiles are dense regions rather than partition artefacts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cluster import pairwise_distances
+from repro.utils.checks import check_matrix
+
+#: Label assigned to noise points.
+NOISE = -1
+
+
+class DBSCAN:
+    """Density-based spatial clustering of applications with noise.
+
+    Args:
+        eps: neighbourhood radius.
+        min_samples: neighbours (including the point) required for a core
+            point.
+    """
+
+    def __init__(self, eps: float = 0.5, min_samples: int = 5) -> None:
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.eps = eps
+        self.min_samples = min_samples
+        self.labels_: Optional[np.ndarray] = None
+        self.core_mask_: Optional[np.ndarray] = None
+
+    def fit(self, features) -> "DBSCAN":
+        """Cluster the rows of ``features``; noise points get label -1."""
+        x = check_matrix(features, "features")
+        n = x.shape[0]
+        distances = pairwise_distances(x)
+        neighbourhoods = [
+            np.flatnonzero(distances[i] <= self.eps) for i in range(n)
+        ]
+        core = np.array(
+            [idx.size >= self.min_samples for idx in neighbourhoods]
+        )
+        labels = np.full(n, NOISE, dtype=int)
+        cluster = 0
+        for seed in range(n):
+            if labels[seed] != NOISE or not core[seed]:
+                continue
+            # Breadth-first expansion from a fresh core point.
+            labels[seed] = cluster
+            queue = deque(neighbourhoods[seed].tolist())
+            while queue:
+                point = queue.popleft()
+                if labels[point] == NOISE:
+                    labels[point] = cluster
+                    if core[point]:
+                        queue.extend(neighbourhoods[point].tolist())
+            cluster += 1
+        self.labels_ = labels
+        self.core_mask_ = core
+        return self
+
+    def fit_predict(self, features) -> np.ndarray:
+        """Fit and return the labels (-1 = noise)."""
+        return self.fit(features).labels_
+
+    @property
+    def n_clusters_(self) -> int:
+        """Number of discovered clusters (noise excluded)."""
+        if self.labels_ is None:
+            raise RuntimeError("DBSCAN is not fitted; call fit() first")
+        return int(np.unique(self.labels_[self.labels_ != NOISE]).size)
+
+    @property
+    def noise_fraction_(self) -> float:
+        """Fraction of points labelled noise."""
+        if self.labels_ is None:
+            raise RuntimeError("DBSCAN is not fitted; call fit() first")
+        return float(np.mean(self.labels_ == NOISE))

@@ -1,0 +1,114 @@
+"""Principal component analysis of the RSCA feature space.
+
+A supporting tool for exploring the utilization-profile geometry: the
+paper's clusters live in a 73-dimensional RSCA space, and a PCA view
+shows how much of the separation a few directions carry (the dendrogram
+groups separate in the leading components).  Implemented from scratch on
+the covariance eigendecomposition; the test suite cross-checks it against
+a direct SVD.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.checks import check_matrix
+
+
+class PCA:
+    """Principal component analysis via covariance eigendecomposition.
+
+    Args:
+        n_components: number of leading components kept (None = all).
+
+    Fitted attributes:
+        components_: (n_components, M) principal axes (unit vectors).
+        explained_variance_: per-component variance.
+        explained_variance_ratio_: fraction of total variance.
+        mean_: per-feature training mean.
+    """
+
+    def __init__(self, n_components: Optional[int] = None) -> None:
+        if n_components is not None and n_components < 1:
+            raise ValueError(
+                f"n_components must be >= 1, got {n_components}"
+            )
+        self.n_components = n_components
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+        self.mean_: Optional[np.ndarray] = None
+
+    def fit(self, features) -> "PCA":
+        """Fit the principal axes of the rows of ``features``."""
+        x = check_matrix(features, "features")
+        if x.shape[0] < 2:
+            raise ValueError("PCA needs at least two samples")
+        k = self.n_components
+        if k is not None and k > x.shape[1]:
+            raise ValueError(
+                f"n_components {k} exceeds feature count {x.shape[1]}"
+            )
+        self.mean_ = x.mean(axis=0)
+        centered = x - self.mean_
+        covariance = centered.T @ centered / (x.shape[0] - 1)
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues = np.maximum(eigenvalues[order], 0.0)
+        eigenvectors = eigenvectors[:, order]
+        if k is None:
+            k = x.shape[1]
+        # Sign convention: largest-magnitude loading positive (stable).
+        axes = eigenvectors[:, :k].T
+        for i in range(axes.shape[0]):
+            j = int(np.argmax(np.abs(axes[i])))
+            if axes[i, j] < 0:
+                axes[i] = -axes[i]
+        self.components_ = axes
+        self.explained_variance_ = eigenvalues[:k]
+        total = eigenvalues.sum()
+        self.explained_variance_ratio_ = (
+            eigenvalues[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.components_ is None:
+            raise RuntimeError("PCA is not fitted; call fit() first")
+
+    def transform(self, features) -> np.ndarray:
+        """Project rows onto the fitted principal axes."""
+        self._check_fitted()
+        x = check_matrix(features, "features")
+        if x.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"features have {x.shape[1]} columns, PCA was fitted on "
+                f"{self.mean_.shape[0]}"
+            )
+        return (x - self.mean_) @ self.components_.T
+
+    def fit_transform(self, features) -> np.ndarray:
+        """Fit and project in one call."""
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, projected) -> np.ndarray:
+        """Map projections back into the original feature space."""
+        self._check_fitted()
+        z = check_matrix(projected, "projected")
+        if z.shape[1] != self.components_.shape[0]:
+            raise ValueError(
+                f"projected has {z.shape[1]} columns, PCA keeps "
+                f"{self.components_.shape[0]} components"
+            )
+        return z @ self.components_ + self.mean_
+
+    def variance_captured(self, n: int) -> float:
+        """Total variance fraction carried by the first ``n`` components."""
+        self._check_fitted()
+        if not 1 <= n <= self.explained_variance_ratio_.shape[0]:
+            raise ValueError(
+                f"n must be in [1, {self.explained_variance_ratio_.shape[0]}]"
+            )
+        return float(self.explained_variance_ratio_[:n].sum())

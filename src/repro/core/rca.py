@@ -1,0 +1,157 @@
+"""Revealed comparative advantage transforms (paper Section 4.1).
+
+Given the N x M totals matrix ``T`` (antennas x services), the *revealed
+comparative advantage* of service ``j`` at antenna ``i`` is (Eq. 1)::
+
+    RCA[i, j] = (T[i, j] / T_i) / (T_j / T_tot)
+
+with ``T_i`` the antenna's total, ``T_j`` the service's network-wide total
+and ``T_tot`` the grand total.  RCA < 1 marks under-utilization and
+RCA > 1 over-utilization, but over-utilization is unbounded; the *revealed
+symmetric comparative advantage* (Eq. 2)::
+
+    RSCA[i, j] = (RCA[i, j] - 1) / (RCA[i, j] + 1)
+
+maps it into [-1, 1], balancing the two regimes.  Section 5.3 generalizes
+RCA to outdoor antennas against the *indoor* reference mix (Eq. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.checks import check_matrix
+
+
+def rca(totals: np.ndarray) -> np.ndarray:
+    """Revealed comparative advantage per (antenna, service) — Eq. 1.
+
+    Args:
+        totals: N x M non-negative traffic totals.  Rows (antennas) with
+            zero total traffic are rejected — an antenna that never carried
+            traffic has no utilization profile.
+
+    Returns:
+        N x M array of RCA values; entries are 0 where a service saw no
+        traffic at an antenna.
+    """
+    matrix = check_matrix(totals, "totals", non_negative=True)
+    antenna_totals = matrix.sum(axis=1, keepdims=True)
+    if np.any(antenna_totals == 0):
+        silent = np.flatnonzero(antenna_totals[:, 0] == 0)[:5]
+        raise ValueError(
+            f"antennas with zero total traffic have no utilization profile "
+            f"(first offending rows: {silent.tolist()})"
+        )
+    service_totals = matrix.sum(axis=0, keepdims=True)
+    grand_total = matrix.sum()
+    antenna_share = matrix / antenna_totals
+    service_share = service_totals / grand_total
+    # A service with zero network-wide traffic contributes nothing anywhere;
+    # define its RCA as 0 (neutral under-utilization) rather than 0/0.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.where(service_share > 0, antenna_share / service_share, 0.0)
+    return result
+
+
+def rsca_from_rca(rca_values: np.ndarray) -> np.ndarray:
+    """Map RCA values onto the symmetric [-1, 1] index — Eq. 2."""
+    values = np.asarray(rca_values, dtype=float)
+    if np.any(values < 0):
+        raise ValueError("RCA values must be non-negative")
+    return (values - 1.0) / (values + 1.0)
+
+
+def rsca(totals: np.ndarray) -> np.ndarray:
+    """Revealed symmetric comparative advantage of a totals matrix.
+
+    Composition of :func:`rca` and :func:`rsca_from_rca`; this is the
+    feature matrix the paper clusters on.
+    """
+    return rsca_from_rca(rca(totals))
+
+
+def outdoor_rca(
+    outdoor_totals: np.ndarray, indoor_totals: np.ndarray
+) -> np.ndarray:
+    """RCA of outdoor antennas against the indoor reference mix — Eq. 5.
+
+    The per-antenna service shares of the *outdoor* antennas are compared
+    with the service shares of the aggregate *indoor* traffic, so the
+    resulting values measure how outdoor demand deviates from indoor
+    demand (paper Section 5.3.1).
+
+    Args:
+        outdoor_totals: K x M totals of the outdoor antennas.
+        indoor_totals: N x M totals of the indoor antennas (reference).
+
+    Returns:
+        K x M array of RCA values.
+    """
+    outdoor = check_matrix(outdoor_totals, "outdoor_totals", non_negative=True)
+    indoor = check_matrix(indoor_totals, "indoor_totals", non_negative=True)
+    if outdoor.shape[1] != indoor.shape[1]:
+        raise ValueError(
+            f"outdoor and indoor matrices disagree on the number of services: "
+            f"{outdoor.shape[1]} != {indoor.shape[1]}"
+        )
+    outdoor_row_totals = outdoor.sum(axis=1, keepdims=True)
+    if np.any(outdoor_row_totals == 0):
+        raise ValueError("outdoor antennas with zero total traffic are not allowed")
+    indoor_service_share = indoor.sum(axis=0) / indoor.sum()
+    outdoor_share = outdoor / outdoor_row_totals
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.where(
+            indoor_service_share[None, :] > 0,
+            outdoor_share / indoor_service_share[None, :],
+            0.0,
+        )
+    return result
+
+
+def outdoor_rsca(
+    outdoor_totals: np.ndarray, indoor_totals: np.ndarray
+) -> np.ndarray:
+    """RSCA of outdoor antennas against the indoor reference mix."""
+    return rsca_from_rca(outdoor_rca(outdoor_totals, indoor_totals))
+
+
+def normalized_traffic(totals: np.ndarray) -> np.ndarray:
+    """Totals normalized by the single largest (antenna, service) load.
+
+    This is the naive feature the paper's Fig. 1 shows to be unusable:
+    most entries collapse near zero under the global-maximum scaling.
+    """
+    matrix = check_matrix(totals, "totals", non_negative=True)
+    peak = matrix.max()
+    if peak == 0:
+        raise ValueError("totals matrix is identically zero")
+    return matrix / peak
+
+
+def feature_histograms(
+    totals: np.ndarray,
+    antenna_indices: Optional[np.ndarray] = None,
+    bins: int = 40,
+) -> dict:
+    """Histogram data behind Fig. 1 for a set of sample antennas.
+
+    Returns a dict with keys ``"normalized"``, ``"rca"``, ``"rsca"``, each
+    mapping to ``(counts, bin_edges)`` over the selected antennas' feature
+    values, plus ``"max_rca"`` (the largest observed RCA, which the paper
+    quotes to illustrate the index's unbounded tail).
+    """
+    matrix = check_matrix(totals, "totals", non_negative=True)
+    if antenna_indices is not None:
+        matrix = matrix[np.asarray(antenna_indices, dtype=int)]
+    norm = normalized_traffic(matrix)
+    rca_values = rca(matrix)
+    rsca_values = rsca_from_rca(rca_values)
+    return {
+        "normalized": np.histogram(norm.ravel(), bins=bins),
+        "rca": np.histogram(rca_values.ravel(), bins=bins),
+        "rsca": np.histogram(rsca_values.ravel(), bins=bins, range=(-1.0, 1.0)),
+        "max_rca": float(rca_values.max()),
+    }

@@ -1,0 +1,99 @@
+"""Spectral clustering from scratch (normalized-cuts baseline).
+
+A third clustering family for the algorithm ablation: build a Gaussian
+affinity graph over the RSCA vectors, embed the points with the leading
+eigenvectors of the symmetric-normalized Laplacian, and run k-means in
+the embedding (Ng-Jordan-Weiss).  Everything rests on numpy's symmetric
+eigendecomposition plus the library's own :class:`~repro.core.compare.KMeans`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cluster import pairwise_distances
+from repro.core.compare import KMeans
+from repro.utils.checks import check_matrix
+
+
+class SpectralClustering:
+    """Normalized spectral clustering (Ng-Jordan-Weiss).
+
+    Args:
+        n_clusters: number of clusters.
+        gamma: Gaussian affinity scale ``exp(-gamma * d^2)``; None picks
+            1 / median(d^2), a standard heuristic.
+        n_neighbors: sparsify the affinity to each point's k nearest
+            neighbours (symmetrized); None keeps the dense graph.
+        random_state: seed for the embedded k-means.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 9,
+        gamma: Optional[float] = None,
+        n_neighbors: Optional[int] = 20,
+        random_state: int = 0,
+    ) -> None:
+        if n_clusters < 2:
+            raise ValueError(f"n_clusters must be >= 2, got {n_clusters}")
+        if gamma is not None and gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        if n_neighbors is not None and n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        self.n_clusters = n_clusters
+        self.gamma = gamma
+        self.n_neighbors = n_neighbors
+        self.random_state = random_state
+        self.labels_: Optional[np.ndarray] = None
+        self.embedding_: Optional[np.ndarray] = None
+
+    def _affinity(self, x: np.ndarray) -> np.ndarray:
+        squared = pairwise_distances(x, squared=True)
+        if self.gamma is None:
+            off_diag = squared[~np.eye(squared.shape[0], dtype=bool)]
+            median = np.median(off_diag)
+            gamma = 1.0 / median if median > 0 else 1.0
+        else:
+            gamma = self.gamma
+        affinity = np.exp(-gamma * squared)
+        np.fill_diagonal(affinity, 0.0)
+        if self.n_neighbors is not None and self.n_neighbors < x.shape[0] - 1:
+            keep = np.zeros_like(affinity, dtype=bool)
+            order = np.argsort(affinity, axis=1)[:, ::-1]
+            rows = np.repeat(np.arange(x.shape[0]), self.n_neighbors)
+            cols = order[:, : self.n_neighbors].ravel()
+            keep[rows, cols] = True
+            keep |= keep.T  # symmetrize
+            affinity = np.where(keep, affinity, 0.0)
+        return affinity
+
+    def fit(self, features) -> "SpectralClustering":
+        """Cluster the rows of ``features``."""
+        x = check_matrix(features, "features")
+        if x.shape[0] <= self.n_clusters:
+            raise ValueError(
+                f"need more than {self.n_clusters} samples, got {x.shape[0]}"
+            )
+        affinity = self._affinity(x)
+        degree = affinity.sum(axis=1)
+        inv_sqrt = np.where(degree > 0, 1.0 / np.sqrt(degree), 0.0)
+        # Symmetric-normalized Laplacian: L = I - D^-1/2 A D^-1/2.
+        normalized = affinity * inv_sqrt[:, None] * inv_sqrt[None, :]
+        eigenvalues, eigenvectors = np.linalg.eigh(normalized)
+        # Largest eigenvectors of the normalized affinity == smallest of L.
+        embedding = eigenvectors[:, -self.n_clusters:]
+        norms = np.linalg.norm(embedding, axis=1, keepdims=True)
+        embedding = embedding / np.where(norms > 0, norms, 1.0)
+        self.embedding_ = embedding
+        self.labels_ = KMeans(
+            n_clusters=self.n_clusters, n_init=5,
+            random_state=self.random_state,
+        ).fit_predict(embedding)
+        return self
+
+    def fit_predict(self, features) -> np.ndarray:
+        """Fit and return the labels."""
+        return self.fit(features).labels_

@@ -1,0 +1,279 @@
+"""Cluster validity indices (paper Section 4.2.1, Fig. 2).
+
+The paper selects the number of clusters k by scanning the Silhouette
+score [Rousseeuw 1987] and the Dunn index [Dunn 1973] over candidate k and
+looking for high values followed by an abrupt drop (observed at k = 6 and
+k = 9).  Both indices are implemented from scratch here, plus the
+Davies-Bouldin index as an extension, and a :func:`scan_k` helper that
+evaluates a linkage across a k range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cluster import Dendrogram, pairwise_distances
+from repro.utils.checks import check_matrix
+
+
+def _validate_labels(features: np.ndarray, labels) -> Tuple[np.ndarray, np.ndarray]:
+    x = check_matrix(features, "features")
+    lab = np.asarray(labels, dtype=int)
+    if lab.ndim != 1 or lab.shape[0] != x.shape[0]:
+        raise ValueError(
+            f"labels must be 1-D with one entry per row of features; "
+            f"got {lab.shape} for {x.shape[0]} rows"
+        )
+    if np.unique(lab).size < 2:
+        raise ValueError("validity indices need at least two clusters")
+    return x, lab
+
+
+def silhouette_samples(
+    features: np.ndarray,
+    labels,
+    distances: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-sample silhouette coefficients ``(b - a) / max(a, b)``.
+
+    ``a`` is the mean distance to the sample's own cluster, ``b`` the
+    smallest mean distance to another cluster.  Singleton clusters get a
+    silhouette of 0 by convention.
+
+    Args:
+        features: N x M matrix.
+        labels: N cluster labels.
+        distances: optional precomputed N x N distance matrix (reused by
+            :func:`scan_k` to avoid recomputation per k).
+    """
+    x, lab = _validate_labels(features, labels)
+    dist = pairwise_distances(x) if distances is None else np.asarray(distances)
+    unique = np.unique(lab)
+    n = x.shape[0]
+    # Mean distance from every sample to every cluster.
+    mean_to_cluster = np.empty((n, unique.size))
+    counts = np.empty(unique.size)
+    for col, cluster in enumerate(unique):
+        members = lab == cluster
+        counts[col] = members.sum()
+        mean_to_cluster[:, col] = dist[:, members].mean(axis=1)
+    own_col = np.searchsorted(unique, lab)
+    silhouettes = np.zeros(n)
+    for i in range(n):
+        col = own_col[i]
+        size = counts[col]
+        if size <= 1:
+            continue  # singleton cluster: silhouette 0 by convention
+        # Within-cluster mean excludes the sample itself.
+        a = mean_to_cluster[i, col] * size / (size - 1.0)
+        others = np.delete(mean_to_cluster[i], col)
+        b = others.min()
+        denom = max(a, b)
+        if denom > 0:
+            silhouettes[i] = (b - a) / denom
+    return silhouettes
+
+
+def silhouette_score(
+    features: np.ndarray,
+    labels,
+    distances: Optional[np.ndarray] = None,
+) -> float:
+    """Mean silhouette coefficient over all samples (cohesion/separation)."""
+    return float(silhouette_samples(features, labels, distances).mean())
+
+
+def dunn_index(
+    features: np.ndarray,
+    labels,
+    distances: Optional[np.ndarray] = None,
+) -> float:
+    """Dunn index: min inter-cluster distance / max intra-cluster diameter.
+
+    Higher is better — compact (small diameters) and well-separated (large
+    inter-cluster gaps) partitions score high.  Uses single-linkage
+    inter-cluster distance and complete diameter, the classical definition.
+    """
+    x, lab = _validate_labels(features, labels)
+    dist = pairwise_distances(x) if distances is None else np.asarray(distances)
+    unique = np.unique(lab)
+    members = [np.flatnonzero(lab == cluster) for cluster in unique]
+    max_diameter = 0.0
+    for idx in members:
+        if idx.size > 1:
+            max_diameter = max(max_diameter, float(dist[np.ix_(idx, idx)].max()))
+    min_separation = np.inf
+    for i in range(len(members)):
+        for j in range(i + 1, len(members)):
+            block = dist[np.ix_(members[i], members[j])]
+            min_separation = min(min_separation, float(block.min()))
+    if max_diameter == 0.0:
+        return np.inf if min_separation > 0 else 0.0
+    return min_separation / max_diameter
+
+
+def davies_bouldin_index(features: np.ndarray, labels) -> float:
+    """Davies-Bouldin index (lower is better); extension beyond the paper."""
+    x, lab = _validate_labels(features, labels)
+    unique = np.unique(lab)
+    centroids = np.vstack([x[lab == cluster].mean(axis=0) for cluster in unique])
+    scatters = np.array([
+        float(np.linalg.norm(x[lab == cluster] - centroids[i], axis=1).mean())
+        for i, cluster in enumerate(unique)
+    ])
+    k = unique.size
+    worst = np.zeros(k)
+    for i in range(k):
+        ratios = [
+            (scatters[i] + scatters[j])
+            / max(float(np.linalg.norm(centroids[i] - centroids[j])), 1e-12)
+            for j in range(k) if j != i
+        ]
+        worst[i] = max(ratios)
+    return float(worst.mean())
+
+
+@dataclass
+class KScanResult:
+    """Validity indices over a range of candidate cluster counts (Fig. 2)."""
+
+    ks: List[int]
+    silhouette: List[float]
+    dunn: List[float]
+    davies_bouldin: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[int, Dict[str, float]]:
+        """Per-k index values, keyed by k."""
+        out: Dict[int, Dict[str, float]] = {}
+        for i, k in enumerate(self.ks):
+            row = {"silhouette": self.silhouette[i], "dunn": self.dunn[i]}
+            if self.davies_bouldin:
+                row["davies_bouldin"] = self.davies_bouldin[i]
+            out[k] = row
+        return out
+
+    def drop_after(self, metric: str = "silhouette") -> Dict[int, float]:
+        """Magnitude of the drop from k to k+1 for each scanned k.
+
+        The paper's stopping criterion looks for "a high value ... followed
+        by an abrupt drop"; this quantifies the drop so k = 6 and k = 9 can
+        be identified programmatically.
+        """
+        series = {"silhouette": self.silhouette, "dunn": self.dunn,
+                  "davies_bouldin": self.davies_bouldin}.get(metric)
+        if series is None or not series:
+            raise ValueError(f"unknown or empty metric {metric!r}")
+        drops: Dict[int, float] = {}
+        for i in range(len(self.ks) - 1):
+            if self.ks[i + 1] == self.ks[i] + 1:
+                drops[self.ks[i]] = series[i] - series[i + 1]
+        return drops
+
+    def local_peaks(self, metric: str = "silhouette") -> List[int]:
+        """Candidate ks: local maxima of the index followed by a drop.
+
+        This is the paper's stopping criterion ("a high value ... followed
+        by an abrupt drop"); for the paper's data it flags k = 6 and k = 9.
+        """
+        series = {"silhouette": self.silhouette, "dunn": self.dunn,
+                  "davies_bouldin": self.davies_bouldin}.get(metric)
+        if series is None or not series:
+            raise ValueError(f"unknown or empty metric {metric!r}")
+        peaks = []
+        for i in range(len(self.ks) - 1):
+            rising = i == 0 or series[i] >= series[i - 1]
+            dropping = series[i] > series[i + 1]
+            if rising and dropping:
+                peaks.append(self.ks[i])
+        return peaks
+
+    def best_k(self, metric: str = "silhouette") -> int:
+        """The k whose high-value-then-drop signature is strongest.
+
+        Among the local peaks of the index, returns the one followed by
+        the steepest drop; falls back to the largest raw drop when the
+        index is monotone.
+        """
+        drops = self.drop_after(metric)
+        peaks = [k for k in self.local_peaks(metric) if k in drops]
+        if peaks:
+            return max(peaks, key=drops.get)
+        return max(drops, key=drops.get)
+
+
+def gap_statistic(
+    features: np.ndarray,
+    dendrogram: Dendrogram,
+    ks: Sequence[int] = range(2, 16),
+    n_references: int = 5,
+    random_state: int = 0,
+) -> Dict[int, float]:
+    """Tibshirani's gap statistic over flat cuts of one dendrogram.
+
+    Compares the log within-cluster dispersion of each cut against the
+    expectation under uniform reference data drawn in the feature
+    bounding box; larger gaps indicate stronger real structure.  An
+    extension beyond the paper's Silhouette/Dunn criterion.
+    """
+    x = check_matrix(features, "features")
+    if n_references < 1:
+        raise ValueError(f"n_references must be >= 1, got {n_references}")
+
+    def log_dispersion(data: np.ndarray, labels: np.ndarray) -> float:
+        total = 0.0
+        for cluster in np.unique(labels):
+            members = data[labels == cluster]
+            if members.shape[0] < 2:
+                continue
+            centroid = members.mean(axis=0)
+            total += float(((members - centroid) ** 2).sum())
+        return float(np.log(max(total, 1e-300)))
+
+    rng = np.random.default_rng(random_state)
+    lo, hi = x.min(axis=0), x.max(axis=0)
+    reference_dispersions: Dict[int, List[float]] = {int(k): [] for k in ks}
+    for _ in range(n_references):
+        reference = rng.uniform(lo, hi, size=x.shape)
+        from repro.core.cluster import AgglomerativeClustering
+
+        model = AgglomerativeClustering(n_clusters=2).fit(reference)
+        for k in ks:
+            labels = model.dendrogram_.cut(int(k))
+            reference_dispersions[int(k)].append(
+                log_dispersion(reference, labels)
+            )
+    gaps: Dict[int, float] = {}
+    for k in ks:
+        labels = dendrogram.cut(int(k))
+        observed = log_dispersion(x, labels)
+        gaps[int(k)] = float(
+            np.mean(reference_dispersions[int(k)]) - observed
+        )
+    return gaps
+
+
+def scan_k(
+    features: np.ndarray,
+    dendrogram: Dendrogram,
+    ks: Sequence[int] = range(2, 16),
+    include_davies_bouldin: bool = False,
+) -> KScanResult:
+    """Evaluate validity indices for flat cuts of one dendrogram.
+
+    Computes the pairwise distance matrix once and reuses it across all
+    cuts, making the Fig. 2 scan a single O(N^2) pass plus cheap cuts.
+    """
+    x = check_matrix(features, "features")
+    distances = pairwise_distances(x)
+    result = KScanResult(ks=[], silhouette=[], dunn=[], davies_bouldin=[])
+    for k in ks:
+        labels = dendrogram.cut(int(k))
+        result.ks.append(int(k))
+        result.silhouette.append(silhouette_score(x, labels, distances))
+        result.dunn.append(dunn_index(x, labels, distances))
+        if include_davies_bouldin:
+            result.davies_bouldin.append(davies_bouldin_index(x, labels))
+    return result

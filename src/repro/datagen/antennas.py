@@ -1,0 +1,222 @@
+"""Site and antenna layout generation.
+
+Antennas are installed in groups at *sites* (a metro station, a stadium, an
+office building).  Sites carry the event calendar (all antennas of a venue
+burst together) and the geographic position used by the outdoor-neighbour
+analysis; antennas carry the latent archetype and the generated BS name
+whose keywords the environment extractor of ``repro.analysis.environment``
+parses — mirroring how the paper recovers Table 1 from antenna names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.archetypes import (
+    Archetype,
+    AssignmentRule,
+    DEFAULT_ASSIGNMENT,
+    assign_archetype,
+)
+from repro.datagen.environments import (
+    EnvironmentSpec,
+    EnvironmentType,
+    METRO_CITIES,
+    NAME_KEYWORDS,
+    PROVINCIAL_CITIES,
+    Surrounding,
+    default_specs,
+)
+from repro.utils.rng import derive_rng
+
+#: Approximate city-centre coordinates (lat, lon) used to place sites.
+CITY_COORDS: Dict[str, Tuple[float, float]] = {
+    "Paris": (48.8566, 2.3522),
+    "Lille": (50.6292, 3.0573),
+    "Lyon": (45.7640, 4.8357),
+    "Rennes": (48.1173, -1.6778),
+    "Toulouse": (43.6047, 1.4442),
+    "Marseille": (43.2965, 5.3698),
+    "Bordeaux": (44.8378, -0.5792),
+    "Nantes": (47.2184, -1.5536),
+    "Strasbourg": (48.5734, 7.7521),
+    "Nice": (43.7102, 7.2620),
+    "Montpellier": (43.6108, 3.8767),
+    "Grenoble": (45.1885, 5.7245),
+    "Dijon": (47.3220, 5.0415),
+}
+
+#: Degrees of latitude per kilometre (used for site scatter and the 1 km
+#: outdoor-neighbour radius).
+DEG_PER_KM_LAT = 1.0 / 111.0
+
+
+@dataclass(frozen=True)
+class Site:
+    """One indoor deployment location hosting one or more antennas."""
+
+    site_id: int
+    name: str
+    env_type: EnvironmentType
+    city: str
+    is_paris: bool
+    surrounding: Surrounding
+    lat: float
+    lon: float
+
+
+@dataclass(frozen=True)
+class Antenna:
+    """One indoor cellular antenna as exposed by the operator's metadata.
+
+    The ``archetype`` field is the generator's latent ground truth; the
+    analysis pipeline must not read it (it is used only for evaluation and
+    label alignment).
+    """
+
+    antenna_id: int
+    name: str
+    site_id: int
+    env_type: EnvironmentType
+    city: str
+    is_paris: bool
+    surrounding: Surrounding
+    lat: float
+    lon: float
+    archetype: Archetype
+    technology: str = "4G"
+
+
+def _city_scatter(
+    rng: np.random.Generator, city: str, spread_km: float = 8.0
+) -> Tuple[float, float]:
+    """Random position within ``spread_km`` of a city centre."""
+    lat0, lon0 = CITY_COORDS[city]
+    dlat = rng.normal(0.0, spread_km / 3.0) * DEG_PER_KM_LAT
+    dlon = rng.normal(0.0, spread_km / 3.0) * DEG_PER_KM_LAT / np.cos(np.radians(lat0))
+    return lat0 + dlat, lon0 + dlon
+
+
+def _pick_city(
+    rng: np.random.Generator, spec: EnvironmentSpec
+) -> Tuple[str, bool]:
+    """Choose a deployment city for one site of the given environment."""
+    if rng.random() < spec.paris_fraction:
+        return "Paris", True
+    if spec.env_type == EnvironmentType.METRO:
+        # Only the four non-capital metro cities have undergrounds.
+        candidates = [c for c in METRO_CITIES if c != "Paris"]
+    else:
+        candidates = list(PROVINCIAL_CITIES)
+    return str(candidates[int(rng.integers(len(candidates)))]), False
+
+
+def _pick_surrounding(
+    rng: np.random.Generator, spec: EnvironmentSpec
+) -> Surrounding:
+    choices = (Surrounding.URBAN, Surrounding.SUBURBAN, Surrounding.RURAL)
+    probs = np.array(spec.surrounding_weights, dtype=float)
+    return choices[int(rng.choice(3, p=probs))]
+
+
+def _site_name(
+    rng: np.random.Generator, spec: EnvironmentSpec, city: str, site_number: int
+) -> str:
+    """Generate a BS-style site name embedding an environment keyword."""
+    keywords = NAME_KEYWORDS[spec.env_type]
+    keyword = keywords[int(rng.integers(len(keywords)))]
+    return f"{city.upper()}-{keyword}-{site_number:04d}"
+
+
+def generate_layout(
+    master_seed: int = 0,
+    specs: Optional[Sequence[EnvironmentSpec]] = None,
+    assignment: Optional[Dict[Tuple[EnvironmentType, bool], AssignmentRule]] = None,
+    five_g_fraction: float = 0.04,
+) -> Tuple[List[Site], List[Antenna]]:
+    """Generate the nationwide indoor deployment.
+
+    Produces sites and antennas with Table 1 environment counts (or the
+    supplied ``specs``), realistic names, city placement, and latent
+    archetype assignments.
+
+    Args:
+        master_seed: seed for all layout randomness.
+        specs: per-environment deployment specs (defaults to Table 1).
+        assignment: archetype assignment rules (defaults per archetypes.py).
+        five_g_fraction: fraction of antennas flagged 5G (the paper notes
+            the vast majority of ICN antennas are 4G).
+
+    Returns:
+        ``(sites, antennas)`` with globally unique ids; antennas of the
+        same site are contiguous in the returned list.
+    """
+    if not 0.0 <= five_g_fraction <= 1.0:
+        raise ValueError(f"five_g_fraction must be in [0, 1], got {five_g_fraction}")
+    specs = tuple(default_specs() if specs is None else specs)
+    sites: List[Site] = []
+    antennas: List[Antenna] = []
+    for spec in specs:
+        rng = derive_rng(master_seed, "layout", spec.env_type.value)
+        remaining = spec.count
+        site_number = 0
+        while remaining > 0:
+            site_number += 1
+            low, high = spec.antennas_per_site
+            n_antennas = int(min(remaining, rng.integers(low, high + 1)))
+            city, is_paris = _pick_city(rng, spec)
+            surrounding = _pick_surrounding(rng, spec)
+            lat, lon = _city_scatter(rng, city)
+            site = Site(
+                site_id=len(sites),
+                name=_site_name(rng, spec, city, site_number),
+                env_type=spec.env_type,
+                city=city,
+                is_paris=is_paris,
+                surrounding=surrounding,
+                lat=lat,
+                lon=lon,
+            )
+            sites.append(site)
+            for k in range(n_antennas):
+                archetype = assign_archetype(
+                    spec.env_type, is_paris, rng, assignment=assignment
+                )
+                technology = "5G" if rng.random() < five_g_fraction else "4G"
+                antennas.append(
+                    Antenna(
+                        antenna_id=len(antennas),
+                        name=f"{site.name}-ANT{k + 1:02d}",
+                        site_id=site.site_id,
+                        env_type=spec.env_type,
+                        city=city,
+                        is_paris=is_paris,
+                        surrounding=surrounding,
+                        lat=lat + rng.normal(0.0, 0.05 * DEG_PER_KM_LAT),
+                        lon=lon + rng.normal(0.0, 0.05 * DEG_PER_KM_LAT),
+                        archetype=archetype,
+                        technology=technology,
+                    )
+                )
+            remaining -= n_antennas
+    # Re-number antennas to be stable and contiguous (0..N-1).
+    antennas = [
+        Antenna(
+            antenna_id=i,
+            name=a.name,
+            site_id=a.site_id,
+            env_type=a.env_type,
+            city=a.city,
+            is_paris=a.is_paris,
+            surrounding=a.surrounding,
+            lat=a.lat,
+            lon=a.lon,
+            archetype=a.archetype,
+            technology=a.technology,
+        )
+        for i, a in enumerate(antennas)
+    ]
+    return sites, antennas

@@ -1,0 +1,427 @@
+"""Latent service-usage archetypes.
+
+The paper discovers nine clusters of indoor antennas (k = 9) organized in
+three dendrogram groups.  The synthetic generator plants nine latent
+*archetypes* — numbered to match the paper's cluster indices — whose
+service-mix multipliers encode the qualitative SHAP findings of Section
+5.1.2, and assigns each antenna an archetype from a distribution
+conditioned on its environment type and city (Section 5.2.2).  The
+clustering pipeline never sees the archetype; recovering it is the
+reproduction target.
+
+Paper cluster -> archetype summary:
+
+========  =======================  ==========================================
+Cluster   Dendrogram group         Character
+========  =======================  ==========================================
+0         orange                   Paris commuters; music + navigation +
+                                   entertainment over-use
+4         orange                   Paris commuters; music + navigation but
+                                   entertainment/shopping/sports under-use
+7         orange                   non-capital metro commuters; music but
+                                   navigation (Mappy, transport sites) under
+5         green                    uniform/moderate usage; most services
+                                   under-utilized relative to the network
+6         green                    non-Paris stadiums; Snapchat/Twitter/
+                                   sports; Giphy/WhatsApp/Canal+ absent
+8         green                    Paris stadiums; Snapchat/Twitter/sports
+                                   plus Giphy, WhatsApp, Canal+
+1         red                      general use; streaming (Netflix, Disney+,
+                                   Prime), Waze, mail
+2         red                      retail/hotels/hospitals; Play Store and
+                                   shopping
+3         red                      offices; Teams, LinkedIn, email
+========  =======================  ==========================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.datagen.environments import EnvironmentType
+from repro.datagen.services import ServiceCatalog, ServiceCategory
+
+
+class Archetype(enum.IntEnum):
+    """Latent usage archetypes, numbered like the paper's clusters."""
+
+    PARIS_COMMUTER_ENTERTAINMENT = 0
+    GENERAL_USE = 1
+    RETAIL_HOSPITALITY = 2
+    OFFICE = 3
+    PARIS_COMMUTER_LEAN = 4
+    UNIFORM_MODERATE = 5
+    PROVINCIAL_STADIUM = 6
+    PROVINCIAL_COMMUTER = 7
+    PARIS_STADIUM = 8
+
+
+#: Dendrogram groups of Figure 3.
+ORANGE_GROUP = (
+    Archetype.PARIS_COMMUTER_ENTERTAINMENT,
+    Archetype.PARIS_COMMUTER_LEAN,
+    Archetype.PROVINCIAL_COMMUTER,
+)
+GREEN_GROUP = (
+    Archetype.UNIFORM_MODERATE,
+    Archetype.PROVINCIAL_STADIUM,
+    Archetype.PARIS_STADIUM,
+)
+RED_GROUP = (
+    Archetype.GENERAL_USE,
+    Archetype.RETAIL_HOSPITALITY,
+    Archetype.OFFICE,
+)
+
+GROUP_OF: Dict[Archetype, str] = {}
+for _arch in ORANGE_GROUP:
+    GROUP_OF[_arch] = "orange"
+for _arch in GREEN_GROUP:
+    GROUP_OF[_arch] = "green"
+for _arch in RED_GROUP:
+    GROUP_OF[_arch] = "red"
+
+
+@dataclass(frozen=True)
+class ArchetypeProfile:
+    """Service-mix recipe for one archetype.
+
+    The service share vector of an antenna with this archetype is::
+
+        share_j  ∝  popularity_j ** (1 - flatten)
+                    * category_multipliers[category_j]
+                    * service_multipliers[name_j]
+                    * noise_j
+
+    Attributes:
+        archetype: which archetype this profile realizes.
+        category_multipliers: per-category over/under-use factors.
+        service_multipliers: per-service overrides (applied on top of the
+            category factor).
+        flatten: 0 keeps the global popularity mix; 1 makes all services
+            equally likely (the paper's cluster 5 "services treated
+            equally" behaviour).
+    """
+
+    archetype: Archetype
+    category_multipliers: Mapping[ServiceCategory, float] = field(default_factory=dict)
+    service_multipliers: Mapping[str, float] = field(default_factory=dict)
+    flatten: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.flatten <= 1.0:
+            raise ValueError(f"flatten must be in [0, 1], got {self.flatten}")
+        for key, mult in {**self.category_multipliers}.items():
+            if mult <= 0:
+                raise ValueError(f"multiplier for {key} must be positive, got {mult}")
+        for key, mult in {**self.service_multipliers}.items():
+            if mult <= 0:
+                raise ValueError(f"multiplier for {key!r} must be positive, got {mult}")
+
+    def service_weights(self, catalog: ServiceCatalog) -> np.ndarray:
+        """Expected (noise-free) service share vector over ``catalog``.
+
+        Returns a length-M vector of positive weights normalized to sum 1.
+        """
+        popularity = catalog.popularity_weights()
+        weights = popularity ** (1.0 - self.flatten)
+        for j, svc in enumerate(catalog):
+            factor = self.category_multipliers.get(svc.category, 1.0)
+            factor *= self.service_multipliers.get(svc.name, 1.0)
+            weights[j] *= factor
+        return weights / weights.sum()
+
+
+_C = ServiceCategory
+
+#: Default archetype profiles, encoding the paper's per-cluster SHAP
+#: narratives (Section 5.1.2).
+DEFAULT_PROFILES: Dict[Archetype, ArchetypeProfile] = {
+    Archetype.PARIS_COMMUTER_ENTERTAINMENT: ArchetypeProfile(
+        Archetype.PARIS_COMMUTER_ENTERTAINMENT,
+        category_multipliers={
+            _C.MUSIC: 4.0,
+            _C.NAVIGATION: 3.2,
+            _C.ENTERTAINMENT: 2.2,
+            _C.NEWS: 2.0,
+            _C.SHOPPING: 1.4,
+            _C.SPORTS: 1.3,
+            _C.VIDEO_STREAMING: 0.6,
+            _C.BUSINESS: 0.5,
+        },
+        service_multipliers={"Twitter": 1.2, "Waze": 0.4, "Netflix": 0.5},
+    ),
+    Archetype.PARIS_COMMUTER_LEAN: ArchetypeProfile(
+        Archetype.PARIS_COMMUTER_LEAN,
+        category_multipliers={
+            _C.MUSIC: 4.0,
+            _C.NAVIGATION: 3.2,
+            _C.ENTERTAINMENT: 0.8,
+            _C.SHOPPING: 0.7,
+            _C.SPORTS: 0.7,
+            _C.NEWS: 1.8,
+            _C.VIDEO_STREAMING: 0.6,
+            _C.BUSINESS: 0.5,
+        },
+        service_multipliers={"Twitter": 0.85, "Yahoo": 0.45, "Waze": 0.4},
+    ),
+    Archetype.PROVINCIAL_COMMUTER: ArchetypeProfile(
+        Archetype.PROVINCIAL_COMMUTER,
+        category_multipliers={
+            _C.MUSIC: 3.2,
+            _C.ENTERTAINMENT: 1.4,
+            _C.NEWS: 1.5,
+            _C.VIDEO_STREAMING: 0.7,
+            _C.BUSINESS: 0.6,
+        },
+        service_multipliers={
+            # Under-use of the navigation services metropolitan commuters
+            # depend on (Section 5.2.2's Mappy / transport-website remark).
+            "Mappy": 0.25,
+            "Transportation Websites": 0.25,
+            "Google Maps": 1.1,
+            "Twitter": 1.2,
+            "Waze": 0.5,
+        },
+    ),
+    Archetype.UNIFORM_MODERATE: ArchetypeProfile(
+        Archetype.UNIFORM_MODERATE,
+        category_multipliers={
+            # Shares the green group's mild suppression of mainstream
+            # categories while treating services near-equally (flatten).
+            _C.MUSIC: 0.6,
+            _C.NAVIGATION: 0.7,
+            _C.VIDEO_STREAMING: 0.7,
+            _C.BUSINESS: 0.6,
+            _C.EMAIL: 0.7,
+            _C.CLOUD: 0.7,
+            _C.SOCIAL: 1.4,
+            _C.SPORTS: 2.0,
+        },
+        flatten=0.45,
+    ),
+    Archetype.PROVINCIAL_STADIUM: ArchetypeProfile(
+        Archetype.PROVINCIAL_STADIUM,
+        category_multipliers={
+            _C.SPORTS: 4.0,
+            _C.MUSIC: 0.45,
+            _C.NAVIGATION: 0.6,
+            _C.VIDEO_STREAMING: 0.4,
+            _C.BUSINESS: 0.45,
+            _C.EMAIL: 0.55,
+            _C.SHOPPING: 0.55,
+            _C.CLOUD: 0.55,
+        },
+        service_multipliers={
+            "Snapchat": 3.4,
+            "Twitter": 3.8,
+            "Giphy": 0.15,
+            "WhatsApp": 0.4,
+            "Canal+": 0.15,
+            "Waze": 1.6,
+        },
+    ),
+    Archetype.PARIS_STADIUM: ArchetypeProfile(
+        Archetype.PARIS_STADIUM,
+        category_multipliers={
+            _C.SPORTS: 4.5,
+            _C.MUSIC: 0.5,
+            _C.NAVIGATION: 0.7,
+            _C.VIDEO_STREAMING: 0.4,
+            _C.BUSINESS: 0.5,
+            _C.SHOPPING: 0.6,
+        },
+        service_multipliers={
+            "Snapchat": 3.7,
+            "Twitter": 3.8,
+            "Giphy": 3.0,
+            "WhatsApp": 2.0,
+            "Canal+": 2.0,
+            "Waze": 1.4,
+        },
+    ),
+    Archetype.GENERAL_USE: ArchetypeProfile(
+        Archetype.GENERAL_USE,
+        category_multipliers={
+            _C.EMAIL: 1.6,
+            _C.MESSAGING: 1.3,
+            _C.MUSIC: 0.5,
+            _C.SPORTS: 0.6,
+        },
+        service_multipliers={
+            "Netflix": 1.8,
+            "Disney+": 1.8,
+            "Amazon Prime Video": 1.8,
+            "Waze": 2.6,
+            "Uber": 1.5,
+            "Mappy": 0.5,
+            "Transportation Websites": 0.5,
+            "Twitter": 0.6,
+            "Snapchat": 0.6,
+        },
+    ),
+    Archetype.RETAIL_HOSPITALITY: ArchetypeProfile(
+        Archetype.RETAIL_HOSPITALITY,
+        category_multipliers={
+            _C.SHOPPING: 2.6,
+            _C.MUSIC: 0.4,
+            _C.NAVIGATION: 0.45,
+            _C.BUSINESS: 0.5,
+            _C.SPORTS: 0.5,
+            _C.EMAIL: 1.2,
+            _C.MESSAGING: 1.1,
+        },
+        service_multipliers={
+            "Google Play Store": 4.5,
+            "Shopping Websites": 3.4,
+            "Netflix": 1.5,
+            "Waze": 0.6,
+        },
+    ),
+    Archetype.OFFICE: ArchetypeProfile(
+        Archetype.OFFICE,
+        category_multipliers={
+            _C.BUSINESS: 2.8,
+            _C.EMAIL: 2.0,
+            _C.CLOUD: 1.5,
+            _C.MUSIC: 0.4,
+            _C.NAVIGATION: 0.5,
+            _C.VIDEO_STREAMING: 0.5,
+            _C.SOCIAL: 0.65,
+            _C.SPORTS: 0.5,
+            _C.GAMING: 0.45,
+        },
+        service_multipliers={
+            "Microsoft Teams": 1.6,
+            "LinkedIn": 1.4,
+            "Waze": 0.7,
+        },
+    ),
+}
+
+
+@dataclass(frozen=True)
+class AssignmentRule:
+    """Archetype distribution for antennas of one (environment, city) class."""
+
+    weights: Mapping[Archetype, float]
+
+    def __post_init__(self) -> None:
+        total = sum(self.weights.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"assignment weights must sum to 1, got {total}")
+        if any(w < 0 for w in self.weights.values()):
+            raise ValueError("assignment weights must be non-negative")
+
+    def sample(self, rng: np.random.Generator) -> Archetype:
+        """Draw one archetype from the rule's distribution."""
+        archetypes = list(self.weights)
+        probs = np.array([self.weights[a] for a in archetypes], dtype=float)
+        return archetypes[int(rng.choice(len(archetypes), p=probs))]
+
+
+_A = Archetype
+
+#: Environment/city -> archetype distribution.  Keys are
+#: ``(EnvironmentType, is_paris)``.  Calibrated so cluster compositions
+#: reproduce Figures 6-8 (see DESIGN.md section 4 shape criteria).
+DEFAULT_ASSIGNMENT: Dict[Tuple[EnvironmentType, bool], AssignmentRule] = {
+    (EnvironmentType.METRO, True): AssignmentRule(
+        {_A.PARIS_COMMUTER_ENTERTAINMENT: 0.55, _A.PARIS_COMMUTER_LEAN: 0.45}
+    ),
+    (EnvironmentType.METRO, False): AssignmentRule({_A.PROVINCIAL_COMMUTER: 1.0}),
+    (EnvironmentType.TRAIN, True): AssignmentRule(
+        {_A.PARIS_COMMUTER_ENTERTAINMENT: 0.50, _A.PARIS_COMMUTER_LEAN: 0.50}
+    ),
+    (EnvironmentType.TRAIN, False): AssignmentRule(
+        {_A.PARIS_COMMUTER_ENTERTAINMENT: 0.35, _A.PARIS_COMMUTER_LEAN: 0.65}
+    ),
+    (EnvironmentType.AIRPORT, True): AssignmentRule(
+        {_A.GENERAL_USE: 0.97, _A.RETAIL_HOSPITALITY: 0.03}
+    ),
+    (EnvironmentType.AIRPORT, False): AssignmentRule(
+        {_A.GENERAL_USE: 0.97, _A.RETAIL_HOSPITALITY: 0.03}
+    ),
+    (EnvironmentType.TUNNEL, True): AssignmentRule(
+        {_A.GENERAL_USE: 0.97, _A.UNIFORM_MODERATE: 0.03}
+    ),
+    (EnvironmentType.TUNNEL, False): AssignmentRule(
+        {_A.GENERAL_USE: 0.97, _A.UNIFORM_MODERATE: 0.03}
+    ),
+    (EnvironmentType.WORKSPACE, True): AssignmentRule(
+        {_A.OFFICE: 0.82, _A.UNIFORM_MODERATE: 0.05, _A.GENERAL_USE: 0.07,
+         _A.RETAIL_HOSPITALITY: 0.06}
+    ),
+    (EnvironmentType.WORKSPACE, False): AssignmentRule(
+        {_A.OFFICE: 0.75, _A.UNIFORM_MODERATE: 0.08, _A.GENERAL_USE: 0.09,
+         _A.RETAIL_HOSPITALITY: 0.08}
+    ),
+    (EnvironmentType.COMMERCIAL, True): AssignmentRule(
+        {_A.RETAIL_HOSPITALITY: 0.50, _A.GENERAL_USE: 0.45, _A.UNIFORM_MODERATE: 0.05}
+    ),
+    (EnvironmentType.COMMERCIAL, False): AssignmentRule(
+        {_A.RETAIL_HOSPITALITY: 0.50, _A.GENERAL_USE: 0.45, _A.UNIFORM_MODERATE: 0.05}
+    ),
+    (EnvironmentType.STADIUM, True): AssignmentRule(
+        {_A.PARIS_STADIUM: 0.62, _A.UNIFORM_MODERATE: 0.28, _A.GENERAL_USE: 0.10}
+    ),
+    (EnvironmentType.STADIUM, False): AssignmentRule(
+        {_A.PROVINCIAL_STADIUM: 0.68, _A.PARIS_STADIUM: 0.20, _A.UNIFORM_MODERATE: 0.12}
+    ),
+    (EnvironmentType.EXPO, True): AssignmentRule(
+        {_A.OFFICE: 0.52, _A.UNIFORM_MODERATE: 0.25, _A.PARIS_STADIUM: 0.13,
+         _A.GENERAL_USE: 0.10}
+    ),
+    (EnvironmentType.EXPO, False): AssignmentRule(
+        {_A.OFFICE: 0.52, _A.UNIFORM_MODERATE: 0.28, _A.PARIS_STADIUM: 0.10,
+         _A.GENERAL_USE: 0.10}
+    ),
+    (EnvironmentType.HOTEL, True): AssignmentRule(
+        {_A.RETAIL_HOSPITALITY: 0.80, _A.GENERAL_USE: 0.20}
+    ),
+    (EnvironmentType.HOTEL, False): AssignmentRule(
+        {_A.RETAIL_HOSPITALITY: 0.80, _A.GENERAL_USE: 0.20}
+    ),
+    (EnvironmentType.HOSPITAL, True): AssignmentRule(
+        {_A.RETAIL_HOSPITALITY: 0.95, _A.GENERAL_USE: 0.05}
+    ),
+    (EnvironmentType.HOSPITAL, False): AssignmentRule(
+        {_A.RETAIL_HOSPITALITY: 0.95, _A.GENERAL_USE: 0.05}
+    ),
+    (EnvironmentType.PUBLIC, True): AssignmentRule(
+        {_A.RETAIL_HOSPITALITY: 0.65, _A.GENERAL_USE: 0.35}
+    ),
+    (EnvironmentType.PUBLIC, False): AssignmentRule(
+        {_A.RETAIL_HOSPITALITY: 0.65, _A.GENERAL_USE: 0.35}
+    ),
+}
+
+
+def assign_archetype(
+    env_type: EnvironmentType,
+    is_paris: bool,
+    rng: np.random.Generator,
+    assignment: Optional[Mapping[Tuple[EnvironmentType, bool], AssignmentRule]] = None,
+) -> Archetype:
+    """Sample the latent archetype for an antenna.
+
+    Args:
+        env_type: the antenna's indoor environment type.
+        is_paris: whether the antenna is in metropolitan Paris.
+        rng: generator for the draw.
+        assignment: optional override of :data:`DEFAULT_ASSIGNMENT`.
+    """
+    rules = DEFAULT_ASSIGNMENT if assignment is None else assignment
+    key = (env_type, is_paris)
+    if key not in rules:
+        raise KeyError(f"no assignment rule for {key!r}")
+    return rules[key].sample(rng)
+
+
+def default_profiles() -> Dict[Archetype, ArchetypeProfile]:
+    """Return the default archetype profiles (a fresh shallow copy)."""
+    return dict(DEFAULT_PROFILES)

@@ -1,0 +1,227 @@
+"""Study-period calendar: hour grid, weekends, strike day, special events.
+
+The paper's measurements span 2022-11-21 through 2023-01-24 (Section 3);
+the temporal analysis of Section 6 focuses on the 2023-01-04 .. 2023-01-24
+window, and calls out two anchor events: the national general strike of
+19 January 2023 (suppressing commuter traffic, most severely in Paris)
+and the NBA Paris Game at the Accor Arena that same evening, plus the
+4-day Sirha Lyon fair (19-24 January) at Eurexpo Lyon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: Inclusive study period bounds (paper Section 3).
+STUDY_START = np.datetime64("2022-11-21T00", "h")
+STUDY_END = np.datetime64("2023-01-24T23", "h")
+
+#: Temporal-analysis window of Figures 10 and 11 (Section 6).
+TEMPORAL_WINDOW_START = np.datetime64("2023-01-04T00", "h")
+TEMPORAL_WINDOW_END = np.datetime64("2023-01-24T23", "h")
+
+#: The national general strike day (Section 6.0.1).
+STRIKE_DAY = np.datetime64("2023-01-19")
+
+#: NBA Paris Game: evening of 19 January 2023 (Section 6.0.1).
+NBA_EVENT_HOURS: Tuple[np.datetime64, np.datetime64] = (
+    np.datetime64("2023-01-19T18", "h"),
+    np.datetime64("2023-01-19T23", "h"),
+)
+
+#: Sirha Lyon fair: 19-24 January 2023, daytime (Section 6.0.1).
+SIRHA_DAYS: Tuple[np.datetime64, np.datetime64] = (
+    np.datetime64("2023-01-19"),
+    np.datetime64("2023-01-24"),
+)
+
+
+@dataclass(frozen=True)
+class StudyCalendar:
+    """Hourly grid over a study period, with date/hour decompositions.
+
+    The default calendar covers the paper's full two-month collection
+    period at one-hour resolution (1,560 hours).
+    """
+
+    start: np.datetime64 = STUDY_START
+    end: np.datetime64 = STUDY_END
+
+    def __post_init__(self) -> None:
+        start = np.datetime64(self.start, "h")
+        end = np.datetime64(self.end, "h")
+        if end < start:
+            raise ValueError(f"calendar end {end} precedes start {start}")
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "end", end)
+
+    @property
+    def hours(self) -> np.ndarray:
+        """The hour grid as ``datetime64[h]``, inclusive of both ends."""
+        return np.arange(self.start, self.end + np.timedelta64(1, "h"))
+
+    @property
+    def n_hours(self) -> int:
+        """Number of hourly samples in the calendar."""
+        return int((self.end - self.start) / np.timedelta64(1, "h")) + 1
+
+    def hour_of_day(self) -> np.ndarray:
+        """Hour-of-day (0..23) for every grid point."""
+        hours = self.hours
+        days = hours.astype("datetime64[D]")
+        return ((hours - days) / np.timedelta64(1, "h")).astype(int)
+
+    def dates(self) -> np.ndarray:
+        """Calendar date (``datetime64[D]``) for every grid point."""
+        return self.hours.astype("datetime64[D]")
+
+    def day_of_week(self) -> np.ndarray:
+        """ISO day of week (0=Monday .. 6=Sunday) for every grid point."""
+        # 1970-01-01 was a Thursday (ISO index 3).
+        days = self.dates().astype("datetime64[D]").view("int64")
+        return ((days + 3) % 7).astype(int)
+
+    def is_weekend(self) -> np.ndarray:
+        """Boolean mask of Saturday/Sunday hours."""
+        return self.day_of_week() >= 5
+
+    def is_strike_day(self) -> np.ndarray:
+        """Boolean mask of hours on the 19 January 2023 strike day."""
+        return self.dates() == STRIKE_DAY
+
+    def index_of(self, when: np.datetime64) -> int:
+        """Index of ``when`` (truncated to the hour) in the hour grid."""
+        when = np.datetime64(when, "h")
+        if when < self.start or when > self.end:
+            raise ValueError(f"{when} outside calendar [{self.start}, {self.end}]")
+        return int((when - self.start) / np.timedelta64(1, "h"))
+
+    def window(
+        self,
+        start: Optional[np.datetime64] = None,
+        end: Optional[np.datetime64] = None,
+    ) -> slice:
+        """Slice of the hour grid covering [start, end] (inclusive)."""
+        lo = self.index_of(start) if start is not None else 0
+        hi = self.index_of(end) if end is not None else self.n_hours - 1
+        if hi < lo:
+            raise ValueError(f"window end {end} precedes start {start}")
+        return slice(lo, hi + 1)
+
+    def temporal_window(self) -> slice:
+        """Slice covering the Fig. 10/11 analysis window (04-24 Jan 2023)."""
+        start = max(TEMPORAL_WINDOW_START, self.start)
+        end = min(TEMPORAL_WINDOW_END, self.end)
+        return self.window(start, end)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One venue event: a contiguous burst of on-premises subscribers."""
+
+    start: np.datetime64
+    end: np.datetime64
+    intensity: float = 10.0
+
+    def __post_init__(self) -> None:
+        start = np.datetime64(self.start, "h")
+        end = np.datetime64(self.end, "h")
+        if end < start:
+            raise ValueError(f"event end {end} precedes start {start}")
+        if self.intensity <= 0:
+            raise ValueError(f"event intensity must be positive, got {self.intensity}")
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "end", end)
+
+    def mask(self, calendar: StudyCalendar) -> np.ndarray:
+        """Boolean mask over the calendar's hour grid covered by the event."""
+        hours = calendar.hours
+        return (hours >= self.start) & (hours <= self.end)
+
+
+def match_days(calendar: StudyCalendar) -> np.ndarray:
+    """The league-style match days of the study period.
+
+    Professional fixtures synchronize venues nationwide: matches fall on
+    Saturdays and Sundays plus mid-week Wednesday rounds.  Sharing this
+    fixture calendar across stadium sites is what makes event bursts
+    survive the cross-antenna median of Fig. 10.
+    """
+    dates = np.unique(calendar.dates())
+    days = dates.astype("datetime64[D]").view("int64")
+    day_of_week = (days + 3) % 7  # 0 = Monday
+    mask = (day_of_week == 2) | (day_of_week >= 5)  # Wed, Sat, Sun
+    return dates[mask]
+
+
+def random_stadium_events(
+    calendar: StudyCalendar,
+    rng: np.random.Generator,
+    attendance_probability: float = 0.75,
+) -> List[Event]:
+    """Sample a match schedule from the shared fixture calendar.
+
+    Each venue hosts an evening event on each nationwide match day with
+    probability ``attendance_probability``, so most stadiums burst on the
+    same evenings (the condition for the median heatmap of Fig. 10 to show
+    the bursts the paper reports).
+    """
+    if not 0.0 < attendance_probability <= 1.0:
+        raise ValueError(
+            f"attendance_probability must be in (0, 1], got {attendance_probability}"
+        )
+    events = []
+    for day in match_days(calendar):
+        if rng.random() > attendance_probability:
+            continue
+        start = np.datetime64(day, "h") + np.timedelta64(int(rng.integers(19, 21)), "h")
+        duration = int(rng.integers(3, 4))
+        end = min(start + np.timedelta64(duration, "h"), calendar.end)
+        if start > calendar.end:
+            continue
+        events.append(Event(start, end, intensity=float(rng.uniform(8.0, 16.0))))
+    return events
+
+
+def random_expo_events(
+    calendar: StudyCalendar, rng: np.random.Generator, fairs_per_month: float = 1.0
+) -> List[Event]:
+    """Sample multi-day daytime fairs (expo centers host 2-5 day events)."""
+    if fairs_per_month <= 0:
+        raise ValueError(f"fairs_per_month must be positive, got {fairs_per_month}")
+    dates = np.unique(calendar.dates())
+    n_fairs = max(1, int(round(fairs_per_month * dates.size / 30.0)))
+    chosen = rng.choice(dates.size, size=min(n_fairs, dates.size), replace=False)
+    events = []
+    for day_idx in sorted(chosen):
+        day = dates[day_idx]
+        n_days = int(rng.integers(2, 6))
+        for offset in range(n_days):
+            event_day = day + np.timedelta64(offset, "D")
+            start = np.datetime64(event_day, "h") + np.timedelta64(9, "h")
+            end = np.datetime64(event_day, "h") + np.timedelta64(19, "h")
+            if start > calendar.end:
+                break
+            events.append(Event(start, min(end, calendar.end),
+                                intensity=float(rng.uniform(5.0, 10.0))))
+    return events
+
+
+def nba_paris_event() -> Event:
+    """The 19 January 2023 NBA Paris Game burst (paper Section 6.0.1)."""
+    return Event(NBA_EVENT_HOURS[0], NBA_EVENT_HOURS[1], intensity=20.0)
+
+
+def sirha_lyon_events() -> List[Event]:
+    """The 19-24 January 2023 Sirha Lyon fair bursts (Section 6.0.1)."""
+    events = []
+    day = SIRHA_DAYS[0]
+    while day <= SIRHA_DAYS[1]:
+        start = np.datetime64(day, "h") + np.timedelta64(9, "h")
+        end = np.datetime64(day, "h") + np.timedelta64(19, "h")
+        events.append(Event(start, end, intensity=9.0))
+        day = day + np.timedelta64(1, "D")
+    return events

@@ -1,0 +1,101 @@
+"""Custom service catalogs from JSON.
+
+Every operator's DPI classifier has its own service list; to run the
+pipeline on real data the catalog must be swappable.  This module
+(de)serializes :class:`~repro.datagen.services.ServiceCatalog` to a plain
+JSON schema with validation, so a catalog can be authored by hand or
+exported from another system.
+
+Schema (one object per service)::
+
+    [
+      {"name": "Netflix", "category": "video_streaming",
+       "popularity": 7.0, "temporal_class": "evening",
+       "downlink_fraction": 0.97},
+      ...
+    ]
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+from repro.datagen.services import (
+    Service,
+    ServiceCatalog,
+    ServiceCategory,
+    TemporalClass,
+)
+
+#: Required keys of one service entry.
+REQUIRED_KEYS = ("name", "category", "popularity", "temporal_class")
+
+
+def catalog_to_json(catalog: ServiceCatalog) -> str:
+    """Serialize a catalog to its JSON text form."""
+    entries = [
+        {
+            "name": svc.name,
+            "category": svc.category.value,
+            "popularity": svc.popularity,
+            "temporal_class": svc.temporal_class.value,
+            "downlink_fraction": svc.downlink_fraction,
+        }
+        for svc in catalog
+    ]
+    return json.dumps(entries, indent=2)
+
+
+def catalog_from_json(text: str) -> ServiceCatalog:
+    """Parse a catalog from JSON text, validating every entry."""
+    try:
+        entries = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"catalog JSON is malformed: {exc}") from exc
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("catalog JSON must be a non-empty list of services")
+    services: List[Service] = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"entry {index} is not an object")
+        missing = [key for key in REQUIRED_KEYS if key not in entry]
+        if missing:
+            raise ValueError(f"entry {index} lacks keys {missing}")
+        try:
+            category = ServiceCategory(entry["category"])
+        except ValueError:
+            raise ValueError(
+                f"entry {index}: unknown category {entry['category']!r}; "
+                f"valid: {[c.value for c in ServiceCategory]}"
+            ) from None
+        try:
+            temporal_class = TemporalClass(entry["temporal_class"])
+        except ValueError:
+            raise ValueError(
+                f"entry {index}: unknown temporal_class "
+                f"{entry['temporal_class']!r}"
+            ) from None
+        services.append(
+            Service(
+                name=str(entry["name"]),
+                category=category,
+                popularity=float(entry["popularity"]),
+                temporal_class=temporal_class,
+                downlink_fraction=float(
+                    entry.get("downlink_fraction", 0.85)
+                ),
+            )
+        )
+    return ServiceCatalog(services)
+
+
+def save_catalog(catalog: ServiceCatalog, path) -> None:
+    """Write a catalog to a JSON file."""
+    Path(path).write_text(catalog_to_json(catalog))
+
+
+def load_catalog(path) -> ServiceCatalog:
+    """Read a catalog from a JSON file."""
+    return catalog_from_json(Path(path).read_text())

@@ -1,0 +1,164 @@
+"""Indoor environment types (paper Table 1) and deployment geography.
+
+The paper identifies eleven categories of indoor locations by keyword
+extraction from base-station names, with the antenna counts of Table 1.
+This module defines those categories, their counts, their city placement
+(Paris vs non-capital, urban/suburban/rural), and the naming vocabulary
+used to generate realistic BS names that the keyword extractor in
+``repro.analysis.environment`` can parse.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+class EnvironmentType(enum.Enum):
+    """The eleven indoor environment categories of Table 1."""
+
+    METRO = "metro"
+    TRAIN = "train"
+    AIRPORT = "airport"
+    WORKSPACE = "workspace"
+    COMMERCIAL = "commercial"
+    STADIUM = "stadium"
+    EXPO = "expo"
+    HOTEL = "hotel"
+    HOSPITAL = "hospital"
+    TUNNEL = "tunnel"
+    PUBLIC = "public"
+
+
+#: Antenna counts per environment from Table 1 of the paper (N_env).
+TABLE1_COUNTS: Dict[EnvironmentType, int] = {
+    EnvironmentType.METRO: 1794,
+    EnvironmentType.TRAIN: 434,
+    EnvironmentType.AIRPORT: 187,
+    EnvironmentType.WORKSPACE: 774,
+    EnvironmentType.COMMERCIAL: 469,
+    EnvironmentType.STADIUM: 451,
+    EnvironmentType.EXPO: 230,
+    EnvironmentType.HOTEL: 28,
+    EnvironmentType.HOSPITAL: 53,
+    EnvironmentType.TUNNEL: 220,
+    EnvironmentType.PUBLIC: 122,
+}
+
+#: Total number of indoor antennas in the study (Section 3).
+TOTAL_INDOOR_ANTENNAS = 4762
+
+assert sum(TABLE1_COUNTS.values()) == TOTAL_INDOOR_ANTENNAS
+
+
+class Surrounding(enum.Enum):
+    """Outdoor surrounding of a deployment site (Section 3)."""
+
+    URBAN = "urban"
+    SUBURBAN = "suburban"
+    RURAL = "rural"
+
+
+#: Cities with metro systems in the study (Section 5.2.1): Paris plus
+#: four non-capital cities whose metro antennas form the paper's cluster 7.
+METRO_CITIES: Tuple[str, ...] = ("Paris", "Lille", "Lyon", "Rennes", "Toulouse")
+
+#: Non-capital cities used for other environment types.
+PROVINCIAL_CITIES: Tuple[str, ...] = (
+    "Lille",
+    "Lyon",
+    "Rennes",
+    "Toulouse",
+    "Marseille",
+    "Bordeaux",
+    "Nantes",
+    "Strasbourg",
+    "Nice",
+    "Montpellier",
+    "Grenoble",
+    "Dijon",
+)
+
+#: Keywords embedded in generated BS names, per environment type.  The
+#: keyword extractor recognizes these (upper-cased) tokens.
+NAME_KEYWORDS: Dict[EnvironmentType, Tuple[str, ...]] = {
+    EnvironmentType.METRO: ("METRO", "RER"),
+    EnvironmentType.TRAIN: ("GARE", "TGV"),
+    EnvironmentType.AIRPORT: ("AEROPORT", "TERMINAL"),
+    EnvironmentType.WORKSPACE: ("BUREAU", "SIEGE", "USINE", "CAMPUS-ENTREPRISE"),
+    EnvironmentType.COMMERCIAL: ("CENTRE-COMMERCIAL", "MAGASIN", "BOUTIQUE", "GALERIE"),
+    EnvironmentType.STADIUM: ("STADE", "ARENA"),
+    EnvironmentType.EXPO: ("EXPO", "PALAIS-CONGRES", "PARC-EXPOSITIONS"),
+    EnvironmentType.HOTEL: ("HOTEL",),
+    EnvironmentType.HOSPITAL: ("HOPITAL", "CHU", "CLINIQUE"),
+    EnvironmentType.TUNNEL: ("TUNNEL",),
+    EnvironmentType.PUBLIC: ("UNIVERSITE", "MUSEE", "MAIRIE", "PREFECTURE"),
+}
+
+
+@dataclass(frozen=True)
+class EnvironmentSpec:
+    """Deployment parameters for one environment type.
+
+    Attributes:
+        env_type: the environment category.
+        count: number of indoor antennas (Table 1).
+        paris_fraction: fraction of antennas deployed in metropolitan Paris.
+        antennas_per_site: (low, high) range for antennas installed at one
+            site — large venues like stadiums host many antennas.
+        volume_scale: median two-month total traffic per antenna, in MB,
+            controlling the heterogeneous volumes the paper notes.
+        surrounding_weights: probability of (urban, suburban, rural).
+    """
+
+    env_type: EnvironmentType
+    count: int
+    paris_fraction: float
+    antennas_per_site: Tuple[int, int]
+    volume_scale: float
+    surrounding_weights: Tuple[float, float, float] = (0.7, 0.25, 0.05)
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"count must be positive, got {self.count}")
+        if not 0.0 <= self.paris_fraction <= 1.0:
+            raise ValueError(
+                f"paris_fraction must be in [0, 1], got {self.paris_fraction}"
+            )
+        low, high = self.antennas_per_site
+        if not 1 <= low <= high:
+            raise ValueError(f"invalid antennas_per_site range ({low}, {high})")
+        if abs(sum(self.surrounding_weights) - 1.0) > 1e-9:
+            raise ValueError("surrounding_weights must sum to 1")
+
+
+#: Default deployment specs.  Paris fractions follow the paper's remarks
+#: (e.g. >92% of commuter clusters 0/4 in Paris, cluster 2 ~92% outside
+#: Paris, cluster 3 ~70% in Paris).
+DEFAULT_SPECS: Tuple[EnvironmentSpec, ...] = (
+    EnvironmentSpec(EnvironmentType.METRO, 1794, 0.78, (2, 8), 9.0e5),
+    EnvironmentSpec(EnvironmentType.TRAIN, 434, 0.70, (2, 10), 7.0e5),
+    EnvironmentSpec(EnvironmentType.AIRPORT, 187, 0.60, (4, 16), 1.1e6),
+    EnvironmentSpec(EnvironmentType.WORKSPACE, 774, 0.72, (1, 6), 3.0e5),
+    EnvironmentSpec(EnvironmentType.COMMERCIAL, 469, 0.10, (1, 6), 5.0e5),
+    EnvironmentSpec(EnvironmentType.STADIUM, 451, 0.45, (4, 20), 6.0e5),
+    EnvironmentSpec(EnvironmentType.EXPO, 230, 0.55, (2, 12), 4.0e5),
+    EnvironmentSpec(EnvironmentType.HOTEL, 28, 0.40, (1, 3), 2.0e5),
+    EnvironmentSpec(EnvironmentType.HOSPITAL, 53, 0.35, (1, 4), 2.5e5),
+    EnvironmentSpec(EnvironmentType.TUNNEL, 220, 0.40, (1, 4), 3.5e5),
+    EnvironmentSpec(EnvironmentType.PUBLIC, 122, 0.30, (1, 4), 2.0e5),
+)
+
+
+def default_specs() -> Tuple[EnvironmentSpec, ...]:
+    """Return the default per-environment deployment specs."""
+    return DEFAULT_SPECS
+
+
+def spec_for(env_type: EnvironmentType) -> EnvironmentSpec:
+    """Return the default spec for one environment type."""
+    for spec in DEFAULT_SPECS:
+        if spec.env_type == env_type:
+            return spec
+    raise KeyError(f"no default spec for {env_type!r}")

@@ -1,0 +1,103 @@
+"""Named deployment scenarios.
+
+Convenience presets over :func:`repro.datagen.dataset.generate_dataset`:
+the paper-scale deployment, proportionally scaled-down variants for fast
+experimentation, and themed deployments (enterprise-heavy, transit-heavy)
+for what-if studies.  Examples and tests build on these instead of
+hand-rolling spec lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.datagen.dataset import TrafficDataset, generate_dataset
+from repro.datagen.environments import (
+    DEFAULT_SPECS,
+    EnvironmentSpec,
+    EnvironmentType,
+)
+
+
+def scaled_specs(
+    scale: float, minimum_per_environment: int = 6
+) -> Tuple[EnvironmentSpec, ...]:
+    """The Table 1 deployment scaled by ``scale``, all environments kept.
+
+    Args:
+        scale: multiplicative factor on every environment's antenna count.
+        minimum_per_environment: floor so rare environments (hotels: 28
+            antennas at full scale) never vanish.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if minimum_per_environment < 1:
+        raise ValueError(
+            f"minimum_per_environment must be >= 1, "
+            f"got {minimum_per_environment}"
+        )
+    return tuple(
+        EnvironmentSpec(
+            env_type=spec.env_type,
+            count=max(minimum_per_environment, int(round(spec.count * scale))),
+            paris_fraction=spec.paris_fraction,
+            antennas_per_site=spec.antennas_per_site,
+            volume_scale=spec.volume_scale,
+            surrounding_weights=spec.surrounding_weights,
+        )
+        for spec in DEFAULT_SPECS
+    )
+
+
+_ENTERPRISE_SPECS: Tuple[EnvironmentSpec, ...] = (
+    EnvironmentSpec(EnvironmentType.WORKSPACE, 260, 0.55, (2, 8), 3.0e5),
+    EnvironmentSpec(EnvironmentType.HOSPITAL, 60, 0.30, (2, 6), 2.5e5),
+    EnvironmentSpec(EnvironmentType.COMMERCIAL, 50, 0.20, (1, 4), 5.0e5),
+    EnvironmentSpec(EnvironmentType.HOTEL, 30, 0.40, (1, 3), 2.0e5),
+    EnvironmentSpec(EnvironmentType.EXPO, 40, 0.50, (2, 8), 4.0e5),
+    EnvironmentSpec(EnvironmentType.TUNNEL, 20, 0.40, (1, 3), 3.5e5),
+)
+
+_TRANSIT_SPECS: Tuple[EnvironmentSpec, ...] = (
+    EnvironmentSpec(EnvironmentType.METRO, 400, 0.78, (2, 8), 9.0e5),
+    EnvironmentSpec(EnvironmentType.TRAIN, 120, 0.70, (2, 10), 7.0e5),
+    EnvironmentSpec(EnvironmentType.AIRPORT, 60, 0.60, (4, 16), 1.1e6),
+    EnvironmentSpec(EnvironmentType.TUNNEL, 60, 0.40, (1, 4), 3.5e5),
+    EnvironmentSpec(EnvironmentType.COMMERCIAL, 40, 0.10, (1, 6), 5.0e5),
+)
+
+#: Registry of named scenarios: name -> (description, specs-or-None).
+#: ``None`` specs mean the full Table 1 deployment.
+SCENARIOS: Dict[str, Tuple[str, Optional[Tuple[EnvironmentSpec, ...]]]] = {
+    "paper": ("the full Table 1 deployment (4,762 antennas)", None),
+    "small": ("~1/10-scale Table 1 deployment for fast runs",
+              scaled_specs(0.1)),
+    "tiny": ("~1/20-scale deployment for unit tests", scaled_specs(0.05)),
+    "enterprise": ("private-network operator: offices, hospitals, hotels",
+                   _ENTERPRISE_SPECS),
+    "transit": ("transit authority: metro, rail, airports, tunnels",
+                _TRANSIT_SPECS),
+}
+
+
+def available_scenarios() -> Dict[str, str]:
+    """Names and one-line descriptions of the preset scenarios."""
+    return {name: desc for name, (desc, _) in SCENARIOS.items()}
+
+
+def scenario(name: str, master_seed: int = 0, **kwargs) -> TrafficDataset:
+    """Generate a dataset from a named scenario.
+
+    Args:
+        name: one of :func:`available_scenarios`.
+        master_seed: generation seed.
+        **kwargs: forwarded to :func:`generate_dataset` (catalog,
+            calendar, share_noise_sigma).
+    """
+    try:
+        _, specs = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    return generate_dataset(master_seed=master_seed, specs=specs, **kwargs)

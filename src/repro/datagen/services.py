@@ -1,0 +1,249 @@
+"""Mobile service catalog.
+
+The paper analyses M = 73 mobile services spanning "social networking,
+messaging, audio and video streaming, transportation, professional
+activities, and well-being" (Section 3).  The operator's DPI classifier and
+service list are proprietary, so this module defines a synthetic catalog of
+73 services with the same category structure and the services the paper
+names explicitly (Spotify, Mappy, Waze, Microsoft Teams, Google Play
+Store, ...), each with a global popularity weight and a temporal class that
+drives its hour-of-day usage shape.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+class ServiceCategory(enum.Enum):
+    """High-level functional category of a mobile service."""
+
+    MUSIC = "music"
+    NAVIGATION = "navigation"
+    SOCIAL = "social"
+    MESSAGING = "messaging"
+    VIDEO_STREAMING = "video_streaming"
+    BUSINESS = "business"
+    EMAIL = "email"
+    SHOPPING = "shopping"
+    SPORTS = "sports"
+    NEWS = "news"
+    ENTERTAINMENT = "entertainment"
+    GAMING = "gaming"
+    DIGITAL_DISTRIBUTION = "digital_distribution"
+    CLOUD = "cloud"
+    WELLBEING = "wellbeing"
+    WEB = "web"
+
+
+class TemporalClass(enum.Enum):
+    """Hour-of-day usage shape class; drives Fig. 10/11 style patterns."""
+
+    COMMUTE = "commute"  # bimodal morning/evening peaks (music, transport)
+    DAYTIME = "daytime"  # broad 10:00-20:00 plateau (shopping, web)
+    BUSINESS_HOURS = "business_hours"  # 9:00-18:00 weekdays (Teams, email)
+    EVENING = "evening"  # ramps after 18:00 (streaming)
+    NIGHT = "night"  # late evening / night (hotel streaming)
+    EVENT = "event"  # follows venue events (social sharing)
+    POST_EVENT = "post_event"  # lags events by ~2 h (vehicular navigation)
+    FLAT = "flat"  # weakly modulated background
+
+
+@dataclass(frozen=True)
+class Service:
+    """One mobile service as seen by the operator's traffic classifier.
+
+    Attributes:
+        name: display name used in figures (e.g. ``"Spotify"``).
+        category: functional category.
+        popularity: global share of total network traffic (relative weight;
+            the catalog normalizes these to sum to 1).
+        temporal_class: hour-of-day usage shape.
+        downlink_fraction: fraction of the service's traffic on downlink.
+    """
+
+    name: str
+    category: ServiceCategory
+    popularity: float
+    temporal_class: TemporalClass
+    downlink_fraction: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("service name must be non-empty")
+        if self.popularity <= 0:
+            raise ValueError(f"popularity must be positive, got {self.popularity}")
+        if not 0.0 <= self.downlink_fraction <= 1.0:
+            raise ValueError(
+                f"downlink_fraction must be in [0, 1], got {self.downlink_fraction}"
+            )
+
+
+_C = ServiceCategory
+_T = TemporalClass
+
+#: The default 73-service catalog.  Popularity weights are heavy-tailed,
+#: mimicking the paper's Fig. 1 observation that a handful of streaming
+#: services dominate total volume while most services are comparatively
+#: tiny.  Values are relative (normalized by the catalog).
+_DEFAULT_SERVICES: Tuple[Service, ...] = (
+    # Music and audio streaming (5)
+    Service("Spotify", _C.MUSIC, 3.0, _T.COMMUTE, 0.92),
+    Service("SoundCloud", _C.MUSIC, 0.5, _T.COMMUTE, 0.92),
+    Service("Deezer", _C.MUSIC, 1.0, _T.COMMUTE, 0.92),
+    Service("Apple Music", _C.MUSIC, 0.9, _T.COMMUTE, 0.92),
+    Service("YouTube Music", _C.MUSIC, 0.7, _T.COMMUTE, 0.92),
+    # Navigation and transport (4)
+    Service("Google Maps", _C.NAVIGATION, 0.8, _T.COMMUTE, 0.80),
+    Service("Mappy", _C.NAVIGATION, 0.15, _T.COMMUTE, 0.80),
+    Service("Waze", _C.NAVIGATION, 0.6, _T.POST_EVENT, 0.70),
+    Service("Transportation Websites", _C.NAVIGATION, 0.25, _T.COMMUTE, 0.85),
+    # Social networking (7)
+    Service("Facebook", _C.SOCIAL, 4.0, _T.DAYTIME, 0.80),
+    Service("Instagram", _C.SOCIAL, 5.0, _T.DAYTIME, 0.82),
+    Service("Twitter", _C.SOCIAL, 1.5, _T.EVENT, 0.78),
+    Service("Snapchat", _C.SOCIAL, 2.5, _T.EVENT, 0.60),
+    Service("TikTok", _C.SOCIAL, 6.0, _T.DAYTIME, 0.90),
+    Service("Reddit", _C.SOCIAL, 0.5, _T.DAYTIME, 0.85),
+    Service("Giphy", _C.SOCIAL, 0.12, _T.EVENT, 0.90),
+    # Messaging (5)
+    Service("WhatsApp", _C.MESSAGING, 1.8, _T.FLAT, 0.55),
+    Service("Facebook Messenger", _C.MESSAGING, 0.9, _T.FLAT, 0.55),
+    Service("Telegram", _C.MESSAGING, 0.5, _T.FLAT, 0.55),
+    Service("iMessage", _C.MESSAGING, 0.6, _T.FLAT, 0.50),
+    Service("Discord", _C.MESSAGING, 0.4, _T.EVENING, 0.60),
+    # Video streaming (8)
+    Service("YouTube", _C.VIDEO_STREAMING, 9.0, _T.DAYTIME, 0.95),
+    Service("Netflix", _C.VIDEO_STREAMING, 7.0, _T.EVENING, 0.97),
+    Service("Disney+", _C.VIDEO_STREAMING, 1.5, _T.EVENING, 0.97),
+    Service("Amazon Prime Video", _C.VIDEO_STREAMING, 1.8, _T.EVENING, 0.97),
+    Service("Canal+", _C.VIDEO_STREAMING, 0.8, _T.EVENING, 0.97),
+    Service("Twitch", _C.VIDEO_STREAMING, 1.2, _T.EVENING, 0.95),
+    Service("MyTF1", _C.VIDEO_STREAMING, 0.5, _T.EVENING, 0.96),
+    Service("France TV", _C.VIDEO_STREAMING, 0.45, _T.EVENING, 0.96),
+    # Business and professional (5)
+    Service("Microsoft Teams", _C.BUSINESS, 0.9, _T.BUSINESS_HOURS, 0.60),
+    Service("Zoom", _C.BUSINESS, 0.6, _T.BUSINESS_HOURS, 0.55),
+    Service("Slack", _C.BUSINESS, 0.25, _T.BUSINESS_HOURS, 0.60),
+    Service("LinkedIn", _C.BUSINESS, 0.45, _T.BUSINESS_HOURS, 0.80),
+    Service("Microsoft 365", _C.BUSINESS, 0.5, _T.BUSINESS_HOURS, 0.65),
+    # Email (4)
+    Service("Gmail", _C.EMAIL, 0.5, _T.BUSINESS_HOURS, 0.65),
+    Service("Outlook", _C.EMAIL, 0.4, _T.BUSINESS_HOURS, 0.65),
+    Service("Yahoo Mail", _C.EMAIL, 0.12, _T.BUSINESS_HOURS, 0.65),
+    Service("Orange Mail", _C.EMAIL, 0.18, _T.BUSINESS_HOURS, 0.65),
+    # Shopping (6)
+    Service("Amazon", _C.SHOPPING, 0.9, _T.DAYTIME, 0.85),
+    Service("Shopping Websites", _C.SHOPPING, 0.6, _T.DAYTIME, 0.85),
+    Service("Vinted", _C.SHOPPING, 0.45, _T.DAYTIME, 0.85),
+    Service("Leboncoin", _C.SHOPPING, 0.5, _T.DAYTIME, 0.85),
+    Service("AliExpress", _C.SHOPPING, 0.3, _T.DAYTIME, 0.85),
+    Service("Cdiscount", _C.SHOPPING, 0.2, _T.DAYTIME, 0.85),
+    # Sports (3)
+    Service("Sports Websites", _C.SPORTS, 0.4, _T.EVENT, 0.88),
+    Service("L'Equipe", _C.SPORTS, 0.3, _T.EVENT, 0.88),
+    Service("OneFootball", _C.SPORTS, 0.15, _T.EVENT, 0.88),
+    # News (3)
+    Service("News Websites", _C.NEWS, 0.5, _T.COMMUTE, 0.88),
+    Service("Le Monde", _C.NEWS, 0.25, _T.COMMUTE, 0.88),
+    Service("Google News", _C.NEWS, 0.2, _T.COMMUTE, 0.88),
+    # Entertainment (3)
+    Service("Entertainment Websites", _C.ENTERTAINMENT, 0.4, _T.DAYTIME, 0.88),
+    Service("Yahoo", _C.ENTERTAINMENT, 0.3, _T.DAYTIME, 0.85),
+    Service("9GAG", _C.ENTERTAINMENT, 0.1, _T.DAYTIME, 0.90),
+    # Gaming (5)
+    Service("Fortnite", _C.GAMING, 0.6, _T.EVENING, 0.80),
+    Service("Roblox", _C.GAMING, 0.5, _T.EVENING, 0.80),
+    Service("Clash of Clans", _C.GAMING, 0.3, _T.FLAT, 0.70),
+    Service("Candy Crush", _C.GAMING, 0.25, _T.FLAT, 0.70),
+    Service("Pokemon GO", _C.GAMING, 0.3, _T.DAYTIME, 0.65),
+    # Digital distribution (2)
+    Service("Google Play Store", _C.DIGITAL_DISTRIBUTION, 0.8, _T.DAYTIME, 0.97),
+    Service("Apple App Store", _C.DIGITAL_DISTRIBUTION, 0.7, _T.DAYTIME, 0.97),
+    # Cloud storage and sync (4)
+    Service("iCloud", _C.CLOUD, 0.7, _T.NIGHT, 0.45),
+    Service("Google Drive", _C.CLOUD, 0.5, _T.BUSINESS_HOURS, 0.55),
+    Service("Dropbox", _C.CLOUD, 0.2, _T.BUSINESS_HOURS, 0.55),
+    Service("OneDrive", _C.CLOUD, 0.35, _T.BUSINESS_HOURS, 0.55),
+    # Well-being (2)
+    Service("Strava", _C.WELLBEING, 0.2, _T.DAYTIME, 0.60),
+    Service("Doctolib", _C.WELLBEING, 0.15, _T.BUSINESS_HOURS, 0.75),
+    # Generic web and on-demand services (7)
+    Service("Generic Web", _C.WEB, 2.5, _T.DAYTIME, 0.88),
+    Service("Google Search", _C.WEB, 1.2, _T.DAYTIME, 0.88),
+    Service("Wikipedia", _C.WEB, 0.3, _T.DAYTIME, 0.90),
+    Service("Booking", _C.WEB, 0.25, _T.DAYTIME, 0.85),
+    Service("Airbnb", _C.WEB, 0.2, _T.DAYTIME, 0.85),
+    Service("Uber", _C.WEB, 0.3, _T.POST_EVENT, 0.70),
+    Service("Deliveroo", _C.WEB, 0.25, _T.EVENING, 0.80),
+)
+
+
+class ServiceCatalog:
+    """Immutable, indexable collection of :class:`Service` objects.
+
+    Provides name <-> index lookup and normalized popularity weights.  The
+    default catalog has exactly 73 services, matching the paper's M.
+    """
+
+    def __init__(self, services: Sequence[Service] = _DEFAULT_SERVICES) -> None:
+        if len(services) == 0:
+            raise ValueError("catalog must contain at least one service")
+        names = [svc.name for svc in services]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate service names: {dupes}")
+        self._services: Tuple[Service, ...] = tuple(services)
+        self._index: Dict[str, int] = {svc.name: i for i, svc in enumerate(services)}
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __iter__(self):
+        return iter(self._services)
+
+    def __getitem__(self, key) -> Service:
+        if isinstance(key, str):
+            return self._services[self.index_of(key)]
+        return self._services[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def index_of(self, name: str) -> int:
+        """Return the column index of the service called ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown service {name!r}; known services include "
+                f"{sorted(self._index)[:5]}..."
+            ) from None
+
+    @property
+    def names(self) -> List[str]:
+        """Service names in column order."""
+        return [svc.name for svc in self._services]
+
+    @property
+    def categories(self) -> List[ServiceCategory]:
+        """Service categories in column order."""
+        return [svc.category for svc in self._services]
+
+    def popularity_weights(self):
+        """Normalized global popularity weights (sum to 1), column order."""
+        import numpy as np
+
+        weights = np.array([svc.popularity for svc in self._services], dtype=float)
+        return weights / weights.sum()
+
+    def in_category(self, category: ServiceCategory) -> List[int]:
+        """Indices of all services in ``category``."""
+        return [i for i, svc in enumerate(self._services) if svc.category == category]
+
+
+def default_catalog() -> ServiceCatalog:
+    """Return the default 73-service catalog used throughout the library."""
+    return ServiceCatalog()

@@ -1,0 +1,221 @@
+"""Temporal traffic model: occupancy x service-usage shapes.
+
+Hourly traffic of a service at an antenna factorizes as::
+
+    weight(t) = occupancy(archetype, t) * class_shape(temporal_class, hour(t))
+
+``occupancy`` captures when subscribers are on the premises — commute
+peaks for metro/train archetypes, business hours for offices, event bursts
+for venues, diurnal plateaus for commercial locations — including weekend
+and strike-day modulation (paper Section 6).  ``class_shape`` captures
+when during the day a service is used (music at commute time, Netflix in
+the evening, Teams at work).  The ``POST_EVENT`` class (Waze, Uber) lags
+occupancy by two hours, reproducing the paper's observation that vehicular
+navigation peaks a couple of hours after event traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datagen.archetypes import Archetype
+from repro.datagen.calendar import Event, StudyCalendar
+from repro.datagen.services import TemporalClass
+
+
+def _gaussian_bump(center: float, width: float) -> np.ndarray:
+    """A 24-hour circular Gaussian bump used to build hour-of-day shapes."""
+    hours = np.arange(24, dtype=float)
+    delta = np.minimum(np.abs(hours - center), 24.0 - np.abs(hours - center))
+    return np.exp(-0.5 * (delta / width) ** 2)
+
+
+def _normalized(shape: np.ndarray) -> np.ndarray:
+    """Scale a 24-vector so its mean is 1 (keeps totals comparable)."""
+    return shape / shape.mean()
+
+
+#: Hour-of-day occupancy shapes (24-vectors, mean 1).
+_COMMUTER_SHAPE = _normalized(
+    0.05 + 1.8 * _gaussian_bump(8.5, 1.2) + 1.6 * _gaussian_bump(18.5, 1.4)
+    + 0.35 * _gaussian_bump(13.0, 3.0)
+)
+_OFFICE_SHAPE = _normalized(
+    0.04 + 1.5 * _gaussian_bump(10.5, 1.9) + 1.4 * _gaussian_bump(15.0, 1.9)
+    + 0.7 * _gaussian_bump(13.0, 1.0)
+)
+_DAYTIME_SHAPE = _normalized(0.15 + 1.4 * _gaussian_bump(14.0, 4.0))
+_GENERAL_SHAPE = _normalized(
+    0.25 + 1.0 * _gaussian_bump(12.5, 3.5) + 0.9 * _gaussian_bump(19.0, 2.5)
+)
+_VENUE_BASE_SHAPE = _normalized(0.5 + 0.8 * _gaussian_bump(15.0, 5.0))
+_HOSPITALITY_SHAPE = _normalized(
+    0.45 + 1.2 * _gaussian_bump(14.0, 4.0) + 0.8 * _gaussian_bump(21.5, 2.0)
+)
+
+#: Hour-of-day service-usage shapes per temporal class (24-vectors, mean 1).
+_CLASS_SHAPES: Dict[TemporalClass, np.ndarray] = {
+    TemporalClass.COMMUTE: _normalized(
+        0.2 + 1.6 * _gaussian_bump(8.5, 1.5) + 1.3 * _gaussian_bump(18.5, 1.7)
+    ),
+    TemporalClass.DAYTIME: _normalized(0.25 + 1.3 * _gaussian_bump(14.5, 4.0)),
+    TemporalClass.BUSINESS_HOURS: _normalized(
+        0.08 + 1.5 * _gaussian_bump(10.5, 2.0) + 1.3 * _gaussian_bump(15.5, 2.0)
+    ),
+    # Evening streaming keeps a secondary lunch-break bump: in office
+    # environments (early-dying occupancy) it becomes the only visible
+    # peak, reproducing the paper's cluster-3 Netflix lunch pattern.
+    TemporalClass.EVENING: _normalized(
+        0.15 + 1.8 * _gaussian_bump(21.0, 2.2) + 0.4 * _gaussian_bump(13.0, 1.2)
+    ),
+    TemporalClass.NIGHT: _normalized(0.3 + 1.6 * _gaussian_bump(23.5, 2.5)),
+    TemporalClass.EVENT: _normalized(0.4 + 1.2 * _gaussian_bump(16.0, 5.0)),
+    TemporalClass.POST_EVENT: _normalized(0.4 + 1.1 * _gaussian_bump(17.0, 4.0)),
+    TemporalClass.FLAT: np.ones(24),
+}
+
+
+@dataclass(frozen=True)
+class OccupancyParams:
+    """Day-level modulation parameters for one archetype's occupancy."""
+
+    hour_shape: np.ndarray
+    weekend_factor: float = 1.0
+    strike_factor: float = 1.0
+    event_driven: bool = False
+    base_level: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weekend_factor < 0 or self.strike_factor < 0:
+            raise ValueError("weekend/strike factors must be non-negative")
+        if self.base_level <= 0:
+            raise ValueError(f"base_level must be positive, got {self.base_level}")
+        if np.asarray(self.hour_shape).shape != (24,):
+            raise ValueError("hour_shape must be a 24-vector")
+
+
+#: Occupancy recipes per archetype.  Strike factors encode Section 6.0.1:
+#: the 19 Jan strike nearly empties Paris commuter antennas (clusters 0/4),
+#: hits non-capital commuting more mildly (cluster 7), and barely affects
+#: the rest.
+DEFAULT_OCCUPANCY: Dict[Archetype, OccupancyParams] = {
+    Archetype.PARIS_COMMUTER_ENTERTAINMENT: OccupancyParams(
+        _COMMUTER_SHAPE, weekend_factor=0.25, strike_factor=0.06
+    ),
+    Archetype.PARIS_COMMUTER_LEAN: OccupancyParams(
+        _COMMUTER_SHAPE, weekend_factor=0.25, strike_factor=0.06
+    ),
+    Archetype.PROVINCIAL_COMMUTER: OccupancyParams(
+        _COMMUTER_SHAPE, weekend_factor=0.30, strike_factor=0.45
+    ),
+    Archetype.UNIFORM_MODERATE: OccupancyParams(
+        _VENUE_BASE_SHAPE, weekend_factor=0.85, strike_factor=0.95,
+        event_driven=True, base_level=0.55
+    ),
+    Archetype.PROVINCIAL_STADIUM: OccupancyParams(
+        _VENUE_BASE_SHAPE, weekend_factor=1.0, strike_factor=1.0,
+        event_driven=True, base_level=0.18
+    ),
+    Archetype.PARIS_STADIUM: OccupancyParams(
+        _VENUE_BASE_SHAPE, weekend_factor=1.0, strike_factor=1.0,
+        event_driven=True, base_level=0.18
+    ),
+    Archetype.GENERAL_USE: OccupancyParams(
+        _GENERAL_SHAPE, weekend_factor=0.90, strike_factor=0.85
+    ),
+    Archetype.RETAIL_HOSPITALITY: OccupancyParams(
+        _HOSPITALITY_SHAPE, weekend_factor=0.95, strike_factor=0.90
+    ),
+    Archetype.OFFICE: OccupancyParams(
+        _OFFICE_SHAPE, weekend_factor=0.12, strike_factor=0.55
+    ),
+}
+
+#: Sunday gets an extra dip for retail (paper: cluster 2's Sunday drop).
+_RETAIL_SUNDAY_FACTOR = 0.6
+
+
+class TemporalModel:
+    """Computes per-hour traffic weights for (archetype, temporal class).
+
+    The model is deterministic given the calendar and event list; sampling
+    noise is applied by the traffic synthesizer, not here.
+    """
+
+    def __init__(
+        self,
+        calendar: StudyCalendar,
+        occupancy: Optional[Dict[Archetype, OccupancyParams]] = None,
+    ) -> None:
+        self.calendar = calendar
+        self.occupancy_params = dict(DEFAULT_OCCUPANCY if occupancy is None else occupancy)
+        missing = [a for a in Archetype if a not in self.occupancy_params]
+        if missing:
+            raise ValueError(f"occupancy params missing for archetypes {missing}")
+        self._hour_of_day = calendar.hour_of_day()
+        self._is_weekend = calendar.is_weekend()
+        self._is_sunday = calendar.day_of_week() == 6
+        self._is_strike = calendar.is_strike_day()
+
+    def occupancy(
+        self, archetype: Archetype, events: Sequence[Event] = ()
+    ) -> np.ndarray:
+        """Per-hour occupancy weights for an antenna of ``archetype``.
+
+        Event-driven archetypes (stadiums, expo venues) superimpose the
+        supplied event bursts on a low base level; other archetypes ignore
+        ``events``.
+        """
+        params = self.occupancy_params[archetype]
+        weights = params.base_level * params.hour_shape[self._hour_of_day]
+        weekend_scale = np.where(self._is_weekend, params.weekend_factor, 1.0)
+        strike_scale = np.where(self._is_strike, params.strike_factor, 1.0)
+        weights = weights * weekend_scale * strike_scale
+        if archetype == Archetype.RETAIL_HOSPITALITY:
+            weights = weights * np.where(self._is_sunday, _RETAIL_SUNDAY_FACTOR, 1.0)
+        if params.event_driven:
+            boost = np.zeros(self.calendar.n_hours)
+            for event in events:
+                mask = event.mask(self.calendar)
+                boost[mask] = np.maximum(boost[mask], event.intensity)
+            weights = weights * (1.0 + boost)
+        return weights
+
+    def class_shape(self, temporal_class: TemporalClass) -> np.ndarray:
+        """Hour-of-day usage multipliers (mean 1) for a temporal class."""
+        return _CLASS_SHAPES[temporal_class]
+
+    def profile(
+        self,
+        archetype: Archetype,
+        temporal_class: TemporalClass,
+        events: Sequence[Event] = (),
+    ) -> np.ndarray:
+        """Unnormalized per-hour weights for one (archetype, class) pair.
+
+        ``POST_EVENT`` services consume the occupancy two hours late —
+        attendees open Waze/Uber on the way out (paper Section 6.0.2).
+        """
+        occ = self.occupancy(archetype, events)
+        if temporal_class is TemporalClass.POST_EVENT:
+            occ = np.roll(occ, 2)
+            occ[:2] = occ[2] if occ.size > 2 else occ[:2]
+        usage = self.class_shape(temporal_class)[self._hour_of_day]
+        return occ * usage
+
+    def profiles_by_class(
+        self, archetype: Archetype, events: Sequence[Event] = ()
+    ) -> Dict[TemporalClass, np.ndarray]:
+        """All temporal-class profiles for one archetype (shared occupancy)."""
+        occ = self.occupancy(archetype, events)
+        shifted = np.roll(occ, 2)
+        if shifted.size > 2:
+            shifted[:2] = shifted[2]
+        result: Dict[TemporalClass, np.ndarray] = {}
+        for tclass in TemporalClass:
+            base = shifted if tclass is TemporalClass.POST_EVENT else occ
+            result[tclass] = base * self.class_shape(tclass)[self._hour_of_day]
+        return result

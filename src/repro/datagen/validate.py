@@ -1,0 +1,145 @@
+"""Dataset statistical validation.
+
+Before trusting any downstream analysis, a generated (or ingested)
+dataset can be checked against the structural properties the paper's
+measurements exhibit: Table 1 environment counts, heavy-tailed service
+volumes (Fig. 1's premise), per-antenna volume heterogeneity, weekday
+diurnality, and parseable BS names.  Each check returns a
+:class:`CheckResult` so reports can be rendered or asserted on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.datagen.dataset import TrafficDataset
+from repro.datagen.environments import TABLE1_COUNTS
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one validation check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: {self.detail}"
+
+
+def check_environment_counts(
+    dataset: TrafficDataset, expected: Optional[Dict] = None
+) -> CheckResult:
+    """Antenna counts per extracted environment match the expectation."""
+    # Imported lazily: repro.analysis depends on repro.datagen at import
+    # time, so a top-level import here would be circular.
+    from repro.analysis.environment import extract_environment
+
+    expected = TABLE1_COUNTS if expected is None else expected
+    counts: Dict = {}
+    unparsed = 0
+    for name in dataset.antenna_names():
+        env = extract_environment(name)
+        if env is None:
+            unparsed += 1
+            continue
+        counts[env] = counts.get(env, 0) + 1
+    mismatches = [
+        f"{env.value}: {counts.get(env, 0)} != {count}"
+        for env, count in expected.items()
+        if counts.get(env, 0) != count
+    ]
+    if unparsed:
+        mismatches.append(f"{unparsed} unparseable names")
+    if mismatches:
+        return CheckResult("environment_counts", False, "; ".join(mismatches))
+    return CheckResult(
+        "environment_counts", True,
+        f"all {sum(expected.values())} antennas classified as expected",
+    )
+
+
+def check_heavy_tail(dataset: TrafficDataset, top_share: float = 0.4) -> CheckResult:
+    """A few services dominate total volume (the Fig. 1 skew premise)."""
+    service_totals = np.sort(dataset.totals.sum(axis=0))[::-1]
+    share = float(service_totals[:10].sum() / service_totals.sum())
+    passed = share >= top_share
+    return CheckResult(
+        "heavy_tail", passed,
+        f"top-10 services carry {share:.0%} of traffic "
+        f"(threshold {top_share:.0%})",
+    )
+
+
+def check_volume_heterogeneity(
+    dataset: TrafficDataset, min_ratio: float = 8.0
+) -> CheckResult:
+    """Antenna volumes span at least ``min_ratio`` between deciles."""
+    volumes = dataset.totals.sum(axis=1)
+    p90, p10 = np.percentile(volumes, [90, 10])
+    ratio = float(p90 / p10) if p10 > 0 else float("inf")
+    passed = ratio >= min_ratio
+    return CheckResult(
+        "volume_heterogeneity", passed,
+        f"p90/p10 antenna volume ratio {ratio:.1f} "
+        f"(threshold {min_ratio:.0f})",
+    )  # the paper notes antennas "serve highly heterogeneous volumes"
+
+
+def check_diurnality(
+    dataset: TrafficDataset, sample_antennas: int = 40, min_ratio: float = 2.0
+) -> CheckResult:
+    """Daytime traffic exceeds night traffic on a weekday sample."""
+    rng = np.random.default_rng(0)
+    ids = rng.choice(dataset.n_antennas,
+                     size=min(sample_antennas, dataset.n_antennas),
+                     replace=False)
+    hourly = dataset.hourly_total(antenna_ids=ids)
+    hod = dataset.calendar.hour_of_day()
+    weekday = ~dataset.calendar.is_weekend()
+    day = hourly[:, weekday & (hod >= 10) & (hod < 20)].mean()
+    night = hourly[:, weekday & (hod >= 1) & (hod < 5)].mean()
+    ratio = float(day / night) if night > 0 else float("inf")
+    passed = ratio >= min_ratio
+    return CheckResult(
+        "diurnality", passed,
+        f"weekday day/night traffic ratio {ratio:.1f} "
+        f"(threshold {min_ratio:.0f})",
+    )
+
+
+def check_totals_positive(dataset: TrafficDataset) -> CheckResult:
+    """Every antenna-service cell carries positive traffic."""
+    negatives = int(np.sum(dataset.totals < 0))
+    zero_rows = int(np.sum(dataset.totals.sum(axis=1) == 0))
+    passed = negatives == 0 and zero_rows == 0
+    return CheckResult(
+        "totals_positive", passed,
+        f"{negatives} negative cells, {zero_rows} silent antennas",
+    )
+
+
+def validate_dataset(
+    dataset: TrafficDataset, expected_counts: Optional[Dict] = None
+) -> List[CheckResult]:
+    """Run every structural check; returns the full report."""
+    return [
+        check_environment_counts(dataset, expected_counts),
+        check_heavy_tail(dataset),
+        check_volume_heterogeneity(dataset),
+        check_diurnality(dataset),
+        check_totals_positive(dataset),
+    ]
+
+
+def validation_report(results: List[CheckResult]) -> str:
+    """Human-readable multi-line report."""
+    lines = [str(result) for result in results]
+    n_passed = sum(result.passed for result in results)
+    lines.append(f"{n_passed}/{len(results)} checks passed")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Kernel SHAP: model-agnostic Shapley approximation (Lundberg & Lee 2017).
+
+Kernel SHAP recovers the Shapley values as the solution of a weighted
+linear regression over coalition indicator vectors z' in {0, 1}^M, with
+the Shapley kernel weights::
+
+    pi(z') = (M - 1) / (C(M, |z'|) * |z'| * (M - |z'|))
+
+The two degenerate coalitions (empty and full) carry infinite weight and
+are enforced as the constraints ``u(0) = E[f]`` and ``u(1) = f(x)``; the
+regression eliminates one coefficient using the full-coalition constraint,
+so local accuracy holds exactly.  With all 2^M - 2 coalitions enumerated,
+the result equals the exact Shapley values; with sampling it approximates
+them.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.explain.shapley import ModelFn, coalition_value_fn
+from repro.utils.checks import check_matrix
+
+
+def shapley_kernel_weight(n_features: int, subset_size: int) -> float:
+    """The Shapley kernel pi(z') for a coalition of ``subset_size``."""
+    if not 0 < subset_size < n_features:
+        raise ValueError(
+            f"kernel weight undefined for subset size {subset_size} of "
+            f"{n_features} (empty/full coalitions are constraints)"
+        )
+    return (n_features - 1) / (
+        comb(n_features, subset_size) * subset_size * (n_features - subset_size)
+    )
+
+
+def _enumerate_coalitions(n_features: int) -> np.ndarray:
+    """All 2^M - 2 proper coalitions as a binary matrix."""
+    rows = []
+    for size in range(1, n_features):
+        for subset in combinations(range(n_features), size):
+            row = np.zeros(n_features)
+            row[list(subset)] = 1.0
+            rows.append(row)
+    return np.vstack(rows)
+
+
+def _sample_coalitions(
+    n_features: int, n_samples: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample proper coalitions, sizes drawn per the Shapley kernel mass."""
+    sizes = np.arange(1, n_features)
+    mass = np.array(
+        [shapley_kernel_weight(n_features, s) * comb(n_features, s) for s in sizes]
+    )
+    mass = mass / mass.sum()
+    rows = np.zeros((n_samples, n_features))
+    drawn_sizes = rng.choice(sizes, size=n_samples, p=mass)
+    for i, size in enumerate(drawn_sizes):
+        chosen = rng.choice(n_features, size=int(size), replace=False)
+        rows[i, chosen] = 1.0
+    return rows
+
+
+def kernel_shap(
+    model: ModelFn,
+    x: np.ndarray,
+    background: np.ndarray,
+    n_samples: Optional[int] = None,
+    random_state: int = 0,
+) -> np.ndarray:
+    """Kernel SHAP attributions for one instance.
+
+    Args:
+        model: maps a (rows, M) matrix to scalar outputs per row.
+        x: the instance to explain (length M).
+        background: background data for feature removal.
+        n_samples: number of sampled coalitions; None enumerates all
+            2^M - 2 (exact, feasible for small M).
+        random_state: seed for coalition sampling.
+
+    Returns:
+        length-M attribution vector satisfying local accuracy.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    m = x.size
+    if m < 2:
+        raise ValueError("kernel SHAP needs at least two features")
+    if n_samples is None and m > 16:
+        raise ValueError(
+            f"full enumeration over {m} features is infeasible; pass n_samples"
+        )
+    value = coalition_value_fn(model, x, background)
+    base_value = value(())
+    full_value = value(tuple(range(m)))
+
+    if n_samples is None:
+        coalitions = _enumerate_coalitions(m)
+    else:
+        rng = np.random.default_rng(random_state)
+        coalitions = _sample_coalitions(m, int(n_samples), rng)
+
+    sizes = coalitions.sum(axis=1).astype(int)
+    weights = np.array([shapley_kernel_weight(m, s) for s in sizes])
+    targets = np.array([
+        value(tuple(np.flatnonzero(row))) for row in coalitions
+    ])
+
+    # Eliminate phi_{m-1} with the constraint sum(phi) = f(x) - E[f]:
+    # u(z) - base = sum_j z_j phi_j
+    #             = sum_{j<m-1} (z_j - z_{m-1}) phi_j + z_{m-1} (f(x) - base)
+    excess = full_value - base_value
+    design = coalitions[:, :-1] - coalitions[:, -1:]
+    response = targets - base_value - coalitions[:, -1] * excess
+    sqrt_w = np.sqrt(weights)
+    solution, *_ = np.linalg.lstsq(
+        design * sqrt_w[:, None], response * sqrt_w, rcond=None
+    )
+    phi = np.empty(m)
+    phi[:-1] = solution
+    phi[-1] = excess - solution.sum()
+    return phi

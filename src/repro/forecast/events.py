@@ -1,0 +1,110 @@
+"""Event-calendar-aware forecasting.
+
+The statistical forecasters of :mod:`repro.forecast.models` capture the
+weekly regimes of the paper's Fig. 10 but miss *unscheduled* bursts — the
+NBA Paris Game fell on a Thursday outside the fixture calendar.  Venue
+operators, however, know their event calendars in advance; the paper's
+Section 7 argues proactive venue management should exploit exactly that.
+
+:class:`EventAwareProfile` combines a weekly baseline with a learned
+per-event uplift: training hours flagged as event hours teach the model
+how much a venue burst multiplies the baseline, and the forecast applies
+that uplift to the hours of *announced* future events.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.forecast.models import WEEK_HOURS, WeeklyProfile, _validate_series
+
+
+class EventAwareProfile:
+    """Weekly profile plus a calendar-driven event uplift.
+
+    Args:
+        min_event_hours: minimum flagged training hours required to
+            estimate the uplift (fewer raises at fit time).
+    """
+
+    def __init__(self, min_event_hours: int = 4) -> None:
+        if min_event_hours < 1:
+            raise ValueError(
+                f"min_event_hours must be >= 1, got {min_event_hours}"
+            )
+        self.min_event_hours = min_event_hours
+        self._baseline: Optional[WeeklyProfile] = None
+        self._uplift: Optional[float] = None
+
+    @property
+    def uplift_(self) -> float:
+        """Learned event/baseline traffic ratio."""
+        if self._uplift is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self._uplift
+
+    def fit(self, series, event_mask) -> "EventAwareProfile":
+        """Fit the baseline on quiet hours and the uplift on event hours.
+
+        Args:
+            series: hourly traffic (1-D).
+            event_mask: boolean mask, True where a venue event was live.
+        """
+        values = _validate_series(series, 2 * WEEK_HOURS)
+        mask = np.asarray(event_mask, dtype=bool)
+        if mask.shape != values.shape:
+            raise ValueError(
+                f"event_mask shape {mask.shape} != series shape {values.shape}"
+            )
+        if int(mask.sum()) < self.min_event_hours:
+            raise ValueError(
+                f"only {int(mask.sum())} event hours flagged; "
+                f"need >= {self.min_event_hours} to estimate the uplift"
+            )
+        # Baseline from the quiet hours: replace event hours with the
+        # same week-hour's quiet median so bursts don't leak in.
+        week_hour = np.arange(values.size) % WEEK_HOURS
+        cleaned = values.copy()
+        for wh in np.unique(week_hour[mask]):
+            quiet = values[(week_hour == wh) & ~mask]
+            if quiet.size:
+                cleaned[(week_hour == wh) & mask] = np.median(quiet)
+        baseline = WeeklyProfile().fit(cleaned)
+        self._baseline = baseline
+
+        # Uplift: how far above the baseline do event hours run?
+        phase_shift = values.size % WEEK_HOURS
+        profile = baseline._profile
+        level = baseline._level
+        predicted = level * profile[week_hour]
+        event_actual = values[mask]
+        event_predicted = np.maximum(predicted[mask], 1e-12)
+        self._uplift = float(np.median(event_actual / event_predicted))
+        return self
+
+    def forecast(self, horizon: int, future_event_mask=None) -> np.ndarray:
+        """Forecast; hours flagged in ``future_event_mask`` get the uplift."""
+        if self._baseline is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        base = self._baseline.forecast(horizon)
+        if future_event_mask is None:
+            return base
+        mask = np.asarray(future_event_mask, dtype=bool)
+        if mask.shape != base.shape:
+            raise ValueError(
+                f"future_event_mask shape {mask.shape} != horizon {horizon}"
+            )
+        out = base.copy()
+        out[mask] = out[mask] * self._uplift
+        return out
+
+
+def event_mask_for_site(dataset, site_id: int) -> np.ndarray:
+    """Boolean per-hour mask of a site's event calendar over the study."""
+    events = dataset.model.events_for_site(site_id)
+    mask = np.zeros(dataset.calendar.n_hours, dtype=bool)
+    for event in events:
+        mask |= event.mask(dataset.calendar)
+    return mask

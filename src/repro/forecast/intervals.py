@@ -1,0 +1,106 @@
+"""Empirical prediction intervals for the forecasting models.
+
+Capacity planning needs headroom, not point forecasts: the slice
+templates of :mod:`repro.apps.slicing` should be provisioned to an upper
+quantile of demand.  This module wraps any fitted forecaster with
+residual-based intervals: backtest the model on held-out history, collect
+per-week-hour residual ratios, and widen the point forecast by their
+empirical quantiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.forecast.models import WEEK_HOURS, WeeklyProfile, _validate_series
+
+
+@dataclass
+class IntervalForecast:
+    """A point forecast with lower/upper bounds."""
+
+    point: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (self.point.shape == self.lower.shape == self.upper.shape):
+            raise ValueError("point/lower/upper must share a shape")
+        if np.any(self.lower > self.upper + 1e-12):
+            raise ValueError("lower bound exceeds upper bound")
+
+    def coverage(self, actual) -> float:
+        """Fraction of actuals falling inside [lower, upper]."""
+        values = np.asarray(actual, dtype=float)
+        if values.shape != self.point.shape:
+            raise ValueError(
+                f"actual shape {values.shape} != forecast {self.point.shape}"
+            )
+        inside = (values >= self.lower) & (values <= self.upper)
+        return float(inside.mean())
+
+    def headroom_factor(self) -> float:
+        """Mean upper/point ratio — the capacity margin to provision."""
+        safe_point = np.maximum(self.point, 1e-12)
+        return float(np.mean(self.upper / safe_point))
+
+
+class IntervalWeeklyProfile:
+    """Weekly-profile forecaster with empirical residual intervals.
+
+    Fits a :class:`~repro.forecast.models.WeeklyProfile` on the first part
+    of the series, collects multiplicative residuals (actual / predicted)
+    over the remaining *calibration* weeks, and derives interval bounds
+    from the residual quantiles.
+
+    Args:
+        coverage: target central coverage of the interval (e.g. 0.9).
+        calibration_weeks: trailing weeks reserved for residuals.
+    """
+
+    def __init__(self, coverage: float = 0.9,
+                 calibration_weeks: int = 2) -> None:
+        if not 0.0 < coverage < 1.0:
+            raise ValueError(f"coverage must be in (0, 1), got {coverage}")
+        if calibration_weeks < 1:
+            raise ValueError(
+                f"calibration_weeks must be >= 1, got {calibration_weeks}"
+            )
+        self.coverage = coverage
+        self.calibration_weeks = calibration_weeks
+        self._model: Optional[WeeklyProfile] = None
+        self._ratio_bounds: Optional[Tuple[float, float]] = None
+
+    def fit(self, series) -> "IntervalWeeklyProfile":
+        values = _validate_series(
+            series, (self.calibration_weeks + 2) * WEEK_HOURS
+        )
+        split = values.size - self.calibration_weeks * WEEK_HOURS
+        train, calibration = values[:split], values[split:]
+        model = WeeklyProfile().fit(train)
+        predicted = model.forecast(calibration.size)
+        safe = np.maximum(predicted, 1e-12)
+        ratios = calibration / safe
+        alpha = (1.0 - self.coverage) / 2.0
+        lo = float(np.quantile(ratios, alpha))
+        hi = float(np.quantile(ratios, 1.0 - alpha))
+        self._ratio_bounds = (lo, hi)
+        # Refit on the full series so the point forecast uses everything.
+        self._model = WeeklyProfile().fit(values)
+        return self
+
+    def forecast(self, horizon: int) -> IntervalForecast:
+        """Point forecast plus residual-quantile bounds."""
+        if self._model is None or self._ratio_bounds is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        point = self._model.forecast(horizon)
+        lo, hi = self._ratio_bounds
+        # A biased calibration window can push both residual quantiles to
+        # the same side of 1; clamp so the interval always brackets the
+        # point forecast (a provisioning interval must cover its own plan).
+        lower = np.minimum(np.maximum(point * lo, 0.0), point)
+        upper = np.maximum(point * hi, point)
+        return IntervalForecast(point=point, lower=lower, upper=upper)

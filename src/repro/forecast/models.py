@@ -1,0 +1,216 @@
+"""Traffic forecasting models for proactive ICN management.
+
+The paper's motivation and roadmap (Sections 1 and 7) argue that
+understanding and *forecasting* demand enables proactive network
+configuration, and that ICN forecasting should be cluster-aware because
+each cluster has its own temporal regime.  This module provides three
+classical forecasters, implemented from scratch on hourly series:
+
+* :class:`SeasonalNaive` — repeat the value one season ago,
+* :class:`WeeklyProfile` — the average day-of-week x hour-of-day profile
+  scaled to the recent level (the natural model for the strongly weekly
+  ICN regimes of Fig. 10),
+* :class:`HoltWinters` — additive triple exponential smoothing.
+
+All models share the ``fit(series) -> self`` / ``forecast(horizon)``
+interface and operate on 1-D numpy arrays sampled hourly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Hours in a week: the dominant ICN seasonality (Fig. 10).
+WEEK_HOURS = 168
+#: Hours in a day.
+DAY_HOURS = 24
+
+
+def _validate_series(series, min_length: int) -> np.ndarray:
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1:
+        raise ValueError(f"series must be 1-D, got shape {values.shape}")
+    if values.size < min_length:
+        raise ValueError(
+            f"series too short: {values.size} < required {min_length}"
+        )
+    if not np.all(np.isfinite(values)):
+        raise ValueError("series contains NaN or infinite values")
+    return values
+
+
+def _validate_horizon(horizon: int) -> int:
+    horizon = int(horizon)
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    return horizon
+
+
+class SeasonalNaive:
+    """Forecast = the observation one season earlier.
+
+    The canonical baseline every forecaster must beat.
+    """
+
+    def __init__(self, season: int = WEEK_HOURS) -> None:
+        if season < 1:
+            raise ValueError(f"season must be >= 1, got {season}")
+        self.season = season
+        self._history: Optional[np.ndarray] = None
+
+    def fit(self, series) -> "SeasonalNaive":
+        self._history = _validate_series(series, self.season)
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Repeat the last observed season over the horizon."""
+        if self._history is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        horizon = _validate_horizon(horizon)
+        last_season = self._history[-self.season:]
+        reps = int(np.ceil(horizon / self.season))
+        return np.tile(last_season, reps)[:horizon]
+
+
+class WeeklyProfile:
+    """Average day-of-week x hour-of-day profile, level-adjusted.
+
+    Learns the mean traffic for each of the 168 week-hours over the whole
+    training series, then rescales to the last week's overall level.  This
+    matches the ICN regimes of Fig. 10: strong weekly periodicity with a
+    slowly drifting level.
+    """
+
+    def __init__(self, level_window: int = WEEK_HOURS) -> None:
+        if level_window < 1:
+            raise ValueError(f"level_window must be >= 1, got {level_window}")
+        self.level_window = level_window
+        self._profile: Optional[np.ndarray] = None
+        self._level: Optional[float] = None
+        self._phase: int = 0
+
+    def fit(self, series) -> "WeeklyProfile":
+        values = _validate_series(series, WEEK_HOURS)
+        n_full = values.size // WEEK_HOURS * WEEK_HOURS
+        weeks = values[:n_full].reshape(-1, WEEK_HOURS)
+        self._profile = weeks.mean(axis=0)
+        profile_mean = self._profile.mean()
+        recent = values[-self.level_window:].mean()
+        self._level = recent / profile_mean if profile_mean > 0 else 1.0
+        # Forecasting continues from the hour after the last observation.
+        self._phase = values.size % WEEK_HOURS
+        return self
+
+    def fit_with_phase(self, series, start_week_hour: int) -> "WeeklyProfile":
+        """Fit with an explicit week-hour phase of the first observation."""
+        if not 0 <= start_week_hour < WEEK_HOURS:
+            raise ValueError(
+                f"start_week_hour must be in [0, {WEEK_HOURS}), "
+                f"got {start_week_hour}"
+            )
+        self.fit(series)
+        values = np.asarray(series, dtype=float)
+        self._phase = (start_week_hour + values.size) % WEEK_HOURS
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        if self._profile is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        horizon = _validate_horizon(horizon)
+        idx = (self._phase + np.arange(horizon)) % WEEK_HOURS
+        return self._level * self._profile[idx]
+
+
+class HoltWinters:
+    """Additive Holt-Winters triple exponential smoothing.
+
+    Args:
+        season: season length in samples (default one week of hours).
+        alpha, beta, gamma: level / trend / season smoothing factors.
+    """
+
+    def __init__(
+        self,
+        season: int = WEEK_HOURS,
+        alpha: float = 0.3,
+        beta: float = 0.05,
+        gamma: float = 0.2,
+    ) -> None:
+        if season < 2:
+            raise ValueError(f"season must be >= 2, got {season}")
+        for name, value in (("alpha", alpha), ("beta", beta), ("gamma", gamma)):
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {value}")
+        self.season = season
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self._level: Optional[float] = None
+        self._trend: Optional[float] = None
+        self._seasonals: Optional[np.ndarray] = None
+
+    def fit(self, series) -> "HoltWinters":
+        values = _validate_series(series, 2 * self.season)
+        season = self.season
+        # Standard initialization (Hyndman & Athanasopoulos): level/trend
+        # from the first two season means, seasonal components as the
+        # average detrended deviation within each season.
+        first = values[:season]
+        second = values[season:2 * season]
+        level = float(first.mean())
+        trend = float((second.mean() - first.mean()) / season)
+        # Detrend before extracting the seasonal components, otherwise the
+        # within-season part of the trend contaminates them.
+        t_idx = np.arange(2 * season)
+        baseline = level + trend * (t_idx - (season - 1) / 2.0)
+        detrended = values[:2 * season] - baseline
+        seasonals = 0.5 * (detrended[:season] + detrended[season:])
+        for t in range(values.size):
+            s = t % season
+            value = values[t]
+            last_level, last_trend = level, trend
+            level = (
+                self.alpha * (value - seasonals[s])
+                + (1 - self.alpha) * (level + trend)
+            )
+            trend = self.beta * (level - last_level) + (1 - self.beta) * trend
+            # Seasonal update against the pre-update level+trend keeps the
+            # components from silently absorbing the trend.
+            seasonals[s] = (
+                self.gamma * (value - last_level - last_trend)
+                + (1 - self.gamma) * seasonals[s]
+            )
+        self._level, self._trend = level, trend
+        self._seasonals = seasonals
+        self._phase = values.size % season
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        if self._level is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        horizon = _validate_horizon(horizon)
+        steps = np.arange(1, horizon + 1)
+        idx = (self._phase + steps - 1) % self.season
+        return self._level + steps * self._trend + self._seasonals[idx]
+
+
+def mean_absolute_error(actual, predicted) -> float:
+    """MAE between two equal-length series."""
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {p.shape}")
+    if a.size == 0:
+        raise ValueError("cannot score empty series")
+    return float(np.mean(np.abs(a - p)))
+
+
+def normalized_mae(actual, predicted) -> float:
+    """MAE normalized by the mean actual level (scale-free)."""
+    a = np.asarray(actual, dtype=float)
+    level = float(np.mean(np.abs(a)))
+    if level == 0:
+        raise ValueError("actual series has zero mean level")
+    return mean_absolute_error(actual, predicted) / level

@@ -1,0 +1,191 @@
+"""CSV ingestion and export for operator-style traffic data.
+
+The pipeline is data-source agnostic: anyone holding real per-antenna
+traffic (in the aggregated, GDPR-compliant form the paper uses) can load
+it here and run the identical analysis.  Two schemas are supported:
+
+* **wide totals** — one row per antenna, one column per service, plus
+  ``antenna_id`` / ``name`` metadata columns.  This is the matrix the
+  clustering consumes.
+* **long hourly** — one row per (antenna, service, hour) measurement:
+  ``antenna_id,service,timestamp,traffic_mb`` — the shape an hourly
+  export from a measurement platform naturally takes; it aggregates into
+  the wide totals matrix.
+
+Only the standard library's ``csv`` is used — no pandas dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Metadata columns of the wide-totals schema, in order.
+WIDE_META_COLUMNS = ("antenna_id", "name")
+
+
+def export_totals_csv(
+    path,
+    totals: np.ndarray,
+    antenna_names: Sequence[str],
+    service_names: Sequence[str],
+) -> None:
+    """Write a wide-totals CSV (one antenna per row, one service per column)."""
+    matrix = np.asarray(totals, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"totals must be 2-D, got shape {matrix.shape}")
+    if matrix.shape[0] != len(antenna_names):
+        raise ValueError(
+            f"{len(antenna_names)} antenna names for {matrix.shape[0]} rows"
+        )
+    if matrix.shape[1] != len(service_names):
+        raise ValueError(
+            f"{len(service_names)} service names for {matrix.shape[1]} columns"
+        )
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(WIDE_META_COLUMNS) + list(service_names))
+        for i, name in enumerate(antenna_names):
+            writer.writerow([i, name] + [f"{v:.6f}" for v in matrix[i]])
+
+
+def load_totals_csv(path) -> Tuple[List[str], List[str], np.ndarray]:
+    """Read a wide-totals CSV.
+
+    Returns:
+        ``(antenna_names, service_names, totals)`` with totals as a float
+        matrix in file row/column order.
+
+    Raises:
+        ValueError: on a malformed header, ragged rows, or non-numeric
+            traffic cells.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        if tuple(header[: len(WIDE_META_COLUMNS)]) != WIDE_META_COLUMNS:
+            raise ValueError(
+                f"expected header to start with {WIDE_META_COLUMNS}, "
+                f"got {header[:2]}"
+            )
+        service_names = header[len(WIDE_META_COLUMNS):]
+        if not service_names:
+            raise ValueError("no service columns in header")
+        antenna_names: List[str] = []
+        rows: List[List[float]] = []
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_no}: expected {len(header)} cells, "
+                    f"got {len(row)}"
+                )
+            antenna_names.append(row[1])
+            try:
+                rows.append([float(cell) for cell in row[2:]])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{line_no}: non-numeric traffic value"
+                ) from None
+    if not rows:
+        raise ValueError(f"{path} contains no antenna rows")
+    return antenna_names, service_names, np.asarray(rows, dtype=float)
+
+
+def export_hourly_csv(
+    path,
+    hourly: np.ndarray,
+    hours: np.ndarray,
+    antenna_ids: Sequence[int],
+    service: str,
+) -> None:
+    """Write one service's hourly series in the long schema.
+
+    Args:
+        hourly: (n_antennas, n_hours) traffic in MB.
+        hours: the n_hours timestamps (``datetime64[h]``).
+        antenna_ids: ids matching the rows of ``hourly``.
+        service: service name stamped on every row.
+    """
+    matrix = np.asarray(hourly, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"hourly must be 2-D, got {matrix.shape}")
+    if matrix.shape != (len(antenna_ids), len(hours)):
+        raise ValueError(
+            f"hourly shape {matrix.shape} does not match "
+            f"{len(antenna_ids)} antennas x {len(hours)} hours"
+        )
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["antenna_id", "service", "timestamp", "traffic_mb"])
+        for row, antenna_id in enumerate(antenna_ids):
+            for col, stamp in enumerate(hours):
+                writer.writerow(
+                    [antenna_id, service, str(stamp), f"{matrix[row, col]:.6f}"]
+                )
+
+
+def load_hourly_csv(
+    path,
+) -> Tuple[np.ndarray, List[str], np.ndarray, np.ndarray]:
+    """Read a long-schema hourly CSV and aggregate it.
+
+    Returns:
+        ``(antenna_ids, service_names, hours, tensor)`` where ``tensor``
+        has shape (n_antennas, n_services, n_hours), with axes sorted by
+        id / name / timestamp.  Duplicate measurements for the same cell
+        are summed (measurement platforms emit partial records).
+    """
+    path = Path(path)
+    records: List[Tuple[int, str, np.datetime64, float]] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        expected = ["antenna_id", "service", "timestamp", "traffic_mb"]
+        if header != expected:
+            raise ValueError(f"expected header {expected}, got {header}")
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != 4:
+                raise ValueError(f"{path}:{line_no}: expected 4 cells")
+            try:
+                records.append(
+                    (
+                        int(row[0]),
+                        row[1],
+                        np.datetime64(row[2], "h"),
+                        float(row[3]),
+                    )
+                )
+            except ValueError:
+                raise ValueError(f"{path}:{line_no}: malformed record") from None
+    if not records:
+        raise ValueError(f"{path} contains no measurements")
+    antenna_ids = np.array(sorted({r[0] for r in records}))
+    service_names = sorted({r[1] for r in records})
+    hours = np.array(sorted({r[2] for r in records}))
+    a_index = {a: i for i, a in enumerate(antenna_ids.tolist())}
+    s_index = {s: i for i, s in enumerate(service_names)}
+    h_index = {h: i for i, h in enumerate(hours.tolist())}
+    tensor = np.zeros((antenna_ids.size, len(service_names), hours.size))
+    for antenna, service, stamp, value in records:
+        tensor[a_index[antenna], s_index[service], h_index[stamp]] += value
+    return antenna_ids, service_names, hours, tensor
+
+
+def totals_from_hourly(tensor: np.ndarray) -> np.ndarray:
+    """Collapse an (antennas, services, hours) tensor to the totals matrix."""
+    cube = np.asarray(tensor, dtype=float)
+    if cube.ndim != 3:
+        raise ValueError(f"tensor must be 3-D, got shape {cube.shape}")
+    return cube.sum(axis=2)

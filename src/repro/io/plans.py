@@ -1,0 +1,132 @@
+"""JSON export of profiles and operational plans.
+
+Downstream orchestration systems (slice controllers, cache managers,
+energy schedulers) consume machine-readable plans, not markdown.  This
+module serializes the profiling output and the Section 7 planners to
+plain JSON and loads them back, with schema validation on the way in.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.apps.energy import SleepSchedule
+from repro.apps.slicing import SliceTemplate
+
+
+def profile_to_dict(profile) -> Dict:
+    """Serializable summary of a fitted :class:`ICNProfile`."""
+    sizes = profile.cluster_sizes()
+    out = {
+        "n_antennas": int(profile.features.shape[0]),
+        "n_services": int(profile.features.shape[1]),
+        "n_clusters": int(profile.n_clusters),
+        "surrogate_accuracy": float(profile.surrogate_accuracy),
+        "cluster_sizes": {str(c): int(n) for c, n in sizes.items()},
+        "groups": {str(c): int(g) for c, g in profile.groups(3).items()},
+        "labels": [int(l) for l in profile.labels],
+        "service_names": list(profile.service_names),
+    }
+    return out
+
+
+def slices_to_dict(slices: Dict[int, SliceTemplate]) -> Dict:
+    """Serializable form of a slice plan."""
+    return {
+        str(cluster): {
+            "n_antennas": template.n_antennas,
+            "busy_hours": list(template.busy_hours),
+            "peak_to_mean": template.peak_to_mean,
+            "weekend_factor": template.weekend_factor,
+            "priority_services": list(template.priority_services),
+            "event_driven": template.event_driven,
+        }
+        for cluster, template in slices.items()
+    }
+
+
+def slices_from_dict(payload: Dict) -> Dict[int, SliceTemplate]:
+    """Rebuild slice templates from their JSON form (validating)."""
+    out: Dict[int, SliceTemplate] = {}
+    for key, entry in payload.items():
+        try:
+            out[int(key)] = SliceTemplate(
+                cluster=int(key),
+                n_antennas=int(entry["n_antennas"]),
+                busy_hours=tuple(int(h) for h in entry["busy_hours"]),
+                peak_to_mean=float(entry["peak_to_mean"]),
+                weekend_factor=float(entry["weekend_factor"]),
+                priority_services=tuple(entry["priority_services"]),
+                event_driven=bool(entry["event_driven"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed slice entry {key!r}: {exc}") from exc
+    return out
+
+
+def schedules_to_dict(schedules: Dict[int, SleepSchedule]) -> Dict:
+    """Serializable form of an energy plan."""
+    return {
+        str(cluster): {
+            "weekday_sleep_hours": list(schedule.weekday_sleep_hours),
+            "weekend_sleep_hours": list(schedule.weekend_sleep_hours),
+            "energy_saving": schedule.energy_saving,
+            "traffic_at_risk": schedule.traffic_at_risk,
+        }
+        for cluster, schedule in schedules.items()
+    }
+
+
+def schedules_from_dict(payload: Dict) -> Dict[int, SleepSchedule]:
+    """Rebuild sleep schedules from their JSON form (validating)."""
+    out: Dict[int, SleepSchedule] = {}
+    for key, entry in payload.items():
+        try:
+            out[int(key)] = SleepSchedule(
+                cluster=int(key),
+                weekday_sleep_hours=tuple(
+                    int(h) for h in entry["weekday_sleep_hours"]
+                ),
+                weekend_sleep_hours=tuple(
+                    int(h) for h in entry["weekend_sleep_hours"]
+                ),
+                energy_saving=float(entry["energy_saving"]),
+                traffic_at_risk=float(entry["traffic_at_risk"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"malformed schedule entry {key!r}: {exc}"
+            ) from exc
+    return out
+
+
+def export_operations_json(
+    path,
+    profile,
+    slices: Dict[int, SliceTemplate],
+    schedules: Dict[int, SleepSchedule],
+) -> None:
+    """Write the full operations bundle (profile + plans) to one file."""
+    payload = {
+        "profile": profile_to_dict(profile),
+        "slices": slices_to_dict(slices),
+        "energy": schedules_to_dict(schedules),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_operations_json(path) -> Dict:
+    """Load an operations bundle; plans come back as typed objects."""
+    payload = json.loads(Path(path).read_text())
+    for key in ("profile", "slices", "energy"):
+        if key not in payload:
+            raise ValueError(f"operations bundle lacks the {key!r} section")
+    return {
+        "profile": payload["profile"],
+        "slices": slices_from_dict(payload["slices"]),
+        "energy": schedules_from_dict(payload["energy"]),
+    }

@@ -1,0 +1,25 @@
+"""From-scratch supervised-learning substrate (trees, forest, metrics)."""
+
+from repro.ml.tree import DecisionTreeClassifier, TreeStructure, LEAF
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_scores,
+    macro_f1,
+    train_test_split,
+)
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "TreeStructure",
+    "LEAF",
+    "RandomForestClassifier",
+    "GradientBoostingClassifier",
+    "accuracy",
+    "confusion_matrix",
+    "f1_scores",
+    "macro_f1",
+    "train_test_split",
+]

@@ -1,0 +1,297 @@
+"""CART decision-tree classifier, implemented from scratch.
+
+Used as the base learner of the random-forest surrogate that the paper
+trains on the clustering labels (Section 5.1.2).  The fitted tree exposes
+flat node arrays (``children_left``, ``children_right``, ``feature``,
+``threshold``, ``value``, ``n_node_samples``) so the TreeSHAP algorithm in
+``repro.explain.treeshap`` can walk it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.checks import check_matrix
+
+#: Sentinel for leaf nodes in the flat arrays (mirrors sklearn).
+LEAF = -1
+
+
+@dataclass
+class TreeStructure:
+    """Flat array representation of a fitted binary decision tree."""
+
+    children_left: np.ndarray
+    children_right: np.ndarray
+    feature: np.ndarray
+    threshold: np.ndarray
+    value: np.ndarray  # (n_nodes, n_classes) class-probability vectors
+    n_node_samples: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return self.children_left.shape[0]
+
+    def is_leaf(self, node: int) -> bool:
+        return self.children_left[node] == LEAF
+
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf (root = depth 0)."""
+        depth = 0
+        stack: List[Tuple[int, int]] = [(0, 0)]
+        while stack:
+            node, d = stack.pop()
+            depth = max(depth, d)
+            if not self.is_leaf(node):
+                stack.append((int(self.children_left[node]), d + 1))
+                stack.append((int(self.children_right[node]), d + 1))
+        return depth
+
+
+def _gini_for_splits(
+    class_counts_left: np.ndarray, class_counts_total: np.ndarray
+) -> np.ndarray:
+    """Weighted Gini impurity of every candidate split, vectorized.
+
+    Args:
+        class_counts_left: (n_candidates, n_classes) counts left of each
+            candidate threshold.
+        class_counts_total: (n_classes,) counts at the node.
+
+    Returns:
+        (n_candidates,) weighted impurity (lower is better).
+    """
+    total = class_counts_total.sum()
+    left_sizes = class_counts_left.sum(axis=1)
+    right_counts = class_counts_total[None, :] - class_counts_left
+    right_sizes = total - left_sizes
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gini_left = 1.0 - np.sum(
+            (class_counts_left / left_sizes[:, None]) ** 2, axis=1
+        )
+        gini_right = 1.0 - np.sum(
+            (right_counts / right_sizes[:, None]) ** 2, axis=1
+        )
+    gini_left = np.where(left_sizes > 0, gini_left, 0.0)
+    gini_right = np.where(right_sizes > 0, gini_right, 0.0)
+    return (left_sizes * gini_left + right_sizes * gini_right) / total
+
+
+class DecisionTreeClassifier:
+    """Binary-split CART classifier with Gini impurity.
+
+    Args:
+        max_depth: maximum tree depth (None = grow until pure/exhausted).
+        min_samples_split: minimum node size eligible for splitting.
+        min_samples_leaf: minimum samples required in each child.
+        max_features: number of features examined per split; ``"sqrt"``
+            (the random-forest default), an int, or None for all features.
+        random_state: seed for per-split feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValueError(f"min_samples_split must be >= 2, got {min_samples_split}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.tree_: Optional[TreeStructure] = None
+        self.classes_: Optional[np.ndarray] = None
+        self.n_features_: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, (int, np.integer)):
+            if not 1 <= self.max_features <= n_features:
+                raise ValueError(
+                    f"max_features must be in [1, {n_features}], got {self.max_features}"
+                )
+            return int(self.max_features)
+        raise ValueError(f"unsupported max_features {self.max_features!r}")
+
+    def _best_split(
+        self,
+        x: np.ndarray,
+        y_codes: np.ndarray,
+        sample_idx: np.ndarray,
+        feature_candidates: np.ndarray,
+        n_classes: int,
+    ) -> Optional[Tuple[int, float, np.ndarray]]:
+        """Search candidate features for the impurity-minimizing split.
+
+        Returns ``(feature, threshold, left_mask_over_sample_idx)`` or None
+        when no valid split exists.
+        """
+        node_y = y_codes[sample_idx]
+        counts_total = np.bincount(node_y, minlength=n_classes).astype(float)
+        best: Optional[Tuple[float, int, float]] = None
+        for feat in feature_candidates:
+            values = x[sample_idx, feat]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            sorted_y = node_y[order]
+            # Candidate boundaries: positions where the value changes.
+            change = np.flatnonzero(np.diff(sorted_values)) + 1
+            if change.size == 0:
+                continue
+            onehot = np.zeros((sorted_y.size, n_classes))
+            onehot[np.arange(sorted_y.size), sorted_y] = 1.0
+            cum = np.cumsum(onehot, axis=0)
+            left_counts = cum[change - 1]
+            left_sizes = change
+            right_sizes = sorted_y.size - left_sizes
+            valid = (left_sizes >= self.min_samples_leaf) & (
+                right_sizes >= self.min_samples_leaf
+            )
+            if not np.any(valid):
+                continue
+            impurity = _gini_for_splits(left_counts, counts_total)
+            impurity = np.where(valid, impurity, np.inf)
+            pos = int(np.argmin(impurity))
+            if not np.isfinite(impurity[pos]):
+                continue
+            boundary = change[pos]
+            threshold = 0.5 * (sorted_values[boundary - 1] + sorted_values[boundary])
+            if best is None or impurity[pos] < best[0]:
+                best = (float(impurity[pos]), int(feat), float(threshold))
+        if best is None:
+            return None
+        _, feat, threshold = best
+        left_mask = x[sample_idx, feat] <= threshold
+        return feat, threshold, left_mask
+
+    def fit(self, x, y) -> "DecisionTreeClassifier":
+        """Fit the tree on features ``x`` (N x M) and labels ``y`` (N)."""
+        x = check_matrix(x, "x")
+        y = np.asarray(y)
+        if y.ndim != 1 or y.shape[0] != x.shape[0]:
+            raise ValueError(
+                f"y must be 1-D with one label per row of x; got {y.shape}"
+            )
+        self.classes_, y_codes = np.unique(y, return_inverse=True)
+        n_classes = self.classes_.size
+        self.n_features_ = x.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        n_subfeatures = self._resolve_max_features(x.shape[1])
+
+        children_left: List[int] = []
+        children_right: List[int] = []
+        feature: List[int] = []
+        threshold: List[float] = []
+        value: List[np.ndarray] = []
+        n_node_samples: List[int] = []
+
+        def new_node(sample_idx: np.ndarray) -> int:
+            node_id = len(children_left)
+            children_left.append(LEAF)
+            children_right.append(LEAF)
+            feature.append(LEAF)
+            threshold.append(0.0)
+            counts = np.bincount(y_codes[sample_idx], minlength=n_classes).astype(float)
+            value.append(counts / counts.sum())
+            n_node_samples.append(int(sample_idx.size))
+            return node_id
+
+        # Iterative depth-first growth.
+        root_idx = np.arange(x.shape[0])
+        stack: List[Tuple[int, np.ndarray, int]] = [(new_node(root_idx), root_idx, 0)]
+        while stack:
+            node_id, sample_idx, depth = stack.pop()
+            node_y = y_codes[sample_idx]
+            if (
+                sample_idx.size < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or np.all(node_y == node_y[0])
+            ):
+                continue
+            if n_subfeatures < x.shape[1]:
+                candidates = rng.choice(x.shape[1], size=n_subfeatures, replace=False)
+            else:
+                candidates = np.arange(x.shape[1])
+            split = self._best_split(x, y_codes, sample_idx, candidates, n_classes)
+            if split is None:
+                continue
+            feat, thresh, left_mask = split
+            left_idx = sample_idx[left_mask]
+            right_idx = sample_idx[~left_mask]
+            left_id = new_node(left_idx)
+            right_id = new_node(right_idx)
+            children_left[node_id] = left_id
+            children_right[node_id] = right_id
+            feature[node_id] = feat
+            threshold[node_id] = thresh
+            stack.append((left_id, left_idx, depth + 1))
+            stack.append((right_id, right_idx, depth + 1))
+
+        self.tree_ = TreeStructure(
+            children_left=np.array(children_left, dtype=np.int64),
+            children_right=np.array(children_right, dtype=np.int64),
+            feature=np.array(feature, dtype=np.int64),
+            threshold=np.array(threshold, dtype=float),
+            value=np.vstack(value),
+            n_node_samples=np.array(n_node_samples, dtype=np.int64),
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def _check_fitted(self) -> TreeStructure:
+        if self.tree_ is None:
+            raise RuntimeError("tree is not fitted; call fit() first")
+        return self.tree_
+
+    def decision_path_leaf(self, x: np.ndarray) -> np.ndarray:
+        """Leaf node index reached by each row of ``x``."""
+        tree = self._check_fitted()
+        x = check_matrix(x, "x")
+        if x.shape[1] != self.n_features_:
+            raise ValueError(
+                f"x has {x.shape[1]} features, the tree was fitted on "
+                f"{self.n_features_}"
+            )
+        leaves = np.zeros(x.shape[0], dtype=np.int64)
+        for i in range(x.shape[0]):
+            node = 0
+            while not tree.is_leaf(node):
+                if x[i, tree.feature[node]] <= tree.threshold[node]:
+                    node = int(tree.children_left[node])
+                else:
+                    node = int(tree.children_right[node])
+            leaves[i] = node
+        return leaves
+
+    def predict_proba(self, x) -> np.ndarray:
+        """Class-probability estimates (leaf class frequencies)."""
+        tree = self._check_fitted()
+        leaves = self.decision_path_leaf(np.asarray(x, dtype=float))
+        return tree.value[leaves]
+
+    def predict(self, x) -> np.ndarray:
+        """Predicted class labels."""
+        proba = self.predict_proba(x)
+        return self.classes_[np.argmax(proba, axis=1)]

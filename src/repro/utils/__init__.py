@@ -1,0 +1,21 @@
+"""Shared utilities: deterministic RNG derivation, assignment, checks."""
+
+from repro.utils.rng import derive_rng, derive_seed
+from repro.utils.assignment import hungarian, align_labels
+from repro.utils.checks import (
+    check_matrix,
+    check_positive,
+    check_probability,
+    check_in_range,
+)
+
+__all__ = [
+    "derive_rng",
+    "derive_seed",
+    "hungarian",
+    "align_labels",
+    "check_matrix",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+]

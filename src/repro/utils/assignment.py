@@ -1,0 +1,126 @@
+"""Optimal assignment (Hungarian algorithm) and cluster-label alignment.
+
+Cluster indices returned by unsupervised clustering are arbitrary.  To
+report results with the paper's cluster numbering (0-8), discovered labels
+are aligned to reference labels (the generator's latent archetypes) by
+solving a maximum-overlap assignment problem.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+def hungarian(cost: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve the rectangular linear assignment problem, minimizing cost.
+
+    Implements the O(n^3) shortest augmenting path formulation of the
+    Hungarian algorithm (Jonker-Volgenant style).  Returns ``(rows, cols)``
+    index arrays such that ``cost[rows, cols].sum()`` is minimal; every row
+    of a tall-or-square matrix is assigned (for wide matrices, every
+    column's transpose-equivalent).
+
+    >>> rows, cols = hungarian(np.array([[4.0, 1.0], [2.0, 8.0]]))
+    >>> list(zip(rows.tolist(), cols.tolist()))
+    [(0, 1), (1, 0)]
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValueError(f"cost must be a 2-D matrix, got shape {cost.shape}")
+    if not np.all(np.isfinite(cost)):
+        raise ValueError("cost matrix contains NaN or infinite entries")
+
+    transposed = cost.shape[0] > cost.shape[1]
+    if transposed:
+        cost = cost.T
+    n_rows, n_cols = cost.shape
+
+    # Potentials and matching; col_match[j] is the row matched to column j.
+    row_potential = np.zeros(n_rows + 1)
+    col_potential = np.zeros(n_cols + 1)
+    col_match = np.full(n_cols + 1, n_rows, dtype=int)  # n_rows = sentinel
+    way = np.zeros(n_cols + 1, dtype=int)
+
+    for row in range(n_rows):
+        col_match[n_cols] = row
+        current_col = n_cols
+        min_to_col = np.full(n_cols + 1, np.inf)
+        used = np.zeros(n_cols + 1, dtype=bool)
+        while True:
+            used[current_col] = True
+            matched_row = col_match[current_col]
+            delta = np.inf
+            next_col = -1
+            for col in range(n_cols):
+                if used[col]:
+                    continue
+                reduced = (
+                    cost[matched_row, col]
+                    - row_potential[matched_row]
+                    - col_potential[col]
+                )
+                if reduced < min_to_col[col]:
+                    min_to_col[col] = reduced
+                    way[col] = current_col
+                if min_to_col[col] < delta:
+                    delta = min_to_col[col]
+                    next_col = col
+            for col in range(n_cols + 1):
+                if used[col]:
+                    row_potential[col_match[col]] += delta
+                    col_potential[col] -= delta
+                else:
+                    min_to_col[col] -= delta
+            current_col = next_col
+            if col_match[current_col] == n_rows:
+                break
+        while current_col != n_cols:
+            previous_col = way[current_col]
+            col_match[current_col] = col_match[previous_col]
+            current_col = previous_col
+
+    rows = col_match[:n_cols]
+    valid = rows < n_rows
+    row_idx = rows[valid]
+    col_idx = np.arange(n_cols)[valid]
+    order = np.argsort(row_idx)
+    row_idx, col_idx = row_idx[order], col_idx[order]
+    if transposed:
+        return col_idx, row_idx
+    return row_idx, col_idx
+
+
+def align_labels(
+    predicted: Sequence[int], reference: Sequence[int]
+) -> Dict[int, int]:
+    """Map predicted cluster labels onto reference labels by max overlap.
+
+    Returns a dict ``{predicted_label: reference_label}`` chosen to maximize
+    the number of samples on which the relabelled prediction agrees with the
+    reference.  Extra predicted labels (if the prediction has more distinct
+    labels than the reference) map to fresh labels beyond the reference's.
+    """
+    pred = np.asarray(predicted, dtype=int)
+    ref = np.asarray(reference, dtype=int)
+    if pred.shape != ref.shape:
+        raise ValueError(
+            f"predicted and reference must have the same length, "
+            f"got {pred.shape} and {ref.shape}"
+        )
+    pred_labels = np.unique(pred)
+    ref_labels = np.unique(ref)
+    overlap = np.zeros((pred_labels.size, ref_labels.size))
+    for i, plab in enumerate(pred_labels):
+        mask = pred == plab
+        for j, rlab in enumerate(ref_labels):
+            overlap[i, j] = np.count_nonzero(ref[mask] == rlab)
+    rows, cols = hungarian(-overlap)
+    mapping = {int(pred_labels[r]): int(ref_labels[c]) for r, c in zip(rows, cols)}
+    next_label = int(ref_labels.max()) + 1 if ref_labels.size else 0
+    for plab in pred_labels:
+        if int(plab) not in mapping:
+            mapping[int(plab)] = next_label
+            next_label += 1
+    return mapping

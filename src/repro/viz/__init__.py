@@ -1,0 +1,49 @@
+"""Terminal figure renderers (matplotlib-free)."""
+
+from repro.viz.image import (
+    matrix_to_image,
+    read_ppm,
+    save_rsca_figure,
+    save_temporal_figure,
+    write_ppm,
+)
+from repro.viz.operations import (
+    render_capacity_schedule,
+    render_forecast_strip,
+    render_hour_profile,
+    render_pca_scatter,
+    render_sleep_calendar,
+    render_weekly_profile,
+)
+from repro.viz.render import (
+    render_beeswarm_table,
+    render_dendrogram_summary,
+    render_distribution,
+    render_heatmap,
+    render_histogram,
+    render_rsca_heatmap,
+    render_sankey,
+    render_scan,
+)
+
+__all__ = [
+    "render_beeswarm_table",
+    "render_dendrogram_summary",
+    "render_distribution",
+    "render_heatmap",
+    "render_histogram",
+    "render_rsca_heatmap",
+    "render_sankey",
+    "render_scan",
+    "render_hour_profile",
+    "render_weekly_profile",
+    "render_capacity_schedule",
+    "render_sleep_calendar",
+    "render_forecast_strip",
+    "render_pca_scatter",
+    "matrix_to_image",
+    "write_ppm",
+    "read_ppm",
+    "save_rsca_figure",
+    "save_temporal_figure",
+]

@@ -1,0 +1,142 @@
+"""Terminal renderings for the operational extensions.
+
+Companions to :mod:`repro.viz.render` for the Section 7 planners and the
+forecasting module: weekly load profiles, per-slice capacity schedules,
+sleep calendars, and forecast-vs-actual strips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+#: Vertical bar glyphs, low to high.
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: np.ndarray) -> str:
+    """Unicode sparkline of a non-negative series."""
+    values = np.asarray(values, dtype=float)
+    peak = values.max()
+    if peak <= 0:
+        return " " * values.size
+    levels = np.clip(values / peak * (len(_BARS) - 1), 0,
+                     len(_BARS) - 1).astype(int)
+    return "".join(_BARS[level] for level in levels)
+
+
+def render_hour_profile(
+    profile: np.ndarray, title: str = "hour-of-day profile"
+) -> str:
+    """24-hour load profile as a labelled sparkline."""
+    values = np.asarray(profile, dtype=float)
+    if values.shape != (24,):
+        raise ValueError(f"profile must have 24 values, got {values.shape}")
+    ticks = "0     6     12    18    23"
+    return f"{title}\n{_sparkline(values)}\n{ticks}"
+
+
+def render_weekly_profile(
+    profile: np.ndarray, title: str = "week-hour profile"
+) -> str:
+    """168-hour weekly profile rendered day by day."""
+    values = np.asarray(profile, dtype=float)
+    if values.shape != (168,):
+        raise ValueError(f"profile must have 168 values, got {values.shape}")
+    days = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+    lines = [title]
+    for d, day in enumerate(days):
+        lines.append(f"{day} {_sparkline(values[d * 24:(d + 1) * 24])}")
+    return "\n".join(lines)
+
+
+def render_capacity_schedule(
+    schedule: np.ndarray, cluster: int
+) -> str:
+    """Per-hour capacity allocation of one slice as a sparkline."""
+    values = np.asarray(schedule, dtype=float)
+    if values.shape != (24,):
+        raise ValueError(f"schedule must have 24 values, got {values.shape}")
+    return render_hour_profile(values, title=f"slice c{cluster} capacity")
+
+
+def render_sleep_calendar(schedule) -> str:
+    """Weekly sleep calendar of one cluster ('z' = sleeping)."""
+    weekday = np.zeros(24, dtype=bool)
+    weekend = np.zeros(24, dtype=bool)
+    weekday[list(schedule.weekday_sleep_hours)] = True
+    weekend[list(schedule.weekend_sleep_hours)] = True
+
+    def row(mask):
+        return "".join("z" if asleep else "." for asleep in mask)
+
+    return (
+        f"cluster {schedule.cluster} sleep calendar "
+        f"(saves {schedule.energy_saving:.0%}, "
+        f"risks {schedule.traffic_at_risk:.1%})\n"
+        f"weekdays {row(weekday)}\n"
+        f"weekends {row(weekend)}\n"
+        f"hours    0     6     12    18    23"
+    )
+
+
+def render_forecast_strip(
+    actual: np.ndarray,
+    forecast: np.ndarray,
+    title: str = "forecast vs actual",
+    width: int = 72,
+) -> str:
+    """Actual and forecast series as stacked sparklines (downsampled)."""
+    a = np.asarray(actual, dtype=float)
+    f = np.asarray(forecast, dtype=float)
+    if a.shape != f.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {f.shape}")
+    if a.size > width:
+        # Downsample by block means to fit the terminal.
+        edges = np.linspace(0, a.size, width + 1).astype(int)
+        a = np.array([a[lo:hi].mean() for lo, hi in zip(edges, edges[1:])])
+        f = np.array([f[lo:hi].mean() for lo, hi in zip(edges, edges[1:])])
+    peak = max(a.max(), f.max(), 1e-12)
+    return (
+        f"{title}\n"
+        f"actual   {_sparkline(a / peak * peak)}\n"
+        f"forecast {_sparkline(f / peak * peak)}"
+    )
+
+
+def render_pca_scatter(
+    projected: np.ndarray,
+    labels: Sequence[int],
+    width: int = 60,
+    height: int = 20,
+    title: str = "PCA projection (PC1 x PC2)",
+) -> str:
+    """Character scatter of the first two principal components.
+
+    Each cell shows the digit of the modal cluster among its points.
+    """
+    points = np.asarray(projected, dtype=float)
+    if points.ndim != 2 or points.shape[1] < 2:
+        raise ValueError("projected must have at least two columns")
+    labels = np.asarray(labels)
+    if labels.shape[0] != points.shape[0]:
+        raise ValueError("one label per projected row is required")
+    x, y = points[:, 0], points[:, 1]
+    x_lo, x_hi = x.min(), x.max()
+    y_lo, y_hi = y.min(), y.max()
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+    cols = np.clip(((x - x_lo) / x_span * (width - 1)).astype(int), 0, width - 1)
+    rows = np.clip(((y_hi - y) / y_span * (height - 1)).astype(int), 0,
+                   height - 1)
+    grid = [[" "] * width for _ in range(height)]
+    cell_votes: Dict = {}
+    for r, c, label in zip(rows, cols, labels):
+        cell_votes.setdefault((r, c), []).append(label)
+    for (r, c), votes in cell_votes.items():
+        values, counts = np.unique(votes, return_counts=True)
+        grid[r][c] = str(values[np.argmax(counts)])[-1]
+    lines = [title]
+    lines.extend("".join(row) for row in grid)
+    return "\n".join(lines)

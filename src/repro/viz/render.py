@@ -1,0 +1,167 @@
+"""Terminal renderings of the paper's figures.
+
+matplotlib is unavailable in the reproduction environment, so figures are
+regenerated as data series plus text renderings: unicode-shade heatmaps,
+bar histograms, dendrogram outlines, Sankey flow listings, and beeswarm
+ranking tables.  Every renderer returns a string (no printing side
+effects).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Shade ramp for heatmaps, light to dark.
+_SHADES = " .:-=+*#%@"
+
+
+def _shade(value: float) -> str:
+    """Map a [0, 1] value onto the shade ramp."""
+    level = int(np.clip(value, 0.0, 1.0) * (len(_SHADES) - 1))
+    return _SHADES[level]
+
+
+def render_histogram(
+    counts: np.ndarray,
+    bin_edges: np.ndarray,
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Horizontal bar rendering of a histogram (Fig. 1 panels)."""
+    counts = np.asarray(counts, dtype=float)
+    edges = np.asarray(bin_edges, dtype=float)
+    if counts.size + 1 != edges.size:
+        raise ValueError(
+            f"expected len(edges) == len(counts) + 1, got {edges.size} and {counts.size}"
+        )
+    peak = counts.max() if counts.size else 1.0
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak)) if peak > 0 else ""
+        lines.append(f"[{edges[i]:>8.2f}, {edges[i + 1]:>8.2f}) |{bar} {int(count)}")
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    values: np.ndarray,
+    row_labels: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Shade-character heatmap of a [0, 1] matrix (Figs. 4, 10, 11)."""
+    matrix = np.asarray(values, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"heatmap needs a 2-D matrix, got shape {matrix.shape}")
+    if row_labels is not None and len(row_labels) != matrix.shape[0]:
+        raise ValueError(
+            f"{len(row_labels)} row labels for {matrix.shape[0]} rows"
+        )
+    label_width = max((len(str(l)) for l in row_labels), default=0) if row_labels else 0
+    lines = [title] if title else []
+    for i, row in enumerate(matrix):
+        label = f"{row_labels[i]:>{label_width}} " if row_labels else ""
+        lines.append(label + "".join(_shade(v) for v in row))
+    return "\n".join(lines)
+
+
+def render_rsca_heatmap(
+    rsca_matrix: np.ndarray,
+    labels: Sequence[int],
+    service_names: Sequence[str],
+    title: str = "RSCA by cluster (Fig. 4)",
+) -> str:
+    """Fig. 4: services (rows) x cluster-ordered antennas (columns).
+
+    Antenna columns are grouped by cluster; the RSCA in [-1, 1] maps to
+    shades with '-' (under), ' ' (neutral), '+' (over) semantics.
+    """
+    matrix = np.asarray(rsca_matrix, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    order = np.argsort(labels, kind="stable")
+    # Column-compress: average antennas in blocks to fit a terminal.
+    blocks = np.array_split(order, min(100, order.size))
+    compressed = np.stack([matrix[idx].mean(axis=0) for idx in blocks], axis=1)
+    lines = [title]
+    for j, name in enumerate(service_names):
+        row = compressed[j]
+        cells = "".join(
+            "+" if v > 0.25 else ("-" if v < -0.25 else ".") for v in row
+        )
+        lines.append(f"{name[:24]:>24} {cells}")
+    return "\n".join(lines)
+
+
+def render_dendrogram_summary(
+    linkage_matrix: np.ndarray,
+    n_clusters: int,
+    cluster_sizes: Dict[int, int],
+    group_of: Dict[int, int],
+    title: str = "Dendrogram (Fig. 3)",
+) -> str:
+    """Textual dendrogram summary: cut heights, groups, cluster sizes."""
+    z = np.asarray(linkage_matrix, dtype=float)
+    lines = [title, f"leaves: {z.shape[0] + 1}"]
+    top_heights = z[-max(0, n_clusters - 1):, 2][::-1]
+    lines.append(
+        "top merge heights: " + ", ".join(f"{h:.2f}" for h in top_heights)
+    )
+    by_group: Dict[int, List[int]] = {}
+    for cluster, group in group_of.items():
+        by_group.setdefault(group, []).append(cluster)
+    for group in sorted(by_group):
+        members = sorted(by_group[group])
+        sizes = ", ".join(f"{c}({cluster_sizes.get(c, 0)})" for c in members)
+        lines.append(f"group {group}: clusters {sizes}")
+    return "\n".join(lines)
+
+
+def render_sankey(
+    flows: Sequence[Tuple[int, object, int]],
+    title: str = "Cluster -> environment flows (Fig. 6)",
+    top: int = 30,
+) -> str:
+    """Text listing of the largest cluster -> environment flows."""
+    lines = [title]
+    total = sum(f[2] for f in flows)
+    for cluster, env, count in list(flows)[:top]:
+        env_name = getattr(env, "value", str(env))
+        bar = "=" * max(1, int(round(40 * count / max(total, 1) * 10)))
+        lines.append(f"cluster {cluster:>2} -> {env_name:<12} {count:>5} {bar[:40]}")
+    return "\n".join(lines)
+
+
+def render_beeswarm_table(
+    explanation, top: int = 25, title: Optional[str] = None
+) -> str:
+    """Ranked SHAP importance table for one cluster (one Fig. 5 panel)."""
+    lines = [title or f"Cluster {explanation.cluster} SHAP importances (Fig. 5)"]
+    lines.append(f"{'rank':>4} {'service':<26} {'mean|SHAP|':>10} {'direction':>9}")
+    for rank, si in enumerate(explanation.top(top)):
+        lines.append(
+            f"{rank:>4} {si.service:<26} {si.mean_abs_shap:>10.4f} {si.direction:>9}"
+        )
+    return "\n".join(lines)
+
+
+def render_scan(ks: Sequence[int], silhouette: Sequence[float],
+                dunn: Sequence[float], title: str = "k-selection (Fig. 2)") -> str:
+    """Silhouette / Dunn table over candidate k."""
+    lines = [title, f"{'k':>3} {'silhouette':>11} {'dunn':>8}"]
+    for k, sil, dn in zip(ks, silhouette, dunn):
+        lines.append(f"{k:>3} {sil:>11.4f} {dn:>8.4f}")
+    return "\n".join(lines)
+
+
+def render_distribution(
+    distribution: Dict[int, float],
+    title: str = "Outdoor cluster distribution (Fig. 9)",
+    width: int = 50,
+) -> str:
+    """Bar chart of a cluster -> fraction mapping."""
+    lines = [title]
+    for cluster in sorted(distribution):
+        fraction = distribution[cluster]
+        bar = "#" * int(round(width * fraction))
+        lines.append(f"cluster {cluster:>2} {fraction:>6.1%} |{bar}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Shared fixtures: scaled-down and full-scale synthetic datasets.
+
+The full paper-scale dataset (4,762 antennas) and its fitted profile are
+expensive, so they are session-scoped and only built by the integration
+tests that need them; unit tests use a ~1/10-scale deployment that keeps
+every environment type and archetype present.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ICNProfiler
+from repro.datagen.calendar import StudyCalendar
+from repro.datagen.dataset import generate_dataset
+from repro.datagen.scenarios import scaled_specs as _library_scaled_specs
+
+
+def scaled_specs(scale: float = 0.1, minimum: int = 6):
+    """Table 1 deployment scaled down, every environment kept non-trivial."""
+    return _library_scaled_specs(scale, minimum_per_environment=minimum)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """~480-antenna deployment over the full study calendar."""
+    return generate_dataset(master_seed=7, specs=scaled_specs(0.1))
+
+
+@pytest.fixture(scope="session")
+def small_profile(small_dataset):
+    """Fitted pipeline on the small dataset, aligned to the archetypes."""
+    profiler = ICNProfiler(n_clusters=9, surrogate_trees=30)
+    return profiler.fit(small_dataset, align_to=small_dataset.archetypes())
+
+
+@pytest.fixture(scope="session")
+def full_dataset():
+    """The paper-scale deployment (4,762 antennas, 73 services)."""
+    return generate_dataset(master_seed=0)
+
+
+@pytest.fixture(scope="session")
+def full_profile(full_dataset):
+    """Fitted paper-scale pipeline, aligned to the archetypes."""
+    profiler = ICNProfiler(n_clusters=9)
+    return profiler.fit(full_dataset, align_to=full_dataset.archetypes())
+
+
+@pytest.fixture(scope="session")
+def short_calendar():
+    """A one-week calendar covering the strike day, for temporal tests."""
+    return StudyCalendar(
+        np.datetime64("2023-01-16T00", "h"), np.datetime64("2023-01-22T23", "h")
+    )
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,83 @@
+"""Tests for the chi-square / Cramér's V association machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.association import (
+    association_test,
+    chi_square_statistic,
+    cramers_v,
+)
+
+
+class TestChiSquare:
+    def test_independent_table_zero(self):
+        # Perfectly proportional rows -> expected == observed -> chi2 = 0.
+        table = np.array([[10.0, 20.0], [20.0, 40.0]])
+        assert chi_square_statistic(table) == pytest.approx(0.0)
+
+    def test_hand_computed(self):
+        # 2x2 table [[10, 0], [0, 10]]: chi2 = n = 20.
+        table = np.array([[10.0, 0.0], [0.0, 10.0]])
+        assert chi_square_statistic(table) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            chi_square_statistic(np.array([[1.0, -1.0]]))
+        with pytest.raises(ValueError, match="empty"):
+            chi_square_statistic(np.zeros((2, 2)))
+
+
+class TestCramersV:
+    def test_perfect_association_is_one(self):
+        table = np.diag([5.0, 7.0, 9.0])
+        assert cramers_v(table) == pytest.approx(1.0)
+
+    def test_independence_is_zero(self):
+        table = np.array([[10.0, 20.0], [20.0, 40.0]])
+        assert cramers_v(table) == pytest.approx(0.0)
+
+    def test_single_row_is_zero(self):
+        assert cramers_v(np.array([[3.0, 4.0]])) == 0.0
+
+
+class TestAssociationTest:
+    def test_dependent_labels_significant(self, rng):
+        a = rng.integers(0, 3, size=300)
+        b = (a + (rng.random(300) < 0.1)) % 3  # near-copy of a
+        result = association_test(a, b, n_permutations=200, random_state=0)
+        assert result.cramers_v > 0.7
+        assert result.p_value < 0.01
+
+    def test_independent_labels_not_significant(self, rng):
+        a = rng.integers(0, 3, size=300)
+        b = rng.integers(0, 4, size=300)
+        result = association_test(a, b, n_permutations=200, random_state=0)
+        assert result.cramers_v < 0.25
+        assert result.p_value > 0.05
+
+    def test_deterministic(self, rng):
+        a = rng.integers(0, 3, size=100)
+        b = rng.integers(0, 3, size=100)
+        r1 = association_test(a, b, n_permutations=50, random_state=7)
+        r2 = association_test(a, b, n_permutations=50, random_state=7)
+        assert r1.p_value == r2.p_value
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            association_test([0, 1], [0, 1, 2])
+        with pytest.raises(ValueError, match="n_permutations"):
+            association_test([0, 1], [0, 1], n_permutations=0)
+
+    def test_cluster_environment_association_is_strong(
+        self, small_dataset, small_profile
+    ):
+        """Quantifies the paper's Figs. 6-8 claim: clusters and indoor
+        environments are strongly associated."""
+        envs = [e.value for e in small_dataset.environment_types()]
+        result = association_test(
+            small_profile.labels, np.asarray(envs),
+            n_permutations=100, random_state=0,
+        )
+        assert result.cramers_v > 0.6
+        assert result.p_value < 0.02

@@ -1,0 +1,90 @@
+"""Tests for longitudinal drift comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.drift import compare_partitions
+from repro.core.cluster import AgglomerativeClustering
+from repro.core.rca import rsca
+
+
+def toy_periods(rng, drift=0.0, extra_cluster=False):
+    """Two periods over the same 60 antennas with controllable drift."""
+    centers = 6.0 * np.eye(3, 5)
+    xa = np.vstack([
+        center + rng.normal(scale=0.3, size=(20, 5)) for center in centers
+    ])
+    labels = np.repeat(np.arange(3), 20)
+    xb = xa + rng.normal(scale=0.05, size=xa.shape)
+    xb[labels == 1, 0] += drift  # cluster 1 drifts along feature 0
+    labels_b = labels.copy()
+    if extra_cluster:
+        # Twenty antennas of cluster 2 jump to a brand-new profile.
+        xb[40:60] = -6.0 * np.ones(5) + rng.normal(scale=0.3, size=(20, 5))
+        labels_b = labels.copy()
+        labels_b[40:60] = 3
+    return xa, labels, xb, labels_b
+
+
+NAMES = [f"svc{j}" for j in range(5)]
+
+
+class TestComparePartitions:
+    def test_stable_periods_match_fully(self, rng):
+        xa, la, xb, lb = toy_periods(rng)
+        report = compare_partitions(xa, la, xb, lb, NAMES)
+        assert len(report.matches) == 3
+        assert not report.emerging
+        assert not report.vanished
+        assert report.mean_centroid_drift < 0.1
+        for match in report.matches:
+            assert match.cluster_a == match.cluster_b
+            assert match.membership_overlap == 1.0
+
+    def test_drift_attributed_to_right_service(self, rng):
+        xa, la, xb, lb = toy_periods(rng, drift=0.8)
+        report = compare_partitions(xa, la, xb, lb, NAMES)
+        match = report.match_for(1)
+        assert match is not None
+        top_service, delta = match.top_drifting_services[0]
+        assert top_service == "svc0"
+        assert delta == pytest.approx(0.8, abs=0.1)
+
+    def test_emerging_cluster_detected(self, rng):
+        xa, la, xb, lb = toy_periods(rng, extra_cluster=True)
+        report = compare_partitions(xa, la, xb, lb, NAMES,
+                                    match_threshold=2.0)
+        assert 3 in report.emerging
+        assert 2 in report.vanished
+
+    def test_summary_text(self, rng):
+        xa, la, xb, lb = toy_periods(rng, drift=0.5)
+        report = compare_partitions(xa, la, xb, lb, NAMES)
+        text = report.summary()
+        assert "matched clusters" in text
+        assert "A:1 <-> B:1" in text
+
+    def test_validation(self, rng):
+        xa, la, xb, lb = toy_periods(rng)
+        with pytest.raises(ValueError, match="share a shape"):
+            compare_partitions(xa, la, xb[:-1], lb[:-1], NAMES)
+        with pytest.raises(ValueError, match="service names"):
+            compare_partitions(xa, la, xb, lb, NAMES[:-1])
+        with pytest.raises(ValueError, match="match_threshold"):
+            compare_partitions(xa, la, xb, lb, NAMES, match_threshold=0.0)
+
+    def test_on_generated_half_periods(self, small_dataset):
+        """The two study halves yield matched, low-drift profiles."""
+        n = small_dataset.calendar.n_hours
+        first = small_dataset.model.window_totals(slice(0, n // 2))
+        second = small_dataset.model.window_totals(slice(n // 2, n))
+        fa, fb = rsca(first), rsca(second)
+        la = AgglomerativeClustering(n_clusters=9).fit_predict(fa)
+        lb = AgglomerativeClustering(n_clusters=9).fit_predict(fb)
+        report = compare_partitions(fa, la, fb, lb,
+                                    small_dataset.service_names)
+        assert len(report.matches) == 9
+        assert not report.emerging and not report.vanished
+        assert report.mean_centroid_drift < 0.5
+        overlaps = [m.membership_overlap for m in report.matches]
+        assert min(overlaps) > 0.8

@@ -1,0 +1,131 @@
+"""Tests for keyword extraction and cluster/environment contingency."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.environment import (
+    ContingencyTable,
+    contingency,
+    environment_table,
+    extract_environment,
+    paris_share,
+)
+from repro.datagen.environments import EnvironmentType, TABLE1_COUNTS
+
+
+class TestExtractEnvironment:
+    @pytest.mark.parametrize("name,expected", [
+        ("PARIS-METRO-0001-ANT01", EnvironmentType.METRO),
+        ("PARIS-RER-0044-ANT02", EnvironmentType.METRO),
+        ("LYON-GARE-0002-ANT01", EnvironmentType.TRAIN),
+        ("NICE-AEROPORT-0001-ANT05", EnvironmentType.AIRPORT),
+        ("PARIS-TERMINAL-0003-ANT01", EnvironmentType.AIRPORT),
+        ("PARIS-BUREAU-0101-ANT01", EnvironmentType.WORKSPACE),
+        ("LILLE-CAMPUS-ENTREPRISE-01-ANT1", EnvironmentType.WORKSPACE),
+        ("DIJON-CENTRE-COMMERCIAL-07-ANT2", EnvironmentType.COMMERCIAL),
+        ("PARIS-STADE-0001-ANT20", EnvironmentType.STADIUM),
+        ("PARIS-ARENA-0002-ANT01", EnvironmentType.STADIUM),
+        ("LYON-PARC-EXPOSITIONS-01-ANT1", EnvironmentType.EXPO),
+        ("NANTES-HOTEL-0001-ANT01", EnvironmentType.HOTEL),
+        ("PARIS-CHU-0001-ANT01", EnvironmentType.HOSPITAL),
+        ("GRENOBLE-TUNNEL-0004-ANT01", EnvironmentType.TUNNEL),
+        ("PARIS-MUSEE-0002-ANT01", EnvironmentType.PUBLIC),
+    ])
+    def test_known_keywords(self, name, expected):
+        assert extract_environment(name) == expected
+
+    def test_case_insensitive(self):
+        assert extract_environment("paris-metro-0001") == EnvironmentType.METRO
+
+    def test_unknown_returns_none(self):
+        assert extract_environment("SOMEWHERE-ELSE-01") is None
+
+    def test_empty_returns_none(self):
+        assert extract_environment("") is None
+
+    def test_keyword_must_be_token(self):
+        # "METROPOLE" contains "METRO" as a prefix but is not the token.
+        assert extract_environment("PARIS-METROPOLE-01") is None
+
+    def test_all_generated_names_parse(self, small_dataset):
+        for antenna in small_dataset.antennas:
+            assert extract_environment(antenna.name) == antenna.env_type
+
+
+class TestEnvironmentTable:
+    def test_reproduces_table1_full_scale(self, full_dataset):
+        table = environment_table(full_dataset.antenna_names())
+        for env, expected in TABLE1_COUNTS.items():
+            assert table[env] == expected
+
+    def test_unrecognized_names_ignored(self):
+        table = environment_table(["X-Y-Z", "PARIS-METRO-01"])
+        assert table[EnvironmentType.METRO] == 1
+        assert sum(table.values()) == 1
+
+
+class TestContingency:
+    @pytest.fixture()
+    def toy(self):
+        labels = [0, 0, 0, 1, 1, 2]
+        envs = [
+            EnvironmentType.METRO, EnvironmentType.METRO, EnvironmentType.TRAIN,
+            EnvironmentType.STADIUM, EnvironmentType.STADIUM,
+            EnvironmentType.WORKSPACE,
+        ]
+        return contingency(labels, envs)
+
+    def test_counts(self, toy):
+        assert toy.counts.sum() == 6
+        metro_col = toy.environments.index(EnvironmentType.METRO)
+        assert toy.counts[0, metro_col] == 2
+
+    def test_cluster_composition_rows_sum_to_one(self, toy):
+        comp = toy.cluster_composition()
+        np.testing.assert_allclose(comp.sum(axis=1), 1.0)
+
+    def test_environment_distribution_columns(self, toy):
+        dist = toy.environment_distribution()
+        stadium_col = toy.environments.index(EnvironmentType.STADIUM)
+        assert dist[:, stadium_col].sum() == pytest.approx(1.0)
+
+    def test_composition_of(self, toy):
+        comp = toy.composition_of(0)
+        assert comp[EnvironmentType.METRO] == pytest.approx(2 / 3)
+        assert comp[EnvironmentType.TRAIN] == pytest.approx(1 / 3)
+
+    def test_distribution_of(self, toy):
+        dist = toy.distribution_of(EnvironmentType.STADIUM)
+        assert dist[1] == pytest.approx(1.0)
+        assert dist[0] == 0.0
+
+    def test_sankey_flows_sorted(self, toy):
+        flows = toy.sankey_flows()
+        counts = [f[2] for f in flows]
+        assert counts == sorted(counts, reverse=True)
+        assert sum(counts) == 6
+
+    def test_dominant_environment(self, toy):
+        assert toy.dominant_environment(0) == EnvironmentType.METRO
+        assert toy.dominant_environment(1) == EnvironmentType.STADIUM
+
+    def test_unknown_cluster_raises(self, toy):
+        with pytest.raises(KeyError, match="unknown cluster"):
+            toy.composition_of(9)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            contingency([0, 1], [EnvironmentType.METRO])
+
+
+class TestParisShare:
+    def test_shares(self):
+        labels = [0, 0, 1, 1]
+        mask = [True, True, True, False]
+        shares = paris_share(labels, mask)
+        assert shares[0] == 1.0
+        assert shares[1] == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            paris_share([0, 1], [True])

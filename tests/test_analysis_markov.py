@@ -1,0 +1,93 @@
+"""Tests for the two-state Markov usage baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.markov import (
+    MarkovUsageModel,
+    activity_states,
+    cluster_markov_models,
+    fit_markov,
+)
+
+
+class TestActivityStates:
+    def test_thresholding(self):
+        series = np.array([0.0, 0.0, 10.0, 10.0])
+        states = activity_states(series, threshold_fraction=0.2)
+        np.testing.assert_array_equal(states, [False, False, True, True])
+
+    def test_zero_series_all_idle(self):
+        states = activity_states(np.zeros(10))
+        assert not states.any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="series"):
+            activity_states(np.array([1.0]))
+        with pytest.raises(ValueError, match="threshold_fraction"):
+            activity_states(np.ones(5), threshold_fraction=0.0)
+
+
+class TestFitMarkov:
+    def test_alternating_sequence(self):
+        states = np.array([True, False] * 50)
+        model = fit_markov(states)
+        assert model.p_stay_active < 0.1
+        assert model.p_stay_idle < 0.1
+        assert model.duty_cycle == pytest.approx(0.5, abs=0.05)
+
+    def test_persistent_sequence(self):
+        states = np.array([True] * 50 + [False] * 50)
+        model = fit_markov(states)
+        assert model.p_stay_active > 0.9
+        assert model.p_stay_idle > 0.9
+
+    def test_duty_cycle_tracks_activity_share(self, rng):
+        states = rng.random(2000) < 0.3  # iid 30% active
+        model = fit_markov(states)
+        assert model.duty_cycle == pytest.approx(0.3, abs=0.05)
+
+    def test_run_lengths(self):
+        model = MarkovUsageModel(p_stay_active=0.9, p_stay_idle=0.5,
+                                 duty_cycle=0.8)
+        assert model.mean_active_run_hours == pytest.approx(10.0)
+        assert model.mean_idle_run_hours == pytest.approx(2.0)
+
+    def test_all_active_smoothed(self):
+        model = fit_markov(np.ones(100, dtype=bool))
+        assert 0.9 < model.p_stay_active < 1.0
+        assert model.duty_cycle > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="states"):
+            fit_markov(np.array([True]))
+
+
+class TestClusterModels:
+    def test_cluster_rhythms_separate(self, small_dataset, small_profile):
+        models = cluster_markov_models(
+            small_dataset, small_profile.labels, max_antennas=10
+        )
+        assert sorted(models) == sorted(small_profile.cluster_sizes())
+        # Offices (cluster 3) idle longer than always-open retail (2):
+        # weekends and nights are idle streaks.
+        assert (models[3].mean_idle_run_hours
+                > models[2].mean_idle_run_hours)
+        # Commuters (0) have a lower duty cycle than general use (1).
+        assert models[0].duty_cycle < models[1].duty_cycle
+
+    def test_office_rhythm_most_intermittent(self, small_dataset,
+                                             small_profile):
+        models = cluster_markov_models(
+            small_dataset, small_profile.labels, max_antennas=10
+        )
+        # Offices have the longest idle streaks (nights + whole weekends)
+        # and the lowest duty cycle of all clusters.
+        idle_runs = {c: m.mean_idle_run_hours for c, m in models.items()}
+        duty = {c: m.duty_cycle for c, m in models.items()}
+        assert max(idle_runs, key=idle_runs.get) == 3
+        assert min(duty, key=duty.get) == 3
+
+    def test_label_mismatch(self, small_dataset, small_profile):
+        with pytest.raises(ValueError, match="labels length"):
+            cluster_markov_models(small_dataset, small_profile.labels[:-1])

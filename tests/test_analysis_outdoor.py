@@ -1,0 +1,64 @@
+"""Tests for the indoor/outdoor comparison (Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.outdoor import OutdoorComparison, classify_outdoor
+from repro.ml.forest import RandomForestClassifier
+
+
+class TestOutdoorComparison:
+    def test_distribution_accessors(self):
+        comparison = OutdoorComparison(
+            labels=np.array([1, 1, 1, 2]),
+            distribution={1: 0.75, 2: 0.25, 3: 0.0},
+        )
+        assert comparison.fraction_of(1) == 0.75
+        assert comparison.fraction_of(9) == 0.0
+        assert comparison.dominant_cluster() == 1
+        assert comparison.fraction_in([2, 3]) == 0.25
+
+
+class TestClassifyOutdoor:
+    @pytest.fixture(scope="class")
+    def fitted(self, small_profile, small_dataset):
+        antennas, totals = small_dataset.outdoor(count=400)
+        comparison = small_profile.classify_outdoor(totals, small_dataset.totals)
+        return comparison
+
+    def test_labels_shape(self, fitted):
+        assert fitted.labels.shape == (400,)
+
+    def test_distribution_sums_to_one(self, fitted):
+        assert sum(fitted.distribution.values()) == pytest.approx(1.0)
+
+    def test_all_clusters_reported(self, fitted, small_profile):
+        assert sorted(fitted.distribution) == sorted(
+            small_profile.cluster_sizes()
+        )
+
+    def test_general_use_dominates(self, fitted):
+        # Fig. 9: the general-use cluster absorbs the majority of outdoor
+        # antennas (paper: ~70%).
+        assert fitted.dominant_cluster() == 1
+        assert fitted.fraction_of(1) > 0.5
+
+    def test_specialized_clusters_negligible(self, fitted):
+        # Workplace/stadium/commuter clusters nearly absent outdoors.
+        for cluster in (0, 4, 6, 7, 8):
+            assert fitted.fraction_of(cluster) < 0.10, cluster
+
+    def test_shape_validation(self, small_profile, small_dataset):
+        with pytest.raises(ValueError, match="number of services"):
+            classify_outdoor(
+                small_profile.surrogate, np.ones((5, 10)), small_dataset.totals
+            )
+
+    def test_explicit_cluster_list(self, small_profile, small_dataset):
+        _, totals = small_dataset.outdoor(count=50)
+        comparison = classify_outdoor(
+            small_profile.surrogate, totals, small_dataset.totals,
+            all_clusters=range(12),
+        )
+        assert sorted(comparison.distribution) == list(range(12))
+        assert comparison.fraction_of(11) == 0.0

@@ -1,0 +1,51 @@
+"""Tests for the markdown profile report."""
+
+import pytest
+
+from repro.analysis.report import profile_report
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    small_dataset = request.getfixturevalue("small_dataset")
+    small_profile = request.getfixturevalue("small_profile")
+    return profile_report(
+        small_dataset, small_profile, outdoor_count=150,
+        samples_per_cluster=8, max_antennas=12,
+    )
+
+
+class TestProfileReport:
+    def test_is_markdown_with_sections(self, report):
+        assert report.startswith("# Indoor cellular demand profile")
+        assert "## Cluster inventory" in report
+        assert "## Temporal regimes" in report
+        assert "## Outdoor comparison" in report
+
+    def test_all_clusters_listed(self, report, small_profile):
+        for cluster in small_profile.cluster_sizes():
+            assert f"| {cluster} |" in report
+
+    def test_inventory_has_environments_and_services(self, report):
+        assert "metro" in report
+        assert "workspace" in report
+        # At least one characterizing service name appears.
+        assert any(
+            name in report
+            for name in ("Spotify", "Microsoft Teams", "Mappy", "LinkedIn")
+        )
+
+    def test_temporal_table_has_rows(self, report):
+        section = report.split("## Temporal regimes")[1]
+        rows = [line for line in section.splitlines()
+                if line.startswith("| ") and "cluster" not in line
+                and "---" not in line]
+        assert len(rows) >= 9
+
+    def test_outdoor_sentence(self, report):
+        assert "macro layer" in report
+
+    def test_without_outdoor(self, small_dataset, small_profile):
+        text = profile_report(small_dataset, small_profile,
+                              samples_per_cluster=8, max_antennas=10)
+        assert "## Outdoor comparison" not in text

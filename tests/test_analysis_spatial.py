@@ -1,0 +1,101 @@
+"""Tests for the spatial (city/surrounding) cluster analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spatial import (
+    city_cluster_inventory,
+    paper_geography_checks,
+    spatial_breakdown,
+)
+from repro.datagen.antennas import Antenna
+from repro.datagen.archetypes import Archetype
+from repro.datagen.environments import EnvironmentType, Surrounding
+
+
+def make_antenna(i, city, is_paris, surrounding=Surrounding.URBAN):
+    return Antenna(
+        antenna_id=i, name=f"{city.upper()}-METRO-{i:04d}", site_id=0,
+        env_type=EnvironmentType.METRO, city=city, is_paris=is_paris,
+        surrounding=surrounding, lat=48.0, lon=2.0,
+        archetype=Archetype.GENERAL_USE,
+    )
+
+
+class TestSpatialBreakdown:
+    @pytest.fixture()
+    def toy(self):
+        antennas = [
+            make_antenna(0, "Paris", True),
+            make_antenna(1, "Paris", True),
+            make_antenna(2, "Lyon", False, Surrounding.SUBURBAN),
+            make_antenna(3, "Lille", False),
+        ]
+        labels = [0, 0, 1, 1]
+        return spatial_breakdown(antennas, labels)
+
+    def test_paris_shares(self, toy):
+        assert toy.paris_shares[0] == 1.0
+        assert toy.paris_shares[1] == 0.0
+
+    def test_city_shares(self, toy):
+        assert toy.city_shares[0] == {"Paris": 1.0}
+        assert toy.city_shares[1] == {"Lyon": 0.5, "Lille": 0.5}
+
+    def test_surrounding_shares(self, toy):
+        assert toy.surrounding_shares[1][Surrounding.SUBURBAN] == 0.5
+
+    def test_top_city(self, toy):
+        assert toy.top_city(0) == ("Paris", 1.0)
+        with pytest.raises(KeyError):
+            toy.top_city(9)
+
+    def test_capital_classification(self, toy):
+        assert toy.is_capital_cluster(0)
+        assert not toy.is_capital_cluster(1)
+        assert toy.non_capital_clusters() == [1]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="labels length"):
+            spatial_breakdown([make_antenna(0, "Paris", True)], [0, 1])
+
+    def test_on_generated_profile(self, small_dataset, small_profile):
+        breakdown = spatial_breakdown(small_dataset.antennas,
+                                      small_profile.labels)
+        # The ~480-antenna run has more sampling noise than the full
+        # deployment, so the commuter Paris threshold is relaxed a touch.
+        checks = paper_geography_checks(breakdown, commuter_threshold=0.75)
+        failed = [name for name, ok in checks.items() if not ok]
+        assert not failed, f"failed geography checks: {failed}"
+
+    def test_cluster7_cities_are_metro_cities(self, small_dataset,
+                                              small_profile):
+        breakdown = spatial_breakdown(small_dataset.antennas,
+                                      small_profile.labels)
+        assert set(breakdown.city_shares[7]) <= {
+            "Lille", "Lyon", "Rennes", "Toulouse"
+        }
+
+
+class TestInventory:
+    def test_counts(self):
+        antennas = [
+            make_antenna(0, "Paris", True),
+            make_antenna(1, "Paris", True),
+            make_antenna(2, "Lyon", False),
+        ]
+        inventory = city_cluster_inventory(antennas, [0, 1, 0])
+        assert inventory["Paris"] == {0: 1, 1: 1}
+        assert inventory["Lyon"] == {0: 1}
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="labels length"):
+            city_cluster_inventory([make_antenna(0, "Paris", True)], [])
+
+
+class TestGeographyChecks:
+    def test_missing_cluster_rejected(self):
+        antennas = [make_antenna(0, "Paris", True)]
+        breakdown = spatial_breakdown(antennas, [0])
+        with pytest.raises(ValueError, match="lacks clusters"):
+            paper_geography_checks(breakdown)

@@ -1,0 +1,110 @@
+"""Tests for bootstrap and temporal stability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stability import (
+    bootstrap_stability,
+    temporal_stability,
+)
+
+
+@pytest.fixture()
+def blobs(rng):
+    centers = 8.0 * np.eye(3, 4)
+    x = np.vstack([
+        center + rng.normal(scale=0.3, size=(30, 4)) for center in centers
+    ])
+    labels = np.repeat(np.arange(3), 30)
+    return x, labels
+
+
+@pytest.fixture()
+def smeared(rng):
+    # Two barely separated groups: unstable under resampling.
+    x = np.vstack([
+        rng.normal(0.0, 1.0, size=(40, 3)),
+        rng.normal(0.7, 1.0, size=(40, 3)),
+    ])
+    labels = np.repeat([0, 1], 40)
+    return x, labels
+
+
+class TestBootstrapStability:
+    def test_well_separated_is_stable(self, blobs):
+        x, labels = blobs
+        result = bootstrap_stability(x, labels, n_replicates=5,
+                                     random_state=0)
+        assert result.mean_ari > 0.95
+        assert all(v > 0.9 for v in result.per_cluster_stability.values())
+
+    def test_smeared_is_less_stable(self, blobs, smeared):
+        x_good, labels_good = blobs
+        x_bad, labels_bad = smeared
+        good = bootstrap_stability(x_good, labels_good, n_replicates=5,
+                                   random_state=0)
+        bad = bootstrap_stability(x_bad, labels_bad, n_replicates=5,
+                                  n_clusters=2, random_state=0)
+        assert good.mean_ari > bad.mean_ari
+
+    def test_least_stable_cluster(self, blobs):
+        x, labels = blobs
+        result = bootstrap_stability(x, labels, n_replicates=4,
+                                     random_state=0)
+        assert result.least_stable_cluster() in set(labels.tolist())
+
+    def test_replicate_count(self, blobs):
+        x, labels = blobs
+        result = bootstrap_stability(x, labels, n_replicates=3,
+                                     random_state=0)
+        assert result.replicate_ari.shape == (3,)
+
+    def test_validation(self, blobs):
+        x, labels = blobs
+        with pytest.raises(ValueError, match="sample_fraction"):
+            bootstrap_stability(x, labels, sample_fraction=0.0)
+        with pytest.raises(ValueError, match="n_replicates"):
+            bootstrap_stability(x, labels, n_replicates=1)
+        with pytest.raises(ValueError, match="labels length"):
+            bootstrap_stability(x, labels[:-1])
+
+    def test_on_generated_profile(self, small_dataset, small_profile):
+        result = bootstrap_stability(
+            small_profile.features, small_profile.labels,
+            n_replicates=3, sample_fraction=0.7, random_state=0,
+        )
+        # The paper-style clusters are highly stable under resampling.
+        assert result.mean_ari > 0.9
+
+
+class TestTemporalStability:
+    def test_windows_agree_on_generated_data(self, small_dataset):
+        agreement, labelings = temporal_stability(
+            small_dataset, n_windows=2, n_clusters=9
+        )
+        assert agreement.shape == (2, 2)
+        assert len(labelings) == 2
+        # The deployment's profiles persist across the two halves of the
+        # study (the premise of the paper's planning use cases).
+        assert agreement[0, 1] > 0.9
+
+    def test_window_count_validated(self, small_dataset):
+        with pytest.raises(ValueError, match="n_windows"):
+            temporal_stability(small_dataset, n_windows=1)
+
+
+class TestWindowTotals:
+    def test_window_totals_partition_full_totals(self, small_dataset):
+        model = small_dataset.model
+        n = small_dataset.calendar.n_hours
+        first = model.window_totals(slice(0, n // 2))
+        second = model.window_totals(slice(n // 2, n))
+        np.testing.assert_allclose(first + second, model.totals(), rtol=1e-9)
+
+    def test_window_totals_nonnegative(self, small_dataset):
+        out = small_dataset.model.window_totals(slice(0, 200))
+        assert np.all(out >= 0)
+
+    def test_empty_window_rejected(self, small_dataset):
+        with pytest.raises(ValueError, match="no hours"):
+            small_dataset.model.window_totals(slice(5, 5))

@@ -1,0 +1,90 @@
+"""Tests for the downlink/uplink composition analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.updown import (
+    most_uplink_heavy_services,
+    uplink_share_per_cluster,
+)
+from repro.datagen.services import default_catalog
+
+
+class TestUplinkShare:
+    def test_shares_bounded(self, small_dataset, small_profile):
+        shares = uplink_share_per_cluster(
+            small_dataset.totals, small_profile.labels, small_dataset.catalog
+        )
+        assert sorted(shares) == sorted(small_profile.cluster_sizes())
+        assert all(0.0 < s < 0.6 for s in shares.values())
+
+    def test_stadiums_more_uplink_than_general(self, small_dataset,
+                                               small_profile):
+        """Content-sharing venues upload; streaming environments download
+        (the paper's photo-upload narrative for stadium clusters)."""
+        shares = uplink_share_per_cluster(
+            small_dataset.totals, small_profile.labels, small_dataset.catalog
+        )
+        stadium = max(shares[6], shares[8])
+        assert stadium > shares[1], (
+            f"stadium UL {stadium:.3f} vs general {shares[1]:.3f}"
+        )
+
+    def test_hand_computed(self):
+        from repro.datagen.services import (
+            Service, ServiceCatalog, ServiceCategory, TemporalClass,
+        )
+
+        catalog = ServiceCatalog([
+            Service("Down", ServiceCategory.WEB, 1.0, TemporalClass.FLAT,
+                    downlink_fraction=1.0),
+            Service("Up", ServiceCategory.WEB, 1.0, TemporalClass.FLAT,
+                    downlink_fraction=0.0),
+        ])
+        totals = np.array([[30.0, 10.0], [10.0, 30.0]])
+        shares = uplink_share_per_cluster(totals, [0, 1], catalog)
+        assert shares[0] == pytest.approx(0.25)
+        assert shares[1] == pytest.approx(0.75)
+
+    def test_validation(self, small_dataset, small_profile):
+        with pytest.raises(ValueError, match="labels length"):
+            uplink_share_per_cluster(
+                small_dataset.totals, small_profile.labels[:-1],
+                small_dataset.catalog,
+            )
+        with pytest.raises(ValueError, match="services"):
+            uplink_share_per_cluster(
+                small_dataset.totals[:, :10], small_profile.labels,
+                small_dataset.catalog,
+            )
+
+
+class TestUplinkHeavyServices:
+    def test_stadium_uplink_led_by_social(self, small_dataset,
+                                          small_profile):
+        top = most_uplink_heavy_services(
+            small_dataset.totals, small_profile.labels, 6,
+            small_dataset.catalog, top=5,
+        )
+        assert set(top) & {"Snapchat", "Twitter", "WhatsApp", "Instagram",
+                           "TikTok", "iCloud"}
+        assert sum(top.values()) <= 1.0 + 1e-9
+
+    def test_top_count_respected(self, small_dataset, small_profile):
+        top = most_uplink_heavy_services(
+            small_dataset.totals, small_profile.labels, 1,
+            small_dataset.catalog, top=3,
+        )
+        assert len(top) == 3
+
+    def test_validation(self, small_dataset, small_profile):
+        with pytest.raises(ValueError, match="no member"):
+            most_uplink_heavy_services(
+                small_dataset.totals, small_profile.labels, 77,
+                small_dataset.catalog,
+            )
+        with pytest.raises(ValueError, match="top"):
+            most_uplink_heavy_services(
+                small_dataset.totals, small_profile.labels, 1,
+                small_dataset.catalog, top=0,
+            )

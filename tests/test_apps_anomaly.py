@@ -1,0 +1,116 @@
+"""Tests for demand-anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro.apps.anomaly import (
+    Anomaly,
+    anomalies_on_date,
+    detect_anomalies,
+    weekly_baseline,
+)
+from repro.forecast.models import WEEK_HOURS
+
+
+def periodic_series(n_weeks=4):
+    base = 2.0 + np.sin(np.linspace(0, 2 * np.pi, 24))
+    return np.tile(base, 7 * n_weeks).astype(float)
+
+
+class TestWeeklyBaseline:
+    def test_pure_periodic_baseline_is_series(self):
+        series = periodic_series()
+        np.testing.assert_allclose(weekly_baseline(series), series)
+
+    def test_median_robust_to_single_burst(self):
+        series = periodic_series(5)
+        series[500] *= 50.0
+        baseline = weekly_baseline(series)
+        # The burst hour's baseline stays at the quiet median.
+        assert baseline[500] < 5.0
+
+
+class TestDetectAnomalies:
+    def test_clean_series_has_no_anomalies(self):
+        assert detect_anomalies(periodic_series()) == []
+
+    def test_surge_detected(self):
+        series = periodic_series(5)
+        series[400:404] *= 20.0
+        anomalies = detect_anomalies(series)
+        assert len(anomalies) == 1
+        anomaly = anomalies[0]
+        assert anomaly.kind == "surge"
+        assert anomaly.start_index == 400
+        assert anomaly.end_index == 403
+        assert anomaly.duration_hours == 4
+
+    def test_drought_detected(self):
+        series = periodic_series(5)
+        series[300:320] *= 0.02
+        anomalies = detect_anomalies(series)
+        assert any(a.kind == "drought" and a.start_index == 300
+                   for a in anomalies)
+
+    def test_single_hour_noise_ignored(self):
+        series = periodic_series(5)
+        series[250] *= 20.0
+        assert detect_anomalies(series, min_duration=2) == []
+
+    def test_adjacent_opposite_spans_split(self):
+        series = periodic_series(5)
+        series[100:104] *= 20.0
+        series[104:108] *= 0.02
+        anomalies = detect_anomalies(series)
+        kinds = [a.kind for a in anomalies]
+        assert "surge" in kinds and "drought" in kinds
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            detect_anomalies(periodic_series(), threshold=0.0)
+        with pytest.raises(ValueError, match="min_duration"):
+            detect_anomalies(periodic_series(), min_duration=0)
+
+    def test_anomaly_container_validation(self):
+        with pytest.raises(ValueError, match="precedes"):
+            Anomaly(5, 4, "surge", 1.0)
+        with pytest.raises(ValueError, match="surge/drought"):
+            Anomaly(0, 1, "weird", 1.0)
+
+
+class TestOnGeneratedData:
+    def test_strike_flagged_as_drought(self, small_dataset, small_profile):
+        """The 19 Jan strike shows up as a drought at commuter antennas."""
+        from repro.datagen.calendar import STRIKE_DAY
+
+        members = np.flatnonzero(small_profile.labels == 0)[:15]
+        series = small_dataset.hourly_total(antenna_ids=members).mean(axis=0)
+        anomalies = detect_anomalies(series, threshold=1.0)
+        hours = small_dataset.calendar.hours
+        strikes = anomalies_on_date(anomalies, hours, STRIKE_DAY,
+                                    kind="drought")
+        assert strikes, "the strike day must be flagged as a drought"
+
+    def test_nba_flagged_as_surge(self, small_dataset):
+        """The NBA evening surges at the hosting arena."""
+        from repro.datagen.calendar import STRIKE_DAY
+        from repro.datagen.environments import EnvironmentType
+
+        nba_site = next(
+            s.site_id for s in small_dataset.sites
+            if s.env_type == EnvironmentType.STADIUM and s.is_paris
+        )
+        members = [a.antenna_id for a in small_dataset.antennas
+                   if a.site_id == nba_site]
+        series = small_dataset.hourly_total(antenna_ids=members).mean(axis=0)
+        anomalies = detect_anomalies(series, threshold=1.0)
+        hours = small_dataset.calendar.hours
+        surges = anomalies_on_date(anomalies, hours, STRIKE_DAY, kind="surge")
+        assert surges, "the NBA evening must be flagged as a surge"
+
+    def test_date_filter(self, small_dataset):
+        hours = small_dataset.calendar.hours
+        anomaly = Anomaly(10, 12, "surge", 2.0)
+        hits = anomalies_on_date([anomaly], hours,
+                                 hours[11].astype("datetime64[D]"))
+        assert hits == [anomaly]

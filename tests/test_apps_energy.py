@@ -1,0 +1,104 @@
+"""Tests for the cluster-aware energy-adaptation planner."""
+
+import numpy as np
+import pytest
+
+from repro.apps.energy import (
+    SLEEP_POWER_FRACTION,
+    SleepSchedule,
+    derive_sleep_schedule,
+    fleet_energy_saving,
+    plan_energy,
+)
+from repro.analysis.temporal import TemporalHeatmap
+
+
+def heatmap(weekday_profile, weekend_profile=None, n_weeks=2, cluster=0):
+    dates = np.arange(np.datetime64("2023-01-02"),
+                      np.datetime64("2023-01-02")
+                      + np.timedelta64(7 * n_weeks, "D"))
+    dows = (dates.astype("datetime64[D]").view("int64") + 3) % 7
+    weekend_profile = (
+        weekday_profile if weekend_profile is None else weekend_profile
+    )
+    values = np.vstack([
+        np.asarray(weekend_profile if dow >= 5 else weekday_profile,
+                   dtype=float)
+        for dow in dows
+    ])
+    return TemporalHeatmap(values=values, dates=dates, cluster=cluster)
+
+
+class TestDeriveSchedule:
+    def test_office_sleeps_nights_and_weekends(self):
+        weekday = np.full(24, 0.01)
+        weekday[9:18] = 1.0
+        weekend = np.full(24, 0.01)
+        schedule = derive_sleep_schedule(heatmap(weekday, weekend))
+        assert set(schedule.weekday_sleep_hours) >= {0, 1, 2, 3, 22, 23}
+        assert 12 not in schedule.weekday_sleep_hours
+        assert len(schedule.weekend_sleep_hours) == 24
+        assert schedule.energy_saving > 0.4
+        assert schedule.traffic_at_risk < 0.1
+
+    def test_always_on_cluster_sleeps_little(self):
+        profile = 0.5 + 0.5 * np.sin(np.linspace(0, 2 * np.pi, 24))
+        schedule = derive_sleep_schedule(heatmap(profile + 0.3))
+        assert len(schedule.weekday_sleep_hours) == 0
+        assert schedule.energy_saving == 0.0
+
+    def test_energy_accounting(self):
+        weekday = np.full(24, 1.0)
+        weekday[:6] = 0.0  # 6 sleepable hours per weekday
+        schedule = derive_sleep_schedule(heatmap(weekday))
+        expected = (7 * 6) * (1 - SLEEP_POWER_FRACTION) / (7 * 24)
+        assert schedule.energy_saving == pytest.approx(expected)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="idle_threshold"):
+            derive_sleep_schedule(heatmap(np.ones(24)), idle_threshold=0.0)
+
+    def test_zero_heatmap_rejected(self):
+        with pytest.raises(ValueError, match="identically zero"):
+            derive_sleep_schedule(heatmap(np.zeros(24)))
+
+    def test_describe(self):
+        schedule = SleepSchedule(3, (0, 1), (0, 1, 2), 0.2, 0.01)
+        text = schedule.describe()
+        assert "cluster 3" in text
+        assert "20%" in text
+
+
+class TestPlanEnergy:
+    def test_end_to_end(self, small_dataset, small_profile):
+        schedules = plan_energy(small_dataset, small_profile,
+                                max_antennas=15)
+        assert sorted(schedules) == sorted(small_profile.cluster_sizes())
+        # Office cluster sleeps more than the retail/hotel cluster.
+        assert (schedules[3].energy_saving
+                > schedules[2].energy_saving)
+        # Commuter clusters save heavily (nights + weekends idle).
+        assert schedules[0].energy_saving > 0.2
+        # Risked traffic stays small everywhere.
+        for schedule in schedules.values():
+            assert schedule.traffic_at_risk < 0.12
+
+    def test_fleet_saving_weighted(self, small_dataset, small_profile):
+        schedules = plan_energy(small_dataset, small_profile,
+                                max_antennas=10)
+        total = fleet_energy_saving(schedules,
+                                    small_profile.cluster_sizes())
+        savings = [s.energy_saving for s in schedules.values()]
+        assert min(savings) <= total <= max(savings)
+
+    def test_fleet_saving_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            fleet_energy_saving({}, {})
+
+
+class TestScheduleValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError, match="energy_saving"):
+            SleepSchedule(0, (), (), 1.5, 0.0)
+        with pytest.raises(ValueError, match="sleep hours"):
+            SleepSchedule(0, (24,), (), 0.1, 0.0)

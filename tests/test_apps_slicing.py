@@ -1,0 +1,106 @@
+"""Tests for the environment-aware slice planner."""
+
+import numpy as np
+import pytest
+
+from repro.apps.slicing import (
+    EVENT_DRIVEN_THRESHOLD,
+    SliceTemplate,
+    build_slice_template,
+    capacity_schedule,
+    plan_slices,
+)
+from repro.analysis.temporal import TemporalHeatmap
+
+
+def heatmap_from_profile(profile24, n_days=14, cluster=0):
+    dates = np.arange(np.datetime64("2023-01-02"),
+                      np.datetime64("2023-01-02") + np.timedelta64(n_days, "D"))
+    values = np.tile(np.asarray(profile24, dtype=float), (n_days, 1))
+    return TemporalHeatmap(values=values, dates=dates, cluster=cluster)
+
+
+class TestSliceTemplate:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_antennas"):
+            SliceTemplate(0, 0, (), 1.0, 1.0, (), False)
+        with pytest.raises(ValueError, match="peak_to_mean"):
+            SliceTemplate(0, 5, (), 0.5, 1.0, (), False)
+        with pytest.raises(ValueError, match="busy_hours"):
+            SliceTemplate(0, 5, (25,), 1.0, 1.0, (), False)
+
+    def test_describe(self):
+        template = SliceTemplate(3, 10, (9, 10), 2.0, 0.1,
+                                 ("Microsoft Teams",), False)
+        text = template.describe()
+        assert "slice c3" in text
+        assert "Microsoft Teams" in text
+
+
+class TestBuildTemplate:
+    def test_flat_profile_all_busy(self):
+        heatmap = heatmap_from_profile(np.ones(24))
+        template = build_slice_template(heatmap, 10, [])
+        assert len(template.busy_hours) == 24
+        assert not template.event_driven
+
+    def test_peaked_profile_selects_peak_hours(self):
+        profile = np.full(24, 0.1)
+        profile[8] = 1.0
+        profile[18] = 0.9
+        heatmap = heatmap_from_profile(profile)
+        template = build_slice_template(heatmap, 10, ["Spotify"])
+        assert set(template.busy_hours) == {8, 18}
+        assert template.priority_services == ("Spotify",)
+
+    def test_bursty_profile_flagged_event_driven(self):
+        profile = np.full(24, 0.02)
+        profile[20] = 1.0
+        heatmap = heatmap_from_profile(profile)
+        template = build_slice_template(heatmap, 10, [])
+        assert template.peak_to_mean > EVENT_DRIVEN_THRESHOLD
+        assert template.event_driven
+
+
+class TestCapacitySchedule:
+    def test_scheduled_slice(self):
+        template = SliceTemplate(0, 10, (8, 18), 3.0, 0.3, (), False)
+        schedule = capacity_schedule(template)
+        assert schedule[8] == 1.0
+        assert schedule[18] == 1.0
+        assert schedule[3] == pytest.approx(1.0 / 3.0)
+
+    def test_event_driven_keeps_baseline(self):
+        template = SliceTemplate(8, 10, (20,), 10.0, 1.0, (), True)
+        schedule = capacity_schedule(template)
+        assert np.all(schedule == pytest.approx(0.1))
+
+    def test_baseline_floor(self):
+        template = SliceTemplate(0, 10, (8,), 100.0, 1.0, (), False)
+        schedule = capacity_schedule(template)
+        assert schedule.min() == pytest.approx(0.1)
+
+
+class TestPlanSlices:
+    def test_end_to_end(self, small_dataset, small_profile):
+        templates = plan_slices(small_dataset, small_profile,
+                                max_antennas=15)
+        assert sorted(templates) == sorted(small_profile.cluster_sizes())
+        # Commuter slice: busy hours include commute windows.
+        commuter = templates[0]
+        assert any(7 <= h <= 9 for h in commuter.busy_hours)
+        assert any(17 <= h <= 19 for h in commuter.busy_hours)
+        assert commuter.weekend_factor < 0.6
+        # Stadium slice must be event-driven.
+        assert templates[6].event_driven or templates[8].event_driven
+        # Office slice carries business services.
+        office_services = set(templates[3].priority_services)
+        assert office_services & {"Microsoft Teams", "LinkedIn", "Slack",
+                                  "Microsoft 365", "Zoom", "Gmail", "Outlook"}
+
+    def test_sizes_match_clusters(self, small_dataset, small_profile):
+        templates = plan_slices(small_dataset, small_profile,
+                                max_antennas=10)
+        sizes = small_profile.cluster_sizes()
+        for cluster, template in templates.items():
+            assert template.n_antennas == sizes[cluster]

@@ -1,0 +1,224 @@
+"""Tests for the from-scratch agglomerative clustering.
+
+The linkage implementation is cross-validated against scipy's reference
+implementation (scipy is available in the dev environment only; the
+library itself depends solely on numpy).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import (
+    AgglomerativeClustering,
+    Dendrogram,
+    cophenetic_distances,
+    cut_tree,
+    linkage,
+    pairwise_distances,
+    threshold_for_k,
+)
+
+scipy_hierarchy = pytest.importorskip("scipy.cluster.hierarchy")
+
+
+def random_blobs(rng, n_blobs=3, per_blob=15, dim=4, spread=0.3):
+    centers = rng.normal(scale=4.0, size=(n_blobs, dim))
+    points = np.vstack([
+        center + rng.normal(scale=spread, size=(per_blob, dim))
+        for center in centers
+    ])
+    labels = np.repeat(np.arange(n_blobs), per_blob)
+    return points, labels
+
+
+class TestPairwiseDistances:
+    def test_matches_direct_computation(self, rng):
+        x = rng.normal(size=(20, 5))
+        expected = np.linalg.norm(x[:, None, :] - x[None, :, :], axis=2)
+        np.testing.assert_allclose(pairwise_distances(x), expected, atol=1e-10)
+
+    def test_squared(self, rng):
+        x = rng.normal(size=(10, 3))
+        np.testing.assert_allclose(
+            pairwise_distances(x, squared=True),
+            pairwise_distances(x) ** 2,
+            atol=1e-9,
+        )
+
+    def test_chunking_consistent(self, rng):
+        x = rng.normal(size=(30, 4))
+        np.testing.assert_allclose(
+            pairwise_distances(x, chunk_size=7),
+            pairwise_distances(x, chunk_size=1000),
+        )
+
+    def test_zero_diagonal(self, rng):
+        x = rng.normal(size=(15, 3))
+        assert np.all(np.diag(pairwise_distances(x)) == 0)
+
+
+class TestLinkageVsScipy:
+    @pytest.mark.parametrize("method", ["ward", "single", "complete", "average"])
+    def test_heights_match_scipy(self, method, rng):
+        x = rng.normal(size=(40, 6))
+        ours = linkage(x, method)
+        reference = scipy_hierarchy.linkage(x, method=method)
+        np.testing.assert_allclose(ours[:, 2], reference[:, 2], rtol=1e-8)
+        np.testing.assert_allclose(ours[:, 3], reference[:, 3])
+
+    @pytest.mark.parametrize("method", ["ward", "complete", "average"])
+    def test_flat_cuts_match_scipy(self, method, rng):
+        x = rng.normal(size=(50, 5))
+        ours = linkage(x, method)
+        reference = scipy_hierarchy.linkage(x, method=method)
+        for k in (2, 3, 5, 8):
+            a = cut_tree(ours, k)
+            b = scipy_hierarchy.fcluster(reference, k, criterion="maxclust")
+            # Same partition up to label permutation.
+            pairs = set(zip(a.tolist(), b.tolist()))
+            assert len(pairs) == k
+
+    def test_cophenetic_matches_scipy(self, rng):
+        x = rng.normal(size=(25, 4))
+        ours = linkage(x, "average")
+        reference = scipy_hierarchy.linkage(x, method="average")
+        from scipy.spatial.distance import squareform
+
+        ref_coph = squareform(scipy_hierarchy.cophenet(reference))
+        np.testing.assert_allclose(
+            cophenetic_distances(ours), ref_coph, rtol=1e-8
+        )
+
+
+class TestLinkageProperties:
+    def test_monotonic_heights(self, rng):
+        x = rng.normal(size=(60, 5))
+        for method in ("ward", "complete", "average", "single"):
+            z = linkage(x, method)
+            assert np.all(np.diff(z[:, 2]) >= -1e-12), method
+
+    def test_sizes_telescope(self, rng):
+        x = rng.normal(size=(30, 3))
+        z = linkage(x, "ward")
+        assert z[-1, 3] == 30
+
+    def test_recovers_well_separated_blobs(self, rng):
+        x, truth = random_blobs(rng, n_blobs=4, per_blob=12)
+        labels = cut_tree(linkage(x, "ward"), 4)
+        # Perfect recovery up to permutation.
+        pairs = set(zip(labels.tolist(), truth.tolist()))
+        assert len(pairs) == 4
+
+    def test_duplicate_points_supported(self):
+        x = np.array([[0.0, 0.0]] * 5 + [[10.0, 10.0]] * 5)
+        labels = cut_tree(linkage(x, "ward"), 2)
+        assert len(set(labels[:5])) == 1
+        assert len(set(labels[5:])) == 1
+        assert labels[0] != labels[5]
+
+    def test_two_points(self):
+        z = linkage(np.array([[0.0], [3.0]]), "ward")
+        assert z.shape == (1, 4)
+        assert z[0, 2] == pytest.approx(3.0)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            linkage(np.array([[1.0]]), "ward")
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown linkage"):
+            linkage(rng.normal(size=(5, 2)), "centroid")
+
+
+class TestCutTree:
+    def test_k_equals_n(self, rng):
+        x = rng.normal(size=(8, 2))
+        labels = cut_tree(linkage(x, "ward"), 8)
+        assert sorted(labels.tolist()) == list(range(8))
+
+    def test_k_equals_one(self, rng):
+        x = rng.normal(size=(8, 2))
+        labels = cut_tree(linkage(x, "ward"), 1)
+        assert set(labels.tolist()) == {0}
+
+    def test_out_of_range_rejected(self, rng):
+        z = linkage(rng.normal(size=(8, 2)), "ward")
+        with pytest.raises(ValueError, match="n_clusters"):
+            cut_tree(z, 9)
+        with pytest.raises(ValueError, match="n_clusters"):
+            cut_tree(z, 0)
+
+    def test_cuts_nest(self, rng):
+        # Every k-cluster partition refines the (k-1)-cluster partition.
+        x = rng.normal(size=(40, 4))
+        z = linkage(x, "ward")
+        for k in range(2, 10):
+            fine = cut_tree(z, k)
+            coarse = cut_tree(z, k - 1)
+            for label in np.unique(fine):
+                members = coarse[fine == label]
+                assert np.unique(members).size == 1
+
+
+class TestThreshold:
+    def test_threshold_separates_k(self, rng):
+        x = rng.normal(size=(30, 3))
+        z = linkage(x, "ward")
+        for k in (2, 4, 7):
+            threshold = threshold_for_k(z, k)
+            n_above = int(np.sum(z[:, 2] > threshold))
+            assert n_above == k - 1
+
+    def test_threshold_bounds(self, rng):
+        z = linkage(rng.normal(size=(10, 2)), "ward")
+        assert threshold_for_k(z, 1) > z[-1, 2]
+        assert threshold_for_k(z, 10) < z[0, 2]
+
+
+class TestDendrogram:
+    def test_leaves_partition(self, rng):
+        x = rng.normal(size=(20, 3))
+        dendrogram = Dendrogram(linkage(x, "ward"))
+        assert sorted(dendrogram.root.leaves()) == list(range(20))
+        assert dendrogram.root.count() == 20
+
+    def test_nodes_at_matches_cut(self, rng):
+        x = rng.normal(size=(25, 3))
+        dendrogram = Dendrogram(linkage(x, "ward"))
+        for k in (2, 4, 6):
+            nodes = dendrogram.nodes_at(k)
+            assert len(nodes) == k
+            labels = dendrogram.cut(k)
+            node_leafsets = [frozenset(node.leaves()) for node in nodes]
+            cut_leafsets = [
+                frozenset(np.flatnonzero(labels == c).tolist())
+                for c in np.unique(labels)
+            ]
+            assert set(node_leafsets) == set(cut_leafsets)
+
+    def test_group_of_clusters_consistent(self, rng):
+        x, _ = random_blobs(rng, n_blobs=4, per_blob=10)
+        dendrogram = Dendrogram(linkage(x, "ward"))
+        mapping = dendrogram.group_of_clusters(4, 2)
+        assert set(mapping) == set(range(4))
+        assert set(mapping.values()) <= {0, 1}
+
+    def test_bad_linkage_shape_rejected(self):
+        with pytest.raises(ValueError, match="linkage matrix"):
+            Dendrogram(np.ones((3, 3)))
+
+
+class TestAgglomerativeClustering:
+    def test_fit_predict(self, rng):
+        x, truth = random_blobs(rng, n_blobs=3, per_blob=10)
+        model = AgglomerativeClustering(n_clusters=3)
+        labels = model.fit_predict(x)
+        assert len(set(zip(labels.tolist(), truth.tolist()))) == 3
+        assert model.linkage_matrix_ is not None
+        assert model.dendrogram_ is not None
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="n_clusters"):
+            AgglomerativeClustering(n_clusters=0)
+        with pytest.raises(ValueError, match="unknown linkage"):
+            AgglomerativeClustering(linkage="median")

@@ -1,0 +1,82 @@
+"""Tests for the DBSCAN density clusterer."""
+
+import numpy as np
+import pytest
+
+from repro.core.compare import adjusted_rand_index
+from repro.core.density import DBSCAN, NOISE
+
+
+@pytest.fixture()
+def blobs_with_noise(rng):
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    x = np.vstack([
+        center + rng.normal(scale=0.4, size=(30, 2)) for center in centers
+    ])
+    truth = np.repeat(np.arange(3), 30)
+    outliers = rng.uniform(20, 30, size=(5, 2))
+    return np.vstack([x, outliers]), truth
+
+
+class TestDBSCAN:
+    def test_recovers_blobs_and_flags_noise(self, blobs_with_noise):
+        x, truth = blobs_with_noise
+        model = DBSCAN(eps=1.5, min_samples=4).fit(x)
+        assert model.n_clusters_ == 3
+        # The five far outliers are noise.
+        assert np.all(model.labels_[-5:] == NOISE)
+        ari = adjusted_rand_index(model.labels_[:90], truth)
+        assert ari > 0.95
+
+    def test_eps_too_small_everything_noise(self, blobs_with_noise):
+        x, _ = blobs_with_noise
+        model = DBSCAN(eps=1e-6, min_samples=3).fit(x)
+        assert model.noise_fraction_ == 1.0
+        assert model.n_clusters_ == 0
+
+    def test_eps_huge_single_cluster(self, blobs_with_noise):
+        x, _ = blobs_with_noise
+        model = DBSCAN(eps=1e6, min_samples=3).fit(x)
+        assert model.n_clusters_ == 1
+        assert model.noise_fraction_ == 0.0
+
+    def test_border_points_join_cluster(self):
+        # A chain of points at spacing 1: all density-reachable.
+        x = np.arange(10, dtype=float)[:, None]
+        model = DBSCAN(eps=1.1, min_samples=3).fit(x)
+        assert model.n_clusters_ == 1
+        assert np.all(model.labels_ == 0)
+
+    def test_core_mask(self, blobs_with_noise):
+        x, _ = blobs_with_noise
+        model = DBSCAN(eps=1.5, min_samples=4).fit(x)
+        # Outliers are never core points.
+        assert not model.core_mask_[-5:].any()
+
+    def test_deterministic(self, blobs_with_noise):
+        x, _ = blobs_with_noise
+        a = DBSCAN(eps=1.5, min_samples=4).fit_predict(x)
+        b = DBSCAN(eps=1.5, min_samples=4).fit_predict(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_finds_dense_profiles_on_rsca(self, small_profile,
+                                          small_dataset):
+        """The paper's profiles are dense regions, not partition artefacts:
+        DBSCAN recovers multiple of them without being told k."""
+        model = DBSCAN(eps=2.0, min_samples=8).fit(small_profile.features)
+        assert model.n_clusters_ >= 4
+        # Clustered (non-noise) points agree with the archetypes.
+        mask = model.labels_ != NOISE
+        assert mask.mean() > 0.5
+        ari = adjusted_rand_index(
+            model.labels_[mask], small_dataset.archetypes()[mask]
+        )
+        assert ari > 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="eps"):
+            DBSCAN(eps=0.0)
+        with pytest.raises(ValueError, match="min_samples"):
+            DBSCAN(min_samples=0)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            _ = DBSCAN().n_clusters_

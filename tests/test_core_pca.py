@@ -1,0 +1,122 @@
+"""Tests for the from-scratch PCA (cross-checked against SVD)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pca import PCA
+
+
+@pytest.fixture()
+def anisotropic(rng):
+    # Strongly anisotropic data: variance concentrated in two directions.
+    basis = np.linalg.qr(rng.normal(size=(5, 5)))[0]
+    scales = np.array([10.0, 4.0, 0.5, 0.1, 0.01])
+    return rng.normal(size=(300, 5)) * scales @ basis.T + rng.normal(size=5)
+
+
+class TestFit:
+    def test_matches_svd(self, anisotropic):
+        pca = PCA().fit(anisotropic)
+        centered = anisotropic - anisotropic.mean(axis=0)
+        _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+        svd_variance = singular ** 2 / (anisotropic.shape[0] - 1)
+        np.testing.assert_allclose(
+            pca.explained_variance_, svd_variance, rtol=1e-8
+        )
+        for i in range(5):
+            dot = abs(float(pca.components_[i] @ vt[i]))
+            assert dot == pytest.approx(1.0, abs=1e-8)
+
+    def test_components_orthonormal(self, anisotropic):
+        pca = PCA().fit(anisotropic)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(5), atol=1e-9)
+
+    def test_variance_ratio_sums_to_one(self, anisotropic):
+        pca = PCA().fit(anisotropic)
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_variance_sorted_descending(self, anisotropic):
+        pca = PCA().fit(anisotropic)
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-12)
+
+    def test_n_components_truncates(self, anisotropic):
+        pca = PCA(n_components=2).fit(anisotropic)
+        assert pca.components_.shape == (2, 5)
+        assert pca.variance_captured(2) > 0.95
+
+    def test_deterministic_sign_convention(self, anisotropic):
+        a = PCA(n_components=3).fit(anisotropic)
+        b = PCA(n_components=3).fit(anisotropic)
+        np.testing.assert_allclose(a.components_, b.components_)
+        for i in range(3):
+            j = int(np.argmax(np.abs(a.components_[i])))
+            assert a.components_[i, j] > 0
+
+
+class TestTransform:
+    def test_roundtrip_full_rank(self, anisotropic):
+        pca = PCA().fit(anisotropic)
+        recovered = pca.inverse_transform(pca.transform(anisotropic))
+        np.testing.assert_allclose(recovered, anisotropic, atol=1e-8)
+
+    def test_projection_decorrelates(self, anisotropic):
+        pca = PCA().fit(anisotropic)
+        projected = pca.transform(anisotropic)
+        covariance = np.cov(projected.T)
+        off_diag = covariance - np.diag(np.diag(covariance))
+        assert np.abs(off_diag).max() < 1e-8
+
+    def test_truncated_reconstruction_error_bounded(self, anisotropic):
+        pca = PCA(n_components=2).fit(anisotropic)
+        recovered = pca.inverse_transform(pca.transform(anisotropic))
+        residual_var = np.var(anisotropic - recovered, axis=0).sum()
+        total_var = np.var(anisotropic - anisotropic.mean(axis=0),
+                           axis=0).sum()
+        assert residual_var / total_var < 0.05
+
+    def test_feature_count_checked(self, anisotropic):
+        pca = PCA().fit(anisotropic)
+        with pytest.raises(ValueError, match="columns"):
+            pca.transform(np.ones((2, 7)))
+
+
+class TestOnRsca:
+    def test_groups_separate_in_leading_components(self, small_profile):
+        """The dendrogram groups are visible in a few PCA directions."""
+        pca = PCA(n_components=5).fit(small_profile.features)
+        projected = pca.transform(small_profile.features)
+        groups = small_profile.groups(3)
+        group_of = np.array([groups[int(l)] for l in small_profile.labels])
+        centroids = np.vstack([
+            projected[group_of == g].mean(axis=0) for g in sorted(set(groups.values()))
+        ])
+        # Group centroids are well separated relative to within-group spread.
+        spread = projected.std(axis=0).mean()
+        min_dist = min(
+            np.linalg.norm(centroids[a] - centroids[b])
+            for a in range(3) for b in range(a + 1, 3)
+        )
+        assert min_dist > spread
+
+    def test_variance_concentrated(self, small_profile):
+        pca = PCA().fit(small_profile.features)
+        assert pca.variance_captured(10) > 0.5
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError, match="n_components"):
+            PCA(n_components=0)
+
+    def test_too_many_components(self, rng):
+        with pytest.raises(ValueError, match="exceeds"):
+            PCA(n_components=10).fit(rng.normal(size=(20, 3)))
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError, match="two samples"):
+            PCA().fit(np.ones((1, 3)))
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            PCA().transform(np.ones((2, 2)))

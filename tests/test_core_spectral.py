@@ -1,0 +1,91 @@
+"""Tests for the from-scratch spectral clustering."""
+
+import numpy as np
+import pytest
+
+from repro.core.compare import adjusted_rand_index
+from repro.core.spectral import SpectralClustering
+
+
+@pytest.fixture()
+def blobs(rng):
+    centers = 8.0 * np.vstack([np.eye(3), -np.eye(3)])[:4, :3]
+    x = np.vstack([
+        center + rng.normal(scale=0.4, size=(25, 3)) for center in centers
+    ])
+    labels = np.repeat(np.arange(4), 25)
+    return x, labels
+
+
+@pytest.fixture()
+def rings(rng):
+    """Two concentric rings: separable by spectral, not by k-means."""
+    angles = rng.uniform(0, 2 * np.pi, size=120)
+    inner = np.c_[np.cos(angles[:60]), np.sin(angles[:60])]
+    outer = 5.0 * np.c_[np.cos(angles[60:]), np.sin(angles[60:])]
+    noise = rng.normal(scale=0.08, size=(120, 2))
+    x = np.vstack([inner, outer]) + noise
+    labels = np.repeat([0, 1], 60)
+    return x, labels
+
+
+class TestSpectralClustering:
+    def test_recovers_blobs(self, blobs):
+        x, truth = blobs
+        labels = SpectralClustering(n_clusters=4, random_state=0).fit_predict(x)
+        assert adjusted_rand_index(labels, truth) == pytest.approx(1.0)
+
+    def test_separates_rings(self, rings):
+        x, truth = rings
+        spectral = SpectralClustering(n_clusters=2, n_neighbors=10,
+                                      random_state=0).fit_predict(x)
+        assert adjusted_rand_index(spectral, truth) > 0.95
+
+    def test_kmeans_fails_on_rings(self, rings):
+        from repro.core.compare import KMeans
+
+        x, truth = rings
+        kmeans = KMeans(n_clusters=2, random_state=0).fit_predict(x)
+        assert adjusted_rand_index(kmeans, truth) < 0.3
+
+    def test_dense_affinity_mode(self, blobs):
+        x, truth = blobs
+        labels = SpectralClustering(n_clusters=4, n_neighbors=None,
+                                    random_state=0).fit_predict(x)
+        assert adjusted_rand_index(labels, truth) > 0.95
+
+    def test_explicit_gamma(self, blobs):
+        x, truth = blobs
+        labels = SpectralClustering(n_clusters=4, gamma=0.5,
+                                    random_state=0).fit_predict(x)
+        assert adjusted_rand_index(labels, truth) > 0.9
+
+    def test_embedding_shape(self, blobs):
+        x, _ = blobs
+        model = SpectralClustering(n_clusters=4, random_state=0).fit(x)
+        assert model.embedding_.shape == (x.shape[0], 4)
+
+    def test_deterministic(self, blobs):
+        x, _ = blobs
+        a = SpectralClustering(n_clusters=4, random_state=3).fit_predict(x)
+        b = SpectralClustering(n_clusters=4, random_state=3).fit_predict(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_recovers_archetypes_on_rsca(self, small_profile, small_dataset):
+        labels = SpectralClustering(n_clusters=9,
+                                    random_state=0).fit_predict(
+            small_profile.features
+        )
+        ari = adjusted_rand_index(labels, small_dataset.archetypes())
+        assert ari > 0.8
+
+    def test_validation(self, blobs):
+        x, _ = blobs
+        with pytest.raises(ValueError, match="n_clusters"):
+            SpectralClustering(n_clusters=1)
+        with pytest.raises(ValueError, match="gamma"):
+            SpectralClustering(gamma=0.0)
+        with pytest.raises(ValueError, match="n_neighbors"):
+            SpectralClustering(n_neighbors=0)
+        with pytest.raises(ValueError, match="samples"):
+            SpectralClustering(n_clusters=5).fit(x[:4])

@@ -1,0 +1,171 @@
+"""Tests for the cluster validity indices (silhouette, Dunn, DB)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import AgglomerativeClustering, linkage, Dendrogram
+from repro.core.validation import (
+    davies_bouldin_index,
+    dunn_index,
+    scan_k,
+    silhouette_samples,
+    silhouette_score,
+)
+
+scipy_hierarchy = pytest.importorskip("scipy.cluster.hierarchy")
+
+
+@pytest.fixture()
+def blobs(rng):
+    centers = np.array([[0.0, 0.0], [8.0, 0.0], [0.0, 8.0]])
+    x = np.vstack([
+        center + rng.normal(scale=0.4, size=(20, 2)) for center in centers
+    ])
+    labels = np.repeat([0, 1, 2], 20)
+    return x, labels
+
+
+class TestSilhouette:
+    def test_well_separated_near_one(self, blobs):
+        x, labels = blobs
+        assert silhouette_score(x, labels) > 0.85
+
+    def test_random_labels_near_zero(self, blobs, rng):
+        x, _ = blobs
+        random_labels = rng.integers(0, 3, size=x.shape[0])
+        assert abs(silhouette_score(x, random_labels)) < 0.25
+
+    def test_bounds(self, blobs, rng):
+        x, labels = blobs
+        samples = silhouette_samples(x, labels)
+        assert np.all(samples >= -1.0) and np.all(samples <= 1.0)
+
+    def test_two_point_exact(self):
+        # Two singleton clusters: silhouette 0 by convention.
+        x = np.array([[0.0], [1.0]])
+        assert silhouette_score(x, [0, 1]) == pytest.approx(0.0)
+
+    def test_hand_computed(self):
+        # Clusters {0,1} and {2}; sample 0: a = 1, b = 4 -> (4-1)/4 = 0.75.
+        x = np.array([[0.0], [1.0], [4.0]])
+        samples = silhouette_samples(x, [0, 0, 1])
+        assert samples[0] == pytest.approx(0.75)
+        # sample 1: a = 1, b = 3 -> 2/3; sample 2: singleton -> 0.
+        assert samples[1] == pytest.approx(2.0 / 3.0)
+        assert samples[2] == pytest.approx(0.0)
+
+    def test_precomputed_distances_equivalent(self, blobs):
+        from repro.core.cluster import pairwise_distances
+
+        x, labels = blobs
+        direct = silhouette_score(x, labels)
+        reused = silhouette_score(x, labels, pairwise_distances(x))
+        assert direct == pytest.approx(reused)
+
+    def test_single_cluster_rejected(self, blobs):
+        x, _ = blobs
+        with pytest.raises(ValueError, match="two clusters"):
+            silhouette_score(x, np.zeros(x.shape[0], dtype=int))
+
+    def test_label_length_mismatch_rejected(self, blobs):
+        x, labels = blobs
+        with pytest.raises(ValueError, match="labels"):
+            silhouette_score(x, labels[:-1])
+
+
+class TestDunn:
+    def test_separated_blobs_high(self, blobs):
+        x, labels = blobs
+        assert dunn_index(x, labels) > 1.0
+
+    def test_mixed_labels_low(self, blobs, rng):
+        x, labels = blobs
+        shuffled = labels.copy()
+        rng.shuffle(shuffled)
+        assert dunn_index(x, shuffled) < dunn_index(x, labels)
+
+    def test_hand_computed(self):
+        # Clusters {0, 1} and {10}: separation 9, diameter 1 -> Dunn 9.
+        x = np.array([[0.0], [1.0], [10.0]])
+        assert dunn_index(x, [0, 0, 1]) == pytest.approx(9.0)
+
+    def test_all_singletons_infinite(self):
+        x = np.array([[0.0], [5.0], [9.0]])
+        assert dunn_index(x, [0, 1, 2]) == np.inf
+
+
+class TestDaviesBouldin:
+    def test_separated_blobs_low(self, blobs):
+        x, labels = blobs
+        assert davies_bouldin_index(x, labels) < 0.3
+
+    def test_worse_partition_higher(self, blobs, rng):
+        x, labels = blobs
+        shuffled = labels.copy()
+        rng.shuffle(shuffled)
+        assert davies_bouldin_index(x, shuffled) > davies_bouldin_index(x, labels)
+
+
+class TestScanK:
+    def test_detects_true_k(self, rng):
+        centers = 10.0 * np.eye(5, 4)  # five well-separated fixed centers
+        x = np.vstack([
+            center + rng.normal(scale=0.3, size=(15, 4)) for center in centers
+        ])
+        dendrogram = Dendrogram(linkage(x, "ward"))
+        result = scan_k(x, dendrogram, ks=range(2, 10))
+        assert result.best_k("silhouette") == 5
+
+    def test_as_dict(self, rng):
+        x = rng.normal(size=(30, 3))
+        dendrogram = Dendrogram(linkage(x, "ward"))
+        result = scan_k(x, dendrogram, ks=range(2, 5),
+                        include_davies_bouldin=True)
+        table = result.as_dict()
+        assert set(table) == {2, 3, 4}
+        assert set(table[2]) == {"silhouette", "dunn", "davies_bouldin"}
+
+    def test_drop_after(self, rng):
+        x = rng.normal(size=(30, 3))
+        dendrogram = Dendrogram(linkage(x, "ward"))
+        result = scan_k(x, dendrogram, ks=range(2, 6))
+        drops = result.drop_after("silhouette")
+        for k, drop in drops.items():
+            idx = result.ks.index(k)
+            assert drop == pytest.approx(
+                result.silhouette[idx] - result.silhouette[idx + 1]
+            )
+
+    def test_unknown_metric_rejected(self, rng):
+        x = rng.normal(size=(20, 2))
+        dendrogram = Dendrogram(linkage(x, "ward"))
+        result = scan_k(x, dendrogram, ks=range(2, 4))
+        with pytest.raises(ValueError, match="metric"):
+            result.drop_after("cohesion")
+
+
+class TestGapStatistic:
+    def test_gap_peaks_at_true_k(self, rng):
+        from repro.core.validation import gap_statistic
+        from repro.core.cluster import Dendrogram, linkage
+
+        centers = 10.0 * np.eye(4, 3)
+        x = np.vstack([
+            center + rng.normal(scale=0.3, size=(20, 3)) for center in centers
+        ])
+        dendrogram = Dendrogram(linkage(x, "ward"))
+        gaps = gap_statistic(x, dendrogram, ks=range(2, 9), n_references=3)
+        # The gap rises until the true k and flattens/drops after:
+        # pick the first k whose gap is within a small tolerance of max.
+        best = max(gaps, key=gaps.get)
+        assert best in (4, 5)
+        assert gaps[4] > gaps[2]
+
+    def test_reference_count_validated(self, rng):
+        from repro.core.validation import gap_statistic
+        from repro.core.cluster import Dendrogram, linkage
+
+        x = rng.normal(size=(20, 3))
+        dendrogram = Dendrogram(linkage(x, "ward"))
+        with pytest.raises(ValueError, match="n_references"):
+            gap_statistic(x, dendrogram, ks=[2], n_references=0)

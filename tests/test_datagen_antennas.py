@@ -1,0 +1,108 @@
+"""Tests for site/antenna layout generation."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.datagen.antennas import CITY_COORDS, generate_layout
+from repro.datagen.archetypes import Archetype, ORANGE_GROUP
+from repro.datagen.environments import (
+    EnvironmentType,
+    METRO_CITIES,
+    TABLE1_COUNTS,
+)
+from tests.conftest import scaled_specs
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return generate_layout(master_seed=3, specs=scaled_specs(0.1))
+
+
+class TestLayout:
+    def test_counts_match_specs(self, layout):
+        _, antennas = layout
+        specs = scaled_specs(0.1)
+        counts = Counter(a.env_type for a in antennas)
+        for spec in specs:
+            assert counts[spec.env_type] == spec.count
+
+    def test_full_scale_matches_table1(self):
+        _, antennas = generate_layout(master_seed=0)
+        counts = Counter(a.env_type for a in antennas)
+        for env, expected in TABLE1_COUNTS.items():
+            assert counts[env] == expected
+
+    def test_antenna_ids_contiguous(self, layout):
+        _, antennas = layout
+        assert [a.antenna_id for a in antennas] == list(range(len(antennas)))
+
+    def test_site_ids_valid(self, layout):
+        sites, antennas = layout
+        site_ids = {s.site_id for s in sites}
+        assert site_ids == set(range(len(sites)))
+        assert all(a.site_id in site_ids for a in antennas)
+
+    def test_antennas_share_site_city(self, layout):
+        sites, antennas = layout
+        by_id = {s.site_id: s for s in sites}
+        for antenna in antennas:
+            assert antenna.city == by_id[antenna.site_id].city
+            assert antenna.env_type == by_id[antenna.site_id].env_type
+
+    def test_names_embed_site_name(self, layout):
+        sites, antennas = layout
+        by_id = {s.site_id: s for s in sites}
+        for antenna in antennas:
+            assert antenna.name.startswith(by_id[antenna.site_id].name)
+
+    def test_metro_cities_only(self, layout):
+        _, antennas = layout
+        for antenna in antennas:
+            if antenna.env_type == EnvironmentType.METRO:
+                assert antenna.city in METRO_CITIES
+
+    def test_paris_flag_consistent(self, layout):
+        _, antennas = layout
+        for antenna in antennas:
+            assert antenna.is_paris == (antenna.city == "Paris")
+
+    def test_metro_archetypes_are_orange(self, layout):
+        _, antennas = layout
+        for antenna in antennas:
+            if antenna.env_type in (EnvironmentType.METRO, EnvironmentType.TRAIN):
+                assert antenna.archetype in ORANGE_GROUP
+
+    def test_non_paris_metro_is_archetype7(self, layout):
+        _, antennas = layout
+        for antenna in antennas:
+            if antenna.env_type == EnvironmentType.METRO and not antenna.is_paris:
+                assert antenna.archetype == Archetype.PROVINCIAL_COMMUTER
+
+    def test_coordinates_near_city(self, layout):
+        _, antennas = layout
+        for antenna in antennas:
+            lat0, lon0 = CITY_COORDS[antenna.city]
+            assert abs(antenna.lat - lat0) < 0.5
+            assert abs(antenna.lon - lon0) < 0.5
+
+    def test_mostly_4g(self, layout):
+        _, antennas = layout
+        five_g = sum(1 for a in antennas if a.technology == "5G")
+        assert five_g / len(antennas) < 0.10
+
+    def test_deterministic(self):
+        a = generate_layout(master_seed=3, specs=scaled_specs(0.1))
+        b = generate_layout(master_seed=3, specs=scaled_specs(0.1))
+        assert [x.name for x in a[1]] == [y.name for y in b[1]]
+        assert [x.archetype for x in a[1]] == [y.archetype for y in b[1]]
+
+    def test_seed_changes_layout(self):
+        a = generate_layout(master_seed=3, specs=scaled_specs(0.1))
+        b = generate_layout(master_seed=4, specs=scaled_specs(0.1))
+        assert [x.archetype for x in a[1]] != [y.archetype for y in b[1]]
+
+    def test_bad_five_g_fraction(self):
+        with pytest.raises(ValueError, match="five_g_fraction"):
+            generate_layout(five_g_fraction=2.0)

@@ -1,0 +1,169 @@
+"""Tests for archetype profiles and environment-conditioned assignment."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.archetypes import (
+    Archetype,
+    ArchetypeProfile,
+    AssignmentRule,
+    DEFAULT_ASSIGNMENT,
+    DEFAULT_PROFILES,
+    GREEN_GROUP,
+    GROUP_OF,
+    ORANGE_GROUP,
+    RED_GROUP,
+    assign_archetype,
+    default_profiles,
+)
+from repro.datagen.environments import EnvironmentType
+from repro.datagen.services import ServiceCategory, default_catalog
+
+
+class TestGroups:
+    def test_nine_archetypes_numbered_like_paper(self):
+        assert sorted(int(a) for a in Archetype) == list(range(9))
+
+    def test_paper_group_membership(self):
+        assert {int(a) for a in ORANGE_GROUP} == {0, 4, 7}
+        assert {int(a) for a in GREEN_GROUP} == {5, 6, 8}
+        assert {int(a) for a in RED_GROUP} == {1, 2, 3}
+
+    def test_group_of_covers_all(self):
+        assert set(GROUP_OF) == set(Archetype)
+        assert set(GROUP_OF.values()) == {"orange", "green", "red"}
+
+
+class TestProfiles:
+    def test_all_archetypes_have_profiles(self):
+        assert set(DEFAULT_PROFILES) == set(Archetype)
+
+    def test_service_weights_are_distribution(self):
+        catalog = default_catalog()
+        for profile in DEFAULT_PROFILES.values():
+            weights = profile.service_weights(catalog)
+            assert weights.shape == (73,)
+            assert weights.sum() == pytest.approx(1.0)
+            assert np.all(weights > 0)
+
+    def test_commuter_over_uses_music(self):
+        catalog = default_catalog()
+        popularity = catalog.popularity_weights()
+        weights = DEFAULT_PROFILES[
+            Archetype.PARIS_COMMUTER_ENTERTAINMENT
+        ].service_weights(catalog)
+        spotify = catalog.index_of("Spotify")
+        # The commuter's Spotify share must exceed the global share.
+        assert weights[spotify] > popularity[spotify]
+
+    def test_office_over_uses_teams_under_uses_music(self):
+        catalog = default_catalog()
+        popularity = catalog.popularity_weights()
+        weights = DEFAULT_PROFILES[Archetype.OFFICE].service_weights(catalog)
+        teams = catalog.index_of("Microsoft Teams")
+        spotify = catalog.index_of("Spotify")
+        assert weights[teams] > popularity[teams]
+        assert weights[spotify] < popularity[spotify]
+
+    def test_provincial_commuter_under_uses_mappy(self):
+        catalog = default_catalog()
+        popularity = catalog.popularity_weights()
+        weights = DEFAULT_PROFILES[
+            Archetype.PROVINCIAL_COMMUTER
+        ].service_weights(catalog)
+        mappy = catalog.index_of("Mappy")
+        assert weights[mappy] < popularity[mappy]
+
+    def test_stadiums_differ_on_giphy(self):
+        # Section 5.1.2: Giphy present in cluster 8, absent in cluster 6.
+        catalog = default_catalog()
+        giphy = catalog.index_of("Giphy")
+        w6 = DEFAULT_PROFILES[Archetype.PROVINCIAL_STADIUM].service_weights(catalog)
+        w8 = DEFAULT_PROFILES[Archetype.PARIS_STADIUM].service_weights(catalog)
+        assert w8[giphy] > 5 * w6[giphy]
+
+    def test_uniform_flattens_popularity(self):
+        catalog = default_catalog()
+        popularity = catalog.popularity_weights()
+        weights = DEFAULT_PROFILES[Archetype.UNIFORM_MODERATE].service_weights(catalog)
+        # Flattening compresses the dynamic range of shares.
+        assert weights.max() / weights.min() < popularity.max() / popularity.min()
+
+    def test_flatten_bounds_validated(self):
+        with pytest.raises(ValueError, match="flatten"):
+            ArchetypeProfile(Archetype.GENERAL_USE, flatten=1.5)
+
+    def test_nonpositive_multiplier_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ArchetypeProfile(
+                Archetype.GENERAL_USE,
+                category_multipliers={ServiceCategory.MUSIC: 0.0},
+            )
+        with pytest.raises(ValueError, match="positive"):
+            ArchetypeProfile(
+                Archetype.GENERAL_USE, service_multipliers={"Waze": -1.0}
+            )
+
+    def test_default_profiles_returns_copy(self):
+        copy = default_profiles()
+        copy[Archetype.OFFICE] = None
+        assert DEFAULT_PROFILES[Archetype.OFFICE] is not None
+
+
+class TestAssignment:
+    def test_rules_cover_all_env_city_pairs(self):
+        for env in EnvironmentType:
+            for is_paris in (True, False):
+                assert (env, is_paris) in DEFAULT_ASSIGNMENT, (env, is_paris)
+
+    def test_rule_weights_sum_to_one(self):
+        for rule in DEFAULT_ASSIGNMENT.values():
+            assert sum(rule.weights.values()) == pytest.approx(1.0)
+
+    def test_paris_metro_only_commuter_archetypes(self):
+        rule = DEFAULT_ASSIGNMENT[(EnvironmentType.METRO, True)]
+        assert set(rule.weights) <= set(ORANGE_GROUP)
+
+    def test_non_paris_metro_is_cluster7(self):
+        rule = DEFAULT_ASSIGNMENT[(EnvironmentType.METRO, False)]
+        assert rule.weights == {Archetype.PROVINCIAL_COMMUTER: 1.0}
+
+    def test_trains_are_orange_only(self):
+        # Fig. 7a: the orange group comprises solely metro and train
+        # stations, so train antennas must all draw orange archetypes.
+        for is_paris in (True, False):
+            rule = DEFAULT_ASSIGNMENT[(EnvironmentType.TRAIN, is_paris)]
+            assert set(rule.weights) <= set(ORANGE_GROUP)
+
+    def test_airports_tunnels_mostly_general(self):
+        for env in (EnvironmentType.AIRPORT, EnvironmentType.TUNNEL):
+            rule = DEFAULT_ASSIGNMENT[(env, True)]
+            assert rule.weights.get(Archetype.GENERAL_USE, 0) > 0.9
+
+    def test_workspaces_mostly_office(self):
+        rule = DEFAULT_ASSIGNMENT[(EnvironmentType.WORKSPACE, True)]
+        assert rule.weights.get(Archetype.OFFICE, 0) > 0.7
+
+    def test_sampling_respects_support(self, rng):
+        rule = DEFAULT_ASSIGNMENT[(EnvironmentType.METRO, True)]
+        draws = {assign_archetype(EnvironmentType.METRO, True, rng) for _ in range(50)}
+        assert draws <= set(rule.weights)
+
+    def test_sampling_deterministic_given_rng(self):
+        a = assign_archetype(
+            EnvironmentType.STADIUM, False, np.random.default_rng(5)
+        )
+        b = assign_archetype(
+            EnvironmentType.STADIUM, False, np.random.default_rng(5)
+        )
+        assert a == b
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError, match="no assignment rule"):
+            assign_archetype(
+                EnvironmentType.METRO, True, np.random.default_rng(0), assignment={}
+            )
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            AssignmentRule({Archetype.OFFICE: 0.5})

@@ -1,0 +1,164 @@
+"""Tests for the study calendar and event scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.calendar import (
+    Event,
+    NBA_EVENT_HOURS,
+    SIRHA_DAYS,
+    STRIKE_DAY,
+    STUDY_END,
+    STUDY_START,
+    StudyCalendar,
+    match_days,
+    nba_paris_event,
+    random_expo_events,
+    random_stadium_events,
+    sirha_lyon_events,
+)
+
+
+class TestStudyCalendar:
+    def test_default_period_matches_paper(self):
+        cal = StudyCalendar()
+        assert cal.start == np.datetime64("2022-11-21T00", "h")
+        assert cal.end == np.datetime64("2023-01-24T23", "h")
+
+    def test_n_hours(self):
+        cal = StudyCalendar()
+        # 2022-11-21 .. 2023-01-24 inclusive = 65 days.
+        assert cal.n_hours == 65 * 24
+
+    def test_hours_grid_hourly(self):
+        cal = StudyCalendar()
+        hours = cal.hours
+        assert hours.shape == (cal.n_hours,)
+        deltas = np.diff(hours) / np.timedelta64(1, "h")
+        assert np.all(deltas == 1)
+
+    def test_hour_of_day_cycles(self):
+        cal = StudyCalendar()
+        hod = cal.hour_of_day()
+        assert hod[0] == 0
+        assert hod[23] == 23
+        assert hod[24] == 0
+
+    def test_day_of_week_iso(self):
+        # 2022-11-21 was a Monday.
+        cal = StudyCalendar()
+        assert cal.day_of_week()[0] == 0
+
+    def test_weekend_mask(self):
+        cal = StudyCalendar()
+        weekend = cal.is_weekend()
+        # First Saturday of the period: 2022-11-26 (day index 5).
+        assert not weekend[0]
+        assert weekend[5 * 24]
+        assert weekend[6 * 24]
+        assert not weekend[7 * 24]
+
+    def test_strike_day_mask(self):
+        cal = StudyCalendar()
+        strike = cal.is_strike_day()
+        assert strike.sum() == 24
+        assert np.all(cal.dates()[strike] == STRIKE_DAY)
+
+    def test_index_of(self):
+        cal = StudyCalendar()
+        assert cal.index_of(STUDY_START) == 0
+        assert cal.index_of(np.datetime64("2022-11-22T05", "h")) == 29
+
+    def test_index_of_out_of_range(self):
+        cal = StudyCalendar()
+        with pytest.raises(ValueError, match="outside calendar"):
+            cal.index_of(np.datetime64("2024-01-01T00", "h"))
+
+    def test_window_slice(self):
+        cal = StudyCalendar()
+        window = cal.window(
+            np.datetime64("2023-01-04T00", "h"), np.datetime64("2023-01-05T23", "h")
+        )
+        assert window.stop - window.start == 48
+
+    def test_temporal_window_spans_21_days(self):
+        cal = StudyCalendar()
+        window = cal.temporal_window()
+        assert window.stop - window.start == 21 * 24
+
+    def test_inverted_calendar_rejected(self):
+        with pytest.raises(ValueError, match="precedes"):
+            StudyCalendar(STUDY_END, STUDY_START)
+
+    def test_inverted_window_rejected(self):
+        cal = StudyCalendar()
+        with pytest.raises(ValueError, match="precedes"):
+            cal.window(cal.end, cal.start)
+
+
+class TestEvent:
+    def test_mask_covers_event_hours(self):
+        cal = StudyCalendar()
+        event = Event(
+            np.datetime64("2023-01-10T19", "h"), np.datetime64("2023-01-10T22", "h")
+        )
+        mask = event.mask(cal)
+        assert mask.sum() == 4
+
+    def test_inverted_event_rejected(self):
+        with pytest.raises(ValueError, match="precedes"):
+            Event(np.datetime64("2023-01-10T22", "h"),
+                  np.datetime64("2023-01-10T19", "h"))
+
+    def test_nonpositive_intensity_rejected(self):
+        with pytest.raises(ValueError, match="intensity"):
+            Event(np.datetime64("2023-01-10T19", "h"),
+                  np.datetime64("2023-01-10T22", "h"), intensity=0.0)
+
+
+class TestSchedules:
+    def test_match_days_are_wed_sat_sun(self):
+        cal = StudyCalendar()
+        days = match_days(cal)
+        dows = (days.astype("datetime64[D]").view("int64") + 3) % 7
+        assert set(dows.tolist()) <= {2, 5, 6}
+        assert days.size > 20  # ~3 per week over 9+ weeks
+
+    def test_stadium_events_on_match_days(self, rng):
+        cal = StudyCalendar()
+        events = random_stadium_events(cal, rng)
+        fixture = set(match_days(cal))
+        for event in events:
+            assert event.start.astype("datetime64[D]") in fixture
+
+    def test_stadium_events_are_evening(self, rng):
+        cal = StudyCalendar()
+        for event in random_stadium_events(cal, rng):
+            hour = int((event.start - event.start.astype("datetime64[D]"))
+                       / np.timedelta64(1, "h"))
+            assert 19 <= hour <= 20
+
+    def test_stadium_attendance_probability_validated(self, rng):
+        with pytest.raises(ValueError, match="attendance_probability"):
+            random_stadium_events(StudyCalendar(), rng, attendance_probability=0.0)
+
+    def test_expo_events_daytime_multiday(self, rng):
+        cal = StudyCalendar()
+        events = random_expo_events(cal, rng)
+        assert events
+        for event in events:
+            start_hour = int((event.start - event.start.astype("datetime64[D]"))
+                             / np.timedelta64(1, "h"))
+            assert start_hour == 9
+
+    def test_nba_event_matches_paper(self):
+        event = nba_paris_event()
+        assert event.start == NBA_EVENT_HOURS[0]
+        assert event.start.astype("datetime64[D]") == STRIKE_DAY
+
+    def test_sirha_events_cover_19_to_24(self):
+        events = sirha_lyon_events()
+        days = {e.start.astype("datetime64[D]") for e in events}
+        assert len(events) == 6
+        assert min(days) == SIRHA_DAYS[0]
+        assert max(days) == SIRHA_DAYS[1]

@@ -1,0 +1,86 @@
+"""Tests for service-catalog JSON (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.datagen.catalog_io import (
+    catalog_from_json,
+    catalog_to_json,
+    load_catalog,
+    save_catalog,
+)
+from repro.datagen.services import ServiceCategory, default_catalog
+
+
+class TestRoundtrip:
+    def test_default_catalog_roundtrips(self):
+        original = default_catalog()
+        recovered = catalog_from_json(catalog_to_json(original))
+        assert recovered.names == original.names
+        for a, b in zip(recovered, original):
+            assert a == b
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        save_catalog(default_catalog(), path)
+        recovered = load_catalog(path)
+        assert len(recovered) == 73
+
+    def test_custom_catalog_usable_by_generator(self, tmp_path):
+        from repro.datagen import generate_dataset
+        from repro.datagen.scenarios import scaled_specs
+
+        text = json.dumps([
+            {"name": "AppA", "category": "video_streaming",
+             "popularity": 5.0, "temporal_class": "evening"},
+            {"name": "AppB", "category": "music",
+             "popularity": 2.0, "temporal_class": "commute",
+             "downlink_fraction": 0.9},
+            {"name": "AppC", "category": "business",
+             "popularity": 1.0, "temporal_class": "business_hours"},
+        ])
+        catalog = catalog_from_json(text)
+        dataset = generate_dataset(master_seed=1,
+                                   specs=scaled_specs(0.03),
+                                   catalog=catalog)
+        assert dataset.n_services == 3
+        assert dataset.totals.shape[1] == 3
+
+
+class TestValidation:
+    def test_malformed_json(self):
+        with pytest.raises(ValueError, match="malformed"):
+            catalog_from_json("{not json")
+
+    def test_empty_list(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            catalog_from_json("[]")
+
+    def test_missing_keys(self):
+        with pytest.raises(ValueError, match="lacks keys"):
+            catalog_from_json(json.dumps([{"name": "X"}]))
+
+    def test_unknown_category(self):
+        entry = {"name": "X", "category": "telepathy",
+                 "popularity": 1.0, "temporal_class": "flat"}
+        with pytest.raises(ValueError, match="unknown category"):
+            catalog_from_json(json.dumps([entry]))
+
+    def test_unknown_temporal_class(self):
+        entry = {"name": "X", "category": "web",
+                 "popularity": 1.0, "temporal_class": "always"}
+        with pytest.raises(ValueError, match="temporal_class"):
+            catalog_from_json(json.dumps([entry]))
+
+    def test_duplicate_names_rejected(self):
+        entry = {"name": "X", "category": "web",
+                 "popularity": 1.0, "temporal_class": "flat"}
+        with pytest.raises(ValueError, match="duplicate"):
+            catalog_from_json(json.dumps([entry, entry]))
+
+    def test_default_downlink_applied(self):
+        entry = {"name": "X", "category": "web",
+                 "popularity": 1.0, "temporal_class": "flat"}
+        catalog = catalog_from_json(json.dumps([entry]))
+        assert catalog["X"].downlink_fraction == pytest.approx(0.85)

@@ -1,0 +1,85 @@
+"""Tests for the TrafficDataset container and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.dataset import TrafficDataset, generate_dataset
+from tests.conftest import scaled_specs
+
+
+class TestGenerateDataset:
+    def test_views(self, small_dataset):
+        assert small_dataset.n_services == 73
+        assert len(small_dataset.service_names) == 73
+        assert small_dataset.archetypes().shape == (small_dataset.n_antennas,)
+        assert len(small_dataset.environment_types()) == small_dataset.n_antennas
+        assert small_dataset.paris_mask().dtype == bool
+
+    def test_totals_consistent_with_model(self, small_dataset):
+        np.testing.assert_allclose(
+            small_dataset.totals, small_dataset.model.totals()
+        )
+
+    def test_antenna_names_parseable(self, small_dataset):
+        from repro.analysis.environment import extract_environment
+
+        for antenna in small_dataset.antennas[:50]:
+            assert extract_environment(antenna.name) == antenna.env_type
+
+    def test_mismatched_totals_rejected(self, small_dataset):
+        with pytest.raises(ValueError, match="rows"):
+            TrafficDataset(
+                sites=small_dataset.sites,
+                antennas=small_dataset.antennas[:-1],
+                catalog=small_dataset.catalog,
+                calendar=small_dataset.calendar,
+                totals=small_dataset.totals,
+                model=small_dataset.model,
+                master_seed=0,
+            )
+
+    def test_hourly_delegation(self, small_dataset):
+        window = small_dataset.temporal_window()
+        series = small_dataset.hourly_service("Spotify", antenna_ids=[0],
+                                              window=window)
+        assert series.shape[1] == window.stop - window.start
+        totals = small_dataset.hourly_total(antenna_ids=[0], window=window)
+        assert totals.shape == series.shape
+
+
+class TestSerialization:
+    def test_roundtrip(self, small_dataset, tmp_path):
+        path = tmp_path / "dataset.npz"
+        small_dataset.save(path)
+        loaded = TrafficDataset.load(path)
+        np.testing.assert_allclose(loaded.totals, small_dataset.totals)
+        assert loaded.n_antennas == small_dataset.n_antennas
+        assert loaded.master_seed == small_dataset.master_seed
+        assert [a.name for a in loaded.antennas] == [
+            a.name for a in small_dataset.antennas
+        ]
+        assert [a.archetype for a in loaded.antennas] == [
+            a.archetype for a in small_dataset.antennas
+        ]
+
+    def test_roundtrip_preserves_hourly(self, small_dataset, tmp_path):
+        path = tmp_path / "dataset.npz"
+        small_dataset.save(path)
+        loaded = TrafficDataset.load(path)
+        window = small_dataset.temporal_window()
+        np.testing.assert_allclose(
+            loaded.hourly_service("Waze", antenna_ids=[1], window=window),
+            small_dataset.hourly_service("Waze", antenna_ids=[1], window=window),
+        )
+
+    def test_roundtrip_preserves_calendar(self, small_dataset, tmp_path):
+        path = tmp_path / "dataset.npz"
+        small_dataset.save(path)
+        loaded = TrafficDataset.load(path)
+        assert loaded.calendar.start == small_dataset.calendar.start
+        assert loaded.calendar.end == small_dataset.calendar.end
+
+    def test_outdoor_companion(self, small_dataset):
+        antennas, totals = small_dataset.outdoor(count=100)
+        assert len(antennas) == 100
+        assert totals.shape == (100, 73)

@@ -1,0 +1,100 @@
+"""Tests for environment types and deployment specs (Table 1)."""
+
+import pytest
+
+from repro.datagen.environments import (
+    DEFAULT_SPECS,
+    EnvironmentSpec,
+    EnvironmentType,
+    METRO_CITIES,
+    NAME_KEYWORDS,
+    TABLE1_COUNTS,
+    TOTAL_INDOOR_ANTENNAS,
+    default_specs,
+    spec_for,
+)
+
+
+class TestTable1:
+    def test_eleven_environment_types(self):
+        assert len(EnvironmentType) == 11
+
+    def test_counts_match_paper(self):
+        # Exact N_env values from Table 1.
+        assert TABLE1_COUNTS[EnvironmentType.METRO] == 1794
+        assert TABLE1_COUNTS[EnvironmentType.TRAIN] == 434
+        assert TABLE1_COUNTS[EnvironmentType.AIRPORT] == 187
+        assert TABLE1_COUNTS[EnvironmentType.WORKSPACE] == 774
+        assert TABLE1_COUNTS[EnvironmentType.COMMERCIAL] == 469
+        assert TABLE1_COUNTS[EnvironmentType.STADIUM] == 451
+        assert TABLE1_COUNTS[EnvironmentType.EXPO] == 230
+        assert TABLE1_COUNTS[EnvironmentType.HOTEL] == 28
+        assert TABLE1_COUNTS[EnvironmentType.HOSPITAL] == 53
+        assert TABLE1_COUNTS[EnvironmentType.TUNNEL] == 220
+        assert TABLE1_COUNTS[EnvironmentType.PUBLIC] == 122
+
+    def test_total_is_4762(self):
+        assert sum(TABLE1_COUNTS.values()) == TOTAL_INDOOR_ANTENNAS == 4762
+
+    def test_default_specs_cover_all_types(self):
+        covered = {spec.env_type for spec in DEFAULT_SPECS}
+        assert covered == set(EnvironmentType)
+
+    def test_default_specs_counts_match_table1(self):
+        for spec in DEFAULT_SPECS:
+            assert spec.count == TABLE1_COUNTS[spec.env_type]
+
+    def test_spec_for(self):
+        assert spec_for(EnvironmentType.METRO).count == 1794
+
+    def test_default_specs_returns_tuple(self):
+        assert isinstance(default_specs(), tuple)
+
+
+class TestKeywords:
+    def test_every_type_has_keywords(self):
+        for env in EnvironmentType:
+            assert NAME_KEYWORDS[env], env
+
+    def test_keywords_disjoint(self):
+        seen = {}
+        for env, keywords in NAME_KEYWORDS.items():
+            for keyword in keywords:
+                assert keyword not in seen, (keyword, env, seen.get(keyword))
+                seen[keyword] = env
+
+    def test_metro_cities(self):
+        assert "Paris" in METRO_CITIES
+        assert set(METRO_CITIES) == {"Paris", "Lille", "Lyon", "Rennes", "Toulouse"}
+
+
+class TestEnvironmentSpecValidation:
+    def _base(self, **overrides):
+        params = dict(
+            env_type=EnvironmentType.HOTEL,
+            count=10,
+            paris_fraction=0.5,
+            antennas_per_site=(1, 3),
+            volume_scale=1e5,
+        )
+        params.update(overrides)
+        return EnvironmentSpec(**params)
+
+    def test_valid(self):
+        assert self._base().count == 10
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError, match="count"):
+            self._base(count=0)
+
+    def test_rejects_bad_paris_fraction(self):
+        with pytest.raises(ValueError, match="paris_fraction"):
+            self._base(paris_fraction=1.5)
+
+    def test_rejects_inverted_site_range(self):
+        with pytest.raises(ValueError, match="antennas_per_site"):
+            self._base(antennas_per_site=(5, 2))
+
+    def test_rejects_bad_surrounding_weights(self):
+        with pytest.raises(ValueError, match="surrounding_weights"):
+            self._base(surrounding_weights=(0.5, 0.4, 0.2))

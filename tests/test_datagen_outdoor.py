@@ -1,0 +1,112 @@
+"""Tests for the outdoor macro population generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.antennas import DEG_PER_KM_LAT
+from repro.datagen.outdoor import generate_outdoor, neighbours_within
+from repro.datagen.services import default_catalog
+
+
+@pytest.fixture(scope="module")
+def outdoor(small_dataset_module):
+    antennas, totals = generate_outdoor(
+        small_dataset_module.sites, small_dataset_module.catalog,
+        master_seed=11, count=800,
+    )
+    return small_dataset_module, antennas, totals
+
+
+@pytest.fixture(scope="module")
+def small_dataset_module():
+    from repro.datagen.dataset import generate_dataset
+    from tests.conftest import scaled_specs
+
+    return generate_dataset(master_seed=11, specs=scaled_specs(0.1))
+
+
+class TestGenerateOutdoor:
+    def test_count_and_shape(self, outdoor):
+        _, antennas, totals = outdoor
+        assert len(antennas) == 800
+        assert totals.shape == (800, 73)
+
+    def test_positive_totals(self, outdoor):
+        _, _, totals = outdoor
+        assert np.all(totals > 0)
+
+    def test_anchored_within_1km(self, outdoor):
+        dataset, antennas, _ = outdoor
+        sites = {s.site_id: s for s in dataset.sites}
+        for antenna in antennas:
+            anchor = sites[antenna.anchor_site_id]
+            dy = (antenna.lat - anchor.lat) / DEG_PER_KM_LAT
+            dx = ((antenna.lon - anchor.lon)
+                  * np.cos(np.radians(anchor.lat)) / DEG_PER_KM_LAT)
+            assert dx * dx + dy * dy <= 1.0 + 1e-9
+
+    def test_mix_close_to_popularity_on_average(self, outdoor):
+        _, _, totals = outdoor
+        shares = totals / totals.sum(axis=1, keepdims=True)
+        popularity = default_catalog().popularity_weights()
+        # The mean outdoor mix tracks the global popularity mix.
+        correlation = np.corrcoef(shares.mean(axis=0), popularity)[0, 1]
+        assert correlation > 0.98
+
+    def test_deterministic(self, small_dataset_module):
+        a = generate_outdoor(small_dataset_module.sites,
+                             small_dataset_module.catalog,
+                             master_seed=5, count=50)
+        b = generate_outdoor(small_dataset_module.sites,
+                             small_dataset_module.catalog,
+                             master_seed=5, count=50)
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_seed_changes_totals(self, small_dataset_module):
+        a = generate_outdoor(small_dataset_module.sites,
+                             small_dataset_module.catalog,
+                             master_seed=5, count=50)
+        b = generate_outdoor(small_dataset_module.sites,
+                             small_dataset_module.catalog,
+                             master_seed=6, count=50)
+        assert not np.array_equal(a[1], b[1])
+
+    def test_spillover_zero_gives_pure_general(self, small_dataset_module):
+        _, totals = generate_outdoor(
+            small_dataset_module.sites, small_dataset_module.catalog,
+            master_seed=5, count=300, spillover_fraction=0.0,
+        )
+        shares = totals / totals.sum(axis=1, keepdims=True)
+        popularity = default_catalog().popularity_weights()
+        # Without spillover, per-antenna deviation is pure noise: the log
+        # share ratio should have modest spread for every antenna.
+        log_ratio = np.log(shares / popularity[None, :])
+        assert np.all(np.abs(log_ratio.mean(axis=1)) < 0.5)
+
+    def test_validation(self, small_dataset_module):
+        with pytest.raises(ValueError, match="count"):
+            generate_outdoor(small_dataset_module.sites,
+                             small_dataset_module.catalog, count=0)
+        with pytest.raises(ValueError, match="spillover_fraction"):
+            generate_outdoor(small_dataset_module.sites,
+                             small_dataset_module.catalog,
+                             count=10, spillover_fraction=1.5)
+        with pytest.raises(ValueError, match="anchor"):
+            generate_outdoor([], small_dataset_module.catalog, count=10)
+
+
+class TestNeighbours:
+    def test_neighbours_within_radius(self, outdoor):
+        dataset, antennas, _ = outdoor
+        site = dataset.sites[0]
+        near = neighbours_within(antennas, site, radius_km=1.0)
+        ids = {a.antenna_id for a in near}
+        # Every antenna anchored on this site must be found.
+        anchored = {a.antenna_id for a in antennas
+                    if a.anchor_site_id == site.site_id}
+        assert anchored <= ids
+
+    def test_radius_validation(self, outdoor):
+        dataset, antennas, _ = outdoor
+        with pytest.raises(ValueError, match="radius_km"):
+            neighbours_within(antennas, dataset.sites[0], radius_km=0.0)

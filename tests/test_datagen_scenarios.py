@@ -1,0 +1,72 @@
+"""Tests for the named deployment scenarios."""
+
+import pytest
+
+from repro.datagen.environments import EnvironmentType, TOTAL_INDOOR_ANTENNAS
+from repro.datagen.scenarios import (
+    SCENARIOS,
+    available_scenarios,
+    scaled_specs,
+    scenario,
+)
+
+
+class TestScaledSpecs:
+    def test_scaling(self):
+        specs = scaled_specs(0.1)
+        metro = next(s for s in specs if s.env_type == EnvironmentType.METRO)
+        assert metro.count == 179
+
+    def test_minimum_floor(self):
+        specs = scaled_specs(0.01, minimum_per_environment=6)
+        hotel = next(s for s in specs if s.env_type == EnvironmentType.HOTEL)
+        assert hotel.count == 6
+
+    def test_all_environments_present(self):
+        specs = scaled_specs(0.05)
+        assert {s.env_type for s in specs} == set(EnvironmentType)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="scale"):
+            scaled_specs(0.0)
+        with pytest.raises(ValueError, match="minimum_per_environment"):
+            scaled_specs(0.1, minimum_per_environment=0)
+
+
+class TestScenario:
+    def test_available(self):
+        listing = available_scenarios()
+        assert set(listing) == set(SCENARIOS)
+        assert all(isinstance(desc, str) for desc in listing.values())
+
+    def test_tiny_scenario_generates(self):
+        dataset = scenario("tiny", master_seed=3)
+        assert dataset.n_services == 73
+        assert 200 < dataset.n_antennas < 400
+
+    def test_enterprise_scenario_composition(self):
+        dataset = scenario("enterprise", master_seed=3)
+        envs = set(dataset.environment_types())
+        assert EnvironmentType.WORKSPACE in envs
+        assert EnvironmentType.METRO not in envs
+
+    def test_transit_scenario_composition(self):
+        dataset = scenario("transit", master_seed=3)
+        envs = dataset.environment_types()
+        metro_share = sum(
+            1 for e in envs if e == EnvironmentType.METRO
+        ) / len(envs)
+        assert metro_share > 0.5
+
+    def test_kwargs_forwarded(self):
+        quiet = scenario("tiny", master_seed=3, share_noise_sigma=0.0)
+        assert quiet.model.share_noise_sigma == 0.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario("mars-colony")
+
+    def test_seed_changes_data(self):
+        a = scenario("tiny", master_seed=1)
+        b = scenario("tiny", master_seed=2)
+        assert not (a.totals == b.totals).all()

@@ -1,0 +1,109 @@
+"""Tests for the 73-service catalog."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.services import (
+    Service,
+    ServiceCatalog,
+    ServiceCategory,
+    TemporalClass,
+    default_catalog,
+)
+
+
+class TestDefaultCatalog:
+    def test_exactly_73_services(self):
+        # The paper analyses M = 73 mobile services (Section 4.1).
+        assert len(default_catalog()) == 73
+
+    def test_paper_named_services_present(self):
+        catalog = default_catalog()
+        for name in (
+            "Spotify", "SoundCloud", "Deezer", "Apple Music",
+            "Mappy", "Google Maps", "Waze", "Transportation Websites",
+            "Twitter", "Snapchat", "Giphy", "WhatsApp",
+            "Netflix", "Disney+", "Amazon Prime Video", "Canal+",
+            "Microsoft Teams", "LinkedIn", "Google Play Store",
+            "Shopping Websites", "Sports Websites", "Yahoo",
+        ):
+            assert name in catalog, name
+
+    def test_unique_names(self):
+        names = default_catalog().names
+        assert len(set(names)) == len(names)
+
+    def test_popularity_weights_normalized(self):
+        weights = default_catalog().popularity_weights()
+        assert weights.shape == (73,)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights > 0)
+
+    def test_popularity_heavy_tailed(self):
+        # A handful of streaming/social services should dominate volume
+        # (the Fig. 1 skew argument).
+        weights = np.sort(default_catalog().popularity_weights())[::-1]
+        assert weights[:10].sum() > 0.5
+
+    def test_index_of_roundtrip(self):
+        catalog = default_catalog()
+        for idx in (0, 10, 72):
+            assert catalog.index_of(catalog[idx].name) == idx
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown service"):
+            default_catalog().index_of("MySpace")
+
+    def test_in_category(self):
+        catalog = default_catalog()
+        music = catalog.in_category(ServiceCategory.MUSIC)
+        assert len(music) == 5
+        assert all(catalog[j].category == ServiceCategory.MUSIC for j in music)
+
+    def test_every_category_nonempty(self):
+        catalog = default_catalog()
+        for category in ServiceCategory:
+            assert catalog.in_category(category), category
+
+    def test_getitem_by_name(self):
+        catalog = default_catalog()
+        assert catalog["Spotify"].category == ServiceCategory.MUSIC
+
+    def test_contains(self):
+        catalog = default_catalog()
+        assert "Waze" in catalog
+        assert "NoSuchApp" not in catalog
+
+    def test_commute_services_exist(self):
+        catalog = default_catalog()
+        commute = [s for s in catalog if s.temporal_class is TemporalClass.COMMUTE]
+        assert any(s.name == "Spotify" for s in commute)
+
+    def test_waze_is_post_event(self):
+        assert (
+            default_catalog()["Waze"].temporal_class is TemporalClass.POST_EVENT
+        )
+
+
+class TestServiceValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            Service("", ServiceCategory.WEB, 1.0, TemporalClass.FLAT)
+
+    def test_rejects_nonpositive_popularity(self):
+        with pytest.raises(ValueError, match="popularity"):
+            Service("X", ServiceCategory.WEB, 0.0, TemporalClass.FLAT)
+
+    def test_rejects_bad_downlink_fraction(self):
+        with pytest.raises(ValueError, match="downlink"):
+            Service("X", ServiceCategory.WEB, 1.0, TemporalClass.FLAT,
+                    downlink_fraction=1.2)
+
+    def test_catalog_rejects_duplicates(self):
+        svc = Service("Dup", ServiceCategory.WEB, 1.0, TemporalClass.FLAT)
+        with pytest.raises(ValueError, match="duplicate"):
+            ServiceCatalog([svc, svc])
+
+    def test_catalog_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ServiceCatalog([])

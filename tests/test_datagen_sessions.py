@@ -1,0 +1,120 @@
+"""Tests for the IP-session-level synthesis layer."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.sessions import (
+    Session,
+    SessionGenerator,
+    session_statistics,
+)
+
+
+@pytest.fixture(scope="module")
+def generator(request):
+    small = request.getfixturevalue("small_dataset")
+    return SessionGenerator(small)
+
+
+@pytest.fixture(scope="module")
+def small_dataset(request):
+    # Re-expose the session-scoped fixture at module scope for reuse.
+    from repro.datagen.dataset import generate_dataset
+    from tests.conftest import scaled_specs
+
+    return generate_dataset(master_seed=7, specs=scaled_specs(0.1))
+
+
+@pytest.fixture(scope="module")
+def netflix_sessions(generator, small_dataset):
+    window = small_dataset.calendar.window(
+        np.datetime64("2023-01-09T00", "h"),
+        np.datetime64("2023-01-11T23", "h"),
+    )
+    return generator.sessions_for(0, "Netflix", window), window
+
+
+class TestSessionsFor:
+    def test_sessions_generated(self, netflix_sessions):
+        sessions, _ = netflix_sessions
+        assert len(sessions) > 10
+        assert all(s.service == "Netflix" for s in sessions)
+        assert all(s.antenna_id == 0 for s in sessions)
+
+    def test_aggregation_reproduces_hourly(
+        self, generator, small_dataset, netflix_sessions
+    ):
+        sessions, window = netflix_sessions
+        aggregated = generator.aggregate_hourly(sessions, window)
+        hourly = small_dataset.hourly_service(
+            "Netflix", antenna_ids=[0], window=window
+        )[0]
+        np.testing.assert_allclose(aggregated, hourly, rtol=1e-9)
+
+    def test_deterministic(self, generator, small_dataset):
+        window = small_dataset.calendar.window(
+            np.datetime64("2023-01-09T00", "h"),
+            np.datetime64("2023-01-09T23", "h"),
+        )
+        a = generator.sessions_for(1, "Spotify", window)
+        b = generator.sessions_for(1, "Spotify", window)
+        assert len(a) == len(b)
+        assert all(
+            x.volume_mb == y.volume_mb and x.start == y.start
+            for x, y in zip(a, b)
+        )
+
+    def test_downlink_split_follows_service(self, netflix_sessions,
+                                            small_dataset):
+        sessions, _ = netflix_sessions
+        expected = small_dataset.catalog["Netflix"].downlink_fraction
+        for session in sessions[:20]:
+            share = session.downlink_mb / session.volume_mb
+            assert share == pytest.approx(expected)
+
+    def test_streaming_sessions_larger_than_messaging(
+        self, generator, small_dataset
+    ):
+        window = small_dataset.calendar.window(
+            np.datetime64("2023-01-09T00", "h"),
+            np.datetime64("2023-01-11T23", "h"),
+        )
+        netflix = generator.sessions_for(0, "Netflix", window)
+        whatsapp = generator.sessions_for(0, "WhatsApp", window)
+        netflix_median = np.median([s.volume_mb for s in netflix])
+        whatsapp_median = np.median([s.volume_mb for s in whatsapp])
+        assert netflix_median > whatsapp_median
+
+    def test_durations_positive(self, netflix_sessions):
+        sessions, _ = netflix_sessions
+        assert all(s.duration_s >= 1.0 for s in sessions)
+
+
+class TestSessionStatistics:
+    def test_summary_fields(self, netflix_sessions):
+        sessions, _ = netflix_sessions
+        stats = session_statistics(sessions)
+        assert stats["count"] == len(sessions)
+        assert stats["volume_mb_p95"] >= stats["volume_mb_p50"]
+        assert 0.9 < stats["downlink_share"] <= 1.0  # Netflix is DL-heavy
+        assert stats["duration_s_mean"] > 0
+
+    def test_heavy_tailed_sizes(self, netflix_sessions):
+        sessions, _ = netflix_sessions
+        stats = session_statistics(sessions)
+        # Log-normal flows: p95 well above the median.
+        assert stats["volume_mb_p95"] > 3 * stats["volume_mb_p50"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no sessions"):
+            session_statistics([])
+
+
+class TestSessionValidation:
+    def test_bad_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            Session(0, "X", np.datetime64("2023-01-01T00"), 0.0, 1.0, 0.1)
+
+    def test_negative_volume(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Session(0, "X", np.datetime64("2023-01-01T00"), 1.0, -1.0, 0.1)

@@ -1,0 +1,145 @@
+"""Tests for the occupancy x usage temporal model."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.archetypes import Archetype
+from repro.datagen.calendar import Event, StudyCalendar
+from repro.datagen.services import TemporalClass
+from repro.datagen.temporal import DEFAULT_OCCUPANCY, OccupancyParams, TemporalModel
+
+
+@pytest.fixture(scope="module")
+def model(request):
+    return TemporalModel(StudyCalendar())
+
+
+class TestOccupancy:
+    def test_all_archetypes_covered(self, model):
+        for arch in Archetype:
+            occ = model.occupancy(arch)
+            assert occ.shape == (model.calendar.n_hours,)
+            assert np.all(occ >= 0)
+
+    def test_commuter_bimodal(self, model):
+        occ = model.occupancy(Archetype.PARIS_COMMUTER_ENTERTAINMENT)
+        hod = model.calendar.hour_of_day()
+        weekday = ~model.calendar.is_weekend() & ~model.calendar.is_strike_day()
+        morning = occ[weekday & (hod == 8)].mean()
+        evening = occ[weekday & (hod == 18)].mean()
+        midday = occ[weekday & (hod == 13)].mean()
+        night = occ[weekday & (hod == 3)].mean()
+        assert morning > midday > night
+        assert evening > midday
+
+    def test_commuter_weekend_suppressed(self, model):
+        occ = model.occupancy(Archetype.PARIS_COMMUTER_LEAN)
+        weekend = model.calendar.is_weekend()
+        assert occ[weekend].mean() < 0.4 * occ[~weekend].mean()
+
+    def test_strike_hits_paris_commuters_hardest(self, model):
+        strike = model.calendar.is_strike_day()
+        hod = model.calendar.hour_of_day()
+        peak = strike & (hod == 8)
+        normal = (
+            ~model.calendar.is_weekend()
+            & ~model.calendar.is_strike_day()
+            & (hod == 8)
+        )
+        paris = model.occupancy(Archetype.PARIS_COMMUTER_ENTERTAINMENT)
+        provincial = model.occupancy(Archetype.PROVINCIAL_COMMUTER)
+        paris_ratio = paris[peak].mean() / paris[normal].mean()
+        provincial_ratio = provincial[peak].mean() / provincial[normal].mean()
+        assert paris_ratio < 0.1
+        assert provincial_ratio > 3 * paris_ratio  # milder outside Paris
+
+    def test_office_dead_on_weekends(self, model):
+        occ = model.occupancy(Archetype.OFFICE)
+        weekend = model.calendar.is_weekend()
+        assert occ[weekend].mean() < 0.2 * occ[~weekend].mean()
+
+    def test_event_burst_superimposed(self, model):
+        start = np.datetime64("2023-01-10T19", "h")
+        end = np.datetime64("2023-01-10T22", "h")
+        event = Event(start, end, intensity=10.0)
+        with_event = model.occupancy(Archetype.PARIS_STADIUM, [event])
+        without = model.occupancy(Archetype.PARIS_STADIUM)
+        idx = model.calendar.index_of(start)
+        assert with_event[idx] > 5 * without[idx]
+        # Outside the event the two coincide.
+        assert with_event[idx - 3] == pytest.approx(without[idx - 3])
+
+    def test_non_venue_ignores_events(self, model):
+        event = Event(np.datetime64("2023-01-10T19", "h"),
+                      np.datetime64("2023-01-10T22", "h"))
+        a = model.occupancy(Archetype.OFFICE, [event])
+        b = model.occupancy(Archetype.OFFICE)
+        np.testing.assert_array_equal(a, b)
+
+    def test_retail_sunday_dip(self, model):
+        occ = model.occupancy(Archetype.RETAIL_HOSPITALITY)
+        dow = model.calendar.day_of_week()
+        saturday = occ[dow == 5].mean()
+        sunday = occ[dow == 6].mean()
+        assert sunday < 0.8 * saturday
+
+
+class TestProfiles:
+    def test_profile_shapes(self, model):
+        profile = model.profile(Archetype.GENERAL_USE, TemporalClass.DAYTIME)
+        assert profile.shape == (model.calendar.n_hours,)
+        assert np.all(profile >= 0)
+
+    def test_post_event_lags_event(self, model):
+        event = Event(np.datetime64("2023-01-10T19", "h"),
+                      np.datetime64("2023-01-10T22", "h"), intensity=12.0)
+        social = model.profile(
+            Archetype.PARIS_STADIUM, TemporalClass.EVENT, [event]
+        )
+        navigation = model.profile(
+            Archetype.PARIS_STADIUM, TemporalClass.POST_EVENT, [event]
+        )
+        day_start = model.calendar.index_of(np.datetime64("2023-01-10T00", "h"))
+        day = slice(day_start, day_start + 30)
+        assert np.argmax(navigation[day]) > np.argmax(social[day])
+
+    def test_profiles_by_class_matches_profile(self, model):
+        event = Event(np.datetime64("2023-01-07T19", "h"),
+                      np.datetime64("2023-01-07T22", "h"))
+        bundle = model.profiles_by_class(Archetype.PARIS_STADIUM, [event])
+        for tclass in TemporalClass:
+            single = model.profile(Archetype.PARIS_STADIUM, tclass, [event])
+            np.testing.assert_allclose(bundle[tclass], single)
+
+    def test_business_class_peaks_in_working_hours(self, model):
+        profile = model.profile(Archetype.OFFICE, TemporalClass.BUSINESS_HOURS)
+        hod = model.calendar.hour_of_day()
+        weekday = ~model.calendar.is_weekend()
+        work = profile[weekday & (hod >= 9) & (hod < 18)].mean()
+        night = profile[weekday & (hod < 6)].mean()
+        assert work > 10 * night
+
+    def test_evening_class_in_office_peaks_at_lunch(self, model):
+        # Reproduces the paper's cluster-3 Netflix lunch-hour pattern.
+        profile = model.profile(Archetype.OFFICE, TemporalClass.EVENING)
+        hod = model.calendar.hour_of_day()
+        weekday = ~model.calendar.is_weekend() & ~model.calendar.is_strike_day()
+        by_hour = np.array([
+            profile[weekday & (hod == h)].mean() for h in range(24)
+        ])
+        assert 12 <= int(np.argmax(by_hour)) <= 14
+
+
+class TestValidation:
+    def test_missing_archetype_rejected(self):
+        partial = {Archetype.OFFICE: DEFAULT_OCCUPANCY[Archetype.OFFICE]}
+        with pytest.raises(ValueError, match="missing"):
+            TemporalModel(StudyCalendar(), occupancy=partial)
+
+    def test_occupancy_params_validation(self):
+        with pytest.raises(ValueError, match="24-vector"):
+            OccupancyParams(np.ones(23))
+        with pytest.raises(ValueError, match="non-negative"):
+            OccupancyParams(np.ones(24), weekend_factor=-0.1)
+        with pytest.raises(ValueError, match="base_level"):
+            OccupancyParams(np.ones(24), base_level=0.0)

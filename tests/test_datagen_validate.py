@@ -1,0 +1,74 @@
+"""Tests for the dataset statistical validation checks."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.validate import (
+    CheckResult,
+    check_diurnality,
+    check_environment_counts,
+    check_heavy_tail,
+    check_totals_positive,
+    check_volume_heterogeneity,
+    validate_dataset,
+    validation_report,
+)
+from tests.conftest import scaled_specs
+
+
+def scaled_expected():
+    from repro.datagen.environments import DEFAULT_SPECS
+
+    return {
+        spec.env_type: max(6, int(round(spec.count * 0.1)))
+        for spec in DEFAULT_SPECS
+    }
+
+
+class TestIndividualChecks:
+    def test_environment_counts_pass(self, small_dataset):
+        result = check_environment_counts(small_dataset, scaled_expected())
+        assert result.passed, result.detail
+
+    def test_environment_counts_fail_on_wrong_expectation(self, small_dataset):
+        from repro.datagen.environments import EnvironmentType
+
+        wrong = dict(scaled_expected())
+        wrong[EnvironmentType.METRO] += 5
+        result = check_environment_counts(small_dataset, wrong)
+        assert not result.passed
+        assert "metro" in result.detail
+
+    def test_heavy_tail_pass(self, small_dataset):
+        assert check_heavy_tail(small_dataset).passed
+
+    def test_volume_heterogeneity_pass(self, small_dataset):
+        assert check_volume_heterogeneity(small_dataset).passed
+
+    def test_diurnality_pass(self, small_dataset):
+        assert check_diurnality(small_dataset).passed
+
+    def test_totals_positive_pass(self, small_dataset):
+        assert check_totals_positive(small_dataset).passed
+
+    def test_heavy_tail_threshold_adjustable(self, small_dataset):
+        result = check_heavy_tail(small_dataset, top_share=0.999)
+        assert not result.passed
+
+
+class TestReport:
+    def test_validate_dataset_all_pass(self, small_dataset):
+        results = validate_dataset(small_dataset, scaled_expected())
+        assert all(result.passed for result in results), [
+            result.detail for result in results if not result.passed
+        ]
+
+    def test_report_format(self, small_dataset):
+        results = validate_dataset(small_dataset, scaled_expected())
+        report = validation_report(results)
+        assert "PASS" in report
+        assert f"{len(results)}/{len(results)} checks passed" in report
+
+    def test_check_result_str(self):
+        result = CheckResult("demo", False, "something off")
+        assert str(result) == "[FAIL] demo: something off"

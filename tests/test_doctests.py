@@ -1,0 +1,22 @@
+"""Run the executable examples embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.environment
+import repro.utils.assignment
+import repro.utils.rng
+
+MODULES = [
+    repro.utils.rng,
+    repro.utils.assignment,
+    repro.analysis.environment,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "module has no doctests to run"

@@ -1,0 +1,103 @@
+"""Tests for the per-cluster SHAP summaries (Fig. 5 data)."""
+
+import numpy as np
+import pytest
+
+from repro.explain.beeswarm import (
+    ClusterExplanation,
+    ServiceImportance,
+    explain_clusters,
+)
+from repro.explain.treeshap import TreeExplainer
+from repro.ml.forest import RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def toy_explanations():
+    # Three clusters defined by three distinct features; the rest is noise.
+    rng = np.random.default_rng(0)
+    n = 240
+    x = rng.normal(scale=0.3, size=(n, 6))
+    labels = np.repeat([0, 1, 2], n // 3)
+    x[labels == 0, 0] += 2.0   # cluster 0 over-uses feature 0
+    x[labels == 1, 1] += 2.0   # cluster 1 over-uses feature 1
+    x[labels == 2, 2] -= 2.0   # cluster 2 under-uses feature 2
+    forest = RandomForestClassifier(n_estimators=15, max_depth=4,
+                                    random_state=0).fit(x, labels)
+    names = [f"svc{j}" for j in range(6)]
+    explainer = TreeExplainer(forest)
+    explanations = explain_clusters(explainer, x, labels, names,
+                                    samples_per_cluster=30)
+    return explanations, names
+
+
+class TestExplainClusters:
+    def test_one_explanation_per_cluster(self, toy_explanations):
+        explanations, _ = toy_explanations
+        assert sorted(explanations) == [0, 1, 2]
+
+    def test_defining_feature_ranks_first(self, toy_explanations):
+        explanations, _ = toy_explanations
+        assert explanations[0].importances[0].service == "svc0"
+        assert explanations[1].importances[0].service == "svc1"
+        # Cluster 2 is identified both by low svc2 and by the *absence*
+        # of the other clusters' markers, so svc2 need only rank highly.
+        assert explanations[2].rank_of("svc2") <= 2
+
+    def test_directions(self, toy_explanations):
+        explanations, _ = toy_explanations
+        assert explanations[0].importances[0].direction == "over"
+        assert explanations[1].importances[0].direction == "over"
+        svc2_rank = explanations[2].rank_of("svc2")
+        assert explanations[2].importances[svc2_rank].direction == "under"
+
+    def test_importances_sorted_descending(self, toy_explanations):
+        explanations, _ = toy_explanations
+        for explanation in explanations.values():
+            values = [si.mean_abs_shap for si in explanation.importances]
+            assert values == sorted(values, reverse=True)
+
+    def test_top_k(self, toy_explanations):
+        explanations, _ = toy_explanations
+        assert len(explanations[0].top(3)) == 3
+        assert len(explanations[0].top(100)) == 6
+
+    def test_over_under_partition_top(self, toy_explanations):
+        explanations, _ = toy_explanations
+        explanation = explanations[0]
+        over = set(explanation.over_utilized(6))
+        under = set(explanation.under_utilized(6))
+        assert over | under == {si.service for si in explanation.top(6)}
+        assert not (over & under)
+
+    def test_rank_of(self, toy_explanations):
+        explanations, _ = toy_explanations
+        assert explanations[0].rank_of("svc0") == 0
+        assert explanations[0].rank_of("missing") is None
+
+    def test_all_services_ranked(self, toy_explanations):
+        explanations, names = toy_explanations
+        for explanation in explanations.values():
+            assert {si.service for si in explanation.importances} == set(names)
+
+
+class TestValidation:
+    def test_direction_literal_enforced(self):
+        with pytest.raises(ValueError, match="direction"):
+            ServiceImportance("x", 0.1, "sideways", 0.0)
+
+    def test_label_length_checked(self, rng):
+        forest = RandomForestClassifier(n_estimators=3, random_state=0)
+        x = rng.normal(size=(20, 3))
+        y = rng.integers(0, 2, size=20)
+        forest.fit(x, y)
+        with pytest.raises(ValueError, match="labels length"):
+            explain_clusters(TreeExplainer(forest), x, y[:-1], list("abc"))
+
+    def test_name_count_checked(self, rng):
+        forest = RandomForestClassifier(n_estimators=3, random_state=0)
+        x = rng.normal(size=(20, 3))
+        y = rng.integers(0, 2, size=20)
+        forest.fit(x, y)
+        with pytest.raises(ValueError, match="service names"):
+            explain_clusters(TreeExplainer(forest), x, y, list("ab"))

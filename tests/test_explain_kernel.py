@@ -1,0 +1,82 @@
+"""Tests for Kernel SHAP against the exact enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.explain.kernel import kernel_shap, shapley_kernel_weight
+from repro.explain.shapley import exact_shapley
+
+
+class TestKernelWeight:
+    def test_symmetric_in_subset_size(self):
+        m = 8
+        for size in range(1, m):
+            assert shapley_kernel_weight(m, size) == pytest.approx(
+                shapley_kernel_weight(m, m - size)
+            )
+
+    def test_extremes_heaviest(self):
+        m = 10
+        weights = [shapley_kernel_weight(m, s) for s in range(1, m)]
+        assert weights[0] == max(weights)
+        assert weights[-1] == max(weights)
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(ValueError, match="constraints"):
+            shapley_kernel_weight(5, 0)
+        with pytest.raises(ValueError, match="constraints"):
+            shapley_kernel_weight(5, 5)
+
+
+class TestKernelShap:
+    def test_enumerated_matches_exact(self, rng):
+        model = lambda rows: rows[:, 0] ** 2 + rows[:, 1] * rows[:, 2] - rows[:, 3]
+        background = rng.normal(size=(25, 4))
+        x = rng.normal(size=4)
+        exact = exact_shapley(model, x, background)
+        kernel = kernel_shap(model, x, background, n_samples=None)
+        np.testing.assert_allclose(kernel, exact, atol=1e-8)
+
+    def test_linear_model(self, rng):
+        weights = np.array([1.0, -2.0, 3.0])
+        model = lambda rows: rows @ weights
+        background = rng.normal(size=(40, 3))
+        x = np.array([0.5, 0.5, 0.5])
+        kernel = kernel_shap(model, x, background)
+        expected = weights * (x - background.mean(axis=0))
+        np.testing.assert_allclose(kernel, expected, atol=1e-8)
+
+    def test_local_accuracy_always(self, rng):
+        model = lambda rows: np.tanh(rows).sum(axis=1)
+        background = rng.normal(size=(30, 5))
+        x = rng.normal(size=5)
+        kernel = kernel_shap(model, x, background, n_samples=200, random_state=0)
+        f_x = model(x[None, :])[0]
+        base = model(background).mean()
+        assert kernel.sum() == pytest.approx(f_x - base, abs=1e-8)
+
+    def test_sampled_approximates_exact(self, rng):
+        model = lambda rows: rows[:, 0] * rows[:, 1] + rows[:, 2]
+        background = rng.normal(size=(20, 3))
+        x = rng.normal(size=3)
+        exact = exact_shapley(model, x, background)
+        sampled = kernel_shap(model, x, background, n_samples=2000,
+                              random_state=1)
+        np.testing.assert_allclose(sampled, exact, atol=0.15)
+
+    def test_sampling_deterministic(self, rng):
+        model = lambda rows: rows.sum(axis=1)
+        background = rng.normal(size=(10, 4))
+        x = rng.normal(size=4)
+        a = kernel_shap(model, x, background, n_samples=100, random_state=3)
+        b = kernel_shap(model, x, background, n_samples=100, random_state=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_too_many_features_without_sampling(self, rng):
+        with pytest.raises(ValueError, match="n_samples"):
+            kernel_shap(lambda r: r.sum(axis=1), np.ones(20),
+                        rng.normal(size=(5, 20)))
+
+    def test_single_feature_rejected(self, rng):
+        with pytest.raises(ValueError, match="two features"):
+            kernel_shap(lambda r: r[:, 0], np.ones(1), rng.normal(size=(5, 1)))

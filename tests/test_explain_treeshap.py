@@ -1,0 +1,135 @@
+"""Tests for the TreeSHAP path algorithm against exact enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.explain.shapley import exact_tree_shapley
+from repro.explain.treeshap import TreeExplainer, tree_shap_values
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@pytest.fixture()
+def fitted_tree(rng):
+    x = rng.uniform(-1, 1, size=(300, 5))
+    y = (
+        (x[:, 0] > 0).astype(int)
+        + (x[:, 2] > 0.4).astype(int)
+    )
+    return DecisionTreeClassifier(max_depth=5, random_state=0).fit(x, y), x
+
+
+@pytest.fixture()
+def fitted_forest(rng):
+    x = rng.uniform(-1, 1, size=(250, 4))
+    y = np.where(x[:, 0] + x[:, 1] > 0, 1, 0)
+    forest = RandomForestClassifier(n_estimators=12, max_depth=5,
+                                    random_state=0).fit(x, y)
+    return forest, x
+
+
+class TestTreeShapValues:
+    def test_matches_exact_enumeration(self, fitted_tree):
+        tree_model, x = fitted_tree
+        for row in range(8):
+            phi, _ = tree_shap_values(tree_model.tree_, x[row])
+            for class_index in range(len(tree_model.classes_)):
+                exact = exact_tree_shapley(tree_model, x[row], class_index)
+                np.testing.assert_allclose(
+                    phi[:, class_index], exact, atol=1e-10,
+                    err_msg=f"row {row} class {class_index}",
+                )
+
+    def test_local_accuracy(self, fitted_tree):
+        tree_model, x = fitted_tree
+        for row in range(5):
+            phi, base = tree_shap_values(tree_model.tree_, x[row])
+            prediction = tree_model.predict_proba(x[row:row + 1])[0]
+            np.testing.assert_allclose(
+                base + phi.sum(axis=0), prediction, atol=1e-10
+            )
+
+    def test_repeated_split_feature(self, rng):
+        # Trees splitting the same feature twice exercise the UNWIND path.
+        x = rng.uniform(0, 1, size=(400, 2))
+        y = ((x[:, 0] > 0.25) & (x[:, 0] < 0.75)).astype(int)
+        tree_model = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        # Confirm the tree really reuses feature 0.
+        splits = tree_model.tree_.feature[tree_model.tree_.feature >= 0]
+        assert np.sum(splits == 0) >= 2
+        for row in range(6):
+            phi, _ = tree_shap_values(tree_model.tree_, x[row])
+            exact = exact_tree_shapley(tree_model, x[row], 1)
+            np.testing.assert_allclose(phi[:, 1], exact, atol=1e-10)
+
+    def test_single_leaf_tree(self, rng):
+        x = rng.normal(size=(20, 3))
+        tree_model = DecisionTreeClassifier().fit(x, np.zeros(20, dtype=int))
+        phi, base = tree_shap_values(tree_model.tree_, x[0])
+        np.testing.assert_allclose(phi, 0.0)
+        np.testing.assert_allclose(base, [1.0])
+
+    def test_unused_feature_gets_zero(self, fitted_tree):
+        tree_model, x = fitted_tree
+        used = set(tree_model.tree_.feature[tree_model.tree_.feature >= 0].tolist())
+        unused = [f for f in range(5) if f not in used]
+        if not unused:
+            pytest.skip("tree used every feature")
+        phi, _ = tree_shap_values(tree_model.tree_, x[0])
+        for feature in unused:
+            np.testing.assert_allclose(phi[feature], 0.0, atol=1e-12)
+
+
+class TestTreeExplainer:
+    def test_forest_local_accuracy(self, fitted_forest):
+        forest, x = fitted_forest
+        explainer = TreeExplainer(forest)
+        values = explainer.shap_values(x[:20])
+        proba = forest.predict_proba(x[:20])
+        np.testing.assert_allclose(
+            explainer.expected_value[None, :] + values.sum(axis=1),
+            proba, atol=1e-8,
+        )
+
+    def test_single_tree_explainer(self, fitted_tree):
+        tree_model, x = fitted_tree
+        explainer = TreeExplainer(tree_model)
+        values = explainer.shap_values(x[:3])
+        assert values.shape == (3, 5, len(tree_model.classes_))
+
+    def test_shap_values_for_class(self, fitted_forest):
+        forest, x = fitted_forest
+        explainer = TreeExplainer(forest)
+        all_values = explainer.shap_values(x[:5])
+        one = explainer.shap_values_for_class(x[:5], 1)
+        np.testing.assert_allclose(one, all_values[:, :, 1])
+
+    def test_unknown_class_rejected(self, fitted_forest):
+        forest, x = fitted_forest
+        explainer = TreeExplainer(forest)
+        with pytest.raises(ValueError, match="unknown class"):
+            explainer.shap_values_for_class(x[:2], 99)
+
+    def test_informative_feature_dominates(self, fitted_forest):
+        forest, x = fitted_forest
+        explainer = TreeExplainer(forest)
+        values = explainer.shap_values(x[:40])
+        importance = np.abs(values[:, :, 1]).mean(axis=0)
+        # Features 0 and 1 define the label; 2 and 3 are noise.
+        assert min(importance[0], importance[1]) > max(importance[2], importance[3])
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            TreeExplainer(DecisionTreeClassifier())
+        with pytest.raises(RuntimeError, match="not fitted"):
+            TreeExplainer(RandomForestClassifier())
+
+    def test_wrong_model_type_rejected(self):
+        with pytest.raises(TypeError, match="TreeExplainer supports"):
+            TreeExplainer(object())
+
+    def test_feature_count_checked(self, fitted_forest):
+        forest, x = fitted_forest
+        explainer = TreeExplainer(forest)
+        with pytest.raises(ValueError, match="features"):
+            explainer.shap_values(np.ones((1, 9)))

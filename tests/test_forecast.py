@@ -1,0 +1,190 @@
+"""Tests for the forecasting models and cluster backtests."""
+
+import numpy as np
+import pytest
+
+from repro.forecast.models import (
+    HoltWinters,
+    SeasonalNaive,
+    WEEK_HOURS,
+    WeeklyProfile,
+    mean_absolute_error,
+    normalized_mae,
+)
+from repro.forecast.evaluate import (
+    backtest_all_clusters,
+    backtest_cluster,
+    best_model_per_cluster,
+    cluster_hourly_series,
+)
+
+
+def weekly_series(n_weeks=6, noise=0.0, trend=0.0, rng=None):
+    """Synthetic hourly series with known weekly shape."""
+    base = np.concatenate([
+        np.sin(np.linspace(0, 2 * np.pi, 24)) + 2.0
+        if d < 5 else np.full(24, 0.5)
+        for d in range(7)
+    ])
+    series = np.tile(base, n_weeks)
+    series = series + trend * np.arange(series.size)
+    if noise and rng is not None:
+        series = series * rng.lognormal(0.0, noise, series.size)
+    return series
+
+
+class TestSeasonalNaive:
+    def test_pure_periodic_is_exact(self):
+        series = weekly_series(4)
+        model = SeasonalNaive().fit(series)
+        forecast = model.forecast(WEEK_HOURS)
+        np.testing.assert_allclose(forecast, series[-WEEK_HOURS:])
+
+    def test_horizon_longer_than_season(self):
+        series = weekly_series(3)
+        forecast = SeasonalNaive().fit(series).forecast(2 * WEEK_HOURS + 5)
+        assert forecast.shape == (2 * WEEK_HOURS + 5,)
+        np.testing.assert_allclose(forecast[:WEEK_HOURS],
+                                   forecast[WEEK_HOURS:2 * WEEK_HOURS])
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            SeasonalNaive().fit(np.ones(100))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            SeasonalNaive().forecast(5)
+
+    def test_bad_horizon(self):
+        model = SeasonalNaive().fit(weekly_series(2))
+        with pytest.raises(ValueError, match="horizon"):
+            model.forecast(0)
+
+
+class TestWeeklyProfile:
+    def test_pure_periodic_is_exact(self):
+        series = weekly_series(5)
+        forecast = WeeklyProfile().fit(series).forecast(WEEK_HOURS)
+        np.testing.assert_allclose(forecast, series[:WEEK_HOURS], atol=1e-9)
+
+    def test_denoises_better_than_naive(self, rng):
+        series = weekly_series(8, noise=0.3, rng=rng)
+        train, test = series[:-WEEK_HOURS], series[-WEEK_HOURS:]
+        naive = SeasonalNaive().fit(train).forecast(WEEK_HOURS)
+        profile = WeeklyProfile().fit(train).forecast(WEEK_HOURS)
+        assert normalized_mae(test, profile) < normalized_mae(test, naive)
+
+    def test_level_adjustment(self):
+        series = np.concatenate([weekly_series(4), 2.0 * weekly_series(1)])
+        forecast = WeeklyProfile().fit(series).forecast(WEEK_HOURS)
+        # Recent level doubled; forecast keeps the higher level.
+        assert forecast.mean() > 1.3 * weekly_series(1).mean()
+
+    def test_phase_continues_from_series_end(self):
+        series = weekly_series(4)[: 4 * WEEK_HOURS - 30]
+        forecast = WeeklyProfile().fit(series).forecast(30)
+        # The next 30 hours pick up at week-hour (len % 168).
+        expected_phase = series.size % WEEK_HOURS
+        profile = WeeklyProfile().fit(series)._profile
+        np.testing.assert_allclose(
+            forecast / forecast.mean(),
+            profile[expected_phase:expected_phase + 30]
+            / profile[expected_phase:expected_phase + 30].mean(),
+            rtol=1e-6,
+        )
+
+    def test_fit_with_phase_validation(self):
+        model = WeeklyProfile()
+        with pytest.raises(ValueError, match="start_week_hour"):
+            model.fit_with_phase(weekly_series(2), WEEK_HOURS)
+
+
+class TestHoltWinters:
+    def test_tracks_trend(self):
+        series = weekly_series(6, trend=0.005)
+        train, test = series[:-WEEK_HOURS], series[-WEEK_HOURS:]
+        hw = HoltWinters().fit(train).forecast(WEEK_HOURS)
+        naive = SeasonalNaive().fit(train).forecast(WEEK_HOURS)
+        assert mean_absolute_error(test, hw) < mean_absolute_error(test, naive)
+
+    def test_periodic_reasonable(self):
+        series = weekly_series(6)
+        forecast = HoltWinters().fit(series).forecast(WEEK_HOURS)
+        assert normalized_mae(series[:WEEK_HOURS], forecast) < 0.15
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="season"):
+            HoltWinters(season=1)
+        with pytest.raises(ValueError, match="alpha"):
+            HoltWinters(alpha=0.0)
+        with pytest.raises(ValueError, match="gamma"):
+            HoltWinters(gamma=1.0)
+
+    def test_needs_two_seasons(self):
+        with pytest.raises(ValueError, match="too short"):
+            HoltWinters().fit(np.ones(WEEK_HOURS + 10))
+
+
+class TestMetrics:
+    def test_mae(self):
+        assert mean_absolute_error([1, 2, 3], [1, 3, 5]) == pytest.approx(1.0)
+
+    def test_nmae_scale_free(self):
+        a = np.array([10.0, 20.0])
+        b = np.array([11.0, 19.0])
+        assert normalized_mae(a, b) == pytest.approx(
+            normalized_mae(10 * a, 10 * b)
+        )
+
+    def test_zero_level_rejected(self):
+        with pytest.raises(ValueError, match="zero mean"):
+            normalized_mae([0.0, 0.0], [1.0, 1.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            mean_absolute_error([1, 2], [1])
+
+
+class TestClusterBacktests:
+    def test_series_extraction(self, small_dataset, small_profile):
+        series = cluster_hourly_series(
+            small_dataset, small_profile.labels, 0, max_antennas=10
+        )
+        assert series.shape == (small_dataset.calendar.n_hours,)
+        assert np.all(series >= 0)
+
+    def test_backtest_scores_all_models(self, small_dataset, small_profile):
+        results = backtest_cluster(
+            small_dataset, small_profile.labels, 0, max_antennas=10
+        )
+        assert {r.model for r in results} == {
+            "seasonal_naive", "weekly_profile", "holt_winters"
+        }
+        assert all(r.nmae >= 0 for r in results)
+
+    def test_commuter_cluster_is_predictable(self, small_dataset, small_profile):
+        results = backtest_cluster(
+            small_dataset, small_profile.labels, 0, max_antennas=15
+        )
+        best = min(results, key=lambda r: r.nmae)
+        assert best.nmae < 0.5, f"commuter cluster nmae {best.nmae:.2f}"
+
+    def test_best_model_per_cluster(self, small_dataset, small_profile):
+        results = backtest_all_clusters(
+            small_dataset, small_profile.labels, max_antennas=6
+        )
+        best = best_model_per_cluster(results)
+        assert sorted(best) == sorted(results)
+        for cluster, score in best.items():
+            assert score.nmae == min(r.nmae for r in results[cluster])
+
+    def test_horizon_guard(self, small_dataset, small_profile):
+        with pytest.raises(ValueError, match="horizon"):
+            backtest_cluster(
+                small_dataset, small_profile.labels, 0,
+                horizon=small_dataset.calendar.n_hours,
+            )
+
+    def test_empty_cluster_rejected(self, small_dataset, small_profile):
+        with pytest.raises(ValueError, match="no member"):
+            cluster_hourly_series(small_dataset, small_profile.labels, 55)

@@ -1,0 +1,145 @@
+"""Tests for the event-calendar-aware forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.environments import EnvironmentType
+from repro.forecast.events import EventAwareProfile, event_mask_for_site
+from repro.forecast.models import WEEK_HOURS, WeeklyProfile, normalized_mae
+
+
+def venue_series(n_weeks=6, uplift=8.0, rng=None, attendance=0.7):
+    """Quiet weekly baseline plus *probabilistic* Wed/Sat evening events.
+
+    Like the real fixture calendar, not every candidate evening hosts a
+    match — the quiet instances of each week-hour are what lets the model
+    separate baseline from burst.
+    """
+    schedule_rng = np.random.default_rng(99)
+    base = 1.0 + 0.4 * np.sin(np.linspace(0, 2 * np.pi, 24))
+    series = np.tile(base, 7 * n_weeks).astype(float)
+    mask = np.zeros(series.size, dtype=bool)
+    for week in range(n_weeks):
+        for day in (2, 5):  # Wednesday, Saturday
+            if schedule_rng.random() > attendance:
+                continue
+            start = week * WEEK_HOURS + day * 24 + 20
+            mask[start:start + 3] = True
+    series[mask] *= uplift
+    if rng is not None:
+        series *= rng.lognormal(0.0, 0.05, series.size)
+    return series, mask
+
+
+class TestFit:
+    def test_learns_uplift(self, rng):
+        series, mask = venue_series(uplift=8.0, rng=rng)
+        model = EventAwareProfile().fit(series, mask)
+        assert model.uplift_ == pytest.approx(8.0, rel=0.25)
+
+    def test_baseline_not_contaminated_by_events(self, rng):
+        series, mask = venue_series(uplift=10.0, rng=rng)
+        model = EventAwareProfile().fit(series, mask)
+        quiet_forecast = model.forecast(WEEK_HOURS)
+        # Without announced events the forecast stays near the baseline.
+        assert quiet_forecast.max() < 3.0
+
+    def test_mask_shape_checked(self, rng):
+        series, mask = venue_series(rng=rng)
+        with pytest.raises(ValueError, match="event_mask shape"):
+            EventAwareProfile().fit(series, mask[:-1])
+
+    def test_too_few_event_hours(self, rng):
+        series, _ = venue_series(rng=rng)
+        empty = np.zeros(series.size, dtype=bool)
+        empty[0] = True
+        with pytest.raises(ValueError, match="event hours"):
+            EventAwareProfile().fit(series, empty)
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            EventAwareProfile().forecast(5)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            EventAwareProfile().uplift_
+
+
+class TestForecast:
+    def test_beats_blind_profile_on_irregular_event(self, rng):
+        """An announced off-calendar event is captured only with the mask."""
+        series, mask = venue_series(n_weeks=7, uplift=8.0, rng=rng)
+        # Inject an irregular Thursday-evening event in the final week.
+        final_week = slice(series.size - WEEK_HOURS, series.size)
+        irregular = np.zeros(series.size, dtype=bool)
+        start = series.size - WEEK_HOURS + 3 * 24 + 20
+        irregular[start:start + 3] = True
+        series = series.copy()
+        series[irregular] *= 8.0
+        mask = mask | irregular
+
+        train = series[:-WEEK_HOURS]
+        test = series[-WEEK_HOURS:]
+        train_mask = mask[:-WEEK_HOURS]
+        future_mask = mask[-WEEK_HOURS:]
+
+        aware = EventAwareProfile().fit(train, train_mask)
+        aware_forecast = aware.forecast(WEEK_HOURS, future_mask)
+        blind_forecast = WeeklyProfile().fit(train).forecast(WEEK_HOURS)
+
+        assert normalized_mae(test, aware_forecast) < normalized_mae(
+            test, blind_forecast
+        )
+        # Specifically at the irregular hours the aware model is close.
+        idx = np.flatnonzero(future_mask[3 * 24 + 20: 3 * 24 + 23])
+        hour = 3 * 24 + 20
+        assert aware_forecast[hour] > 3 * blind_forecast[hour]
+
+    def test_future_mask_shape_checked(self, rng):
+        series, mask = venue_series(rng=rng)
+        model = EventAwareProfile().fit(series, mask)
+        with pytest.raises(ValueError, match="future_event_mask"):
+            model.forecast(10, np.zeros(9, dtype=bool))
+
+
+class TestEventMaskForSite:
+    def test_venue_site_has_event_hours(self, small_dataset):
+        venue = next(
+            s.site_id for s in small_dataset.sites
+            if s.env_type == EnvironmentType.STADIUM
+        )
+        mask = event_mask_for_site(small_dataset, venue)
+        assert mask.shape == (small_dataset.calendar.n_hours,)
+        assert mask.sum() > 10
+
+    def test_non_venue_site_empty(self, small_dataset):
+        office = next(
+            s.site_id for s in small_dataset.sites
+            if s.env_type == EnvironmentType.WORKSPACE
+        )
+        mask = event_mask_for_site(small_dataset, office)
+        assert mask.sum() == 0
+
+    def test_nba_forecast_fix_end_to_end(self, small_dataset):
+        """With the event calendar, the NBA-evening miss disappears."""
+        from repro.datagen.calendar import STRIKE_DAY
+
+        nba_site = next(
+            s.site_id for s in small_dataset.sites
+            if s.env_type == EnvironmentType.STADIUM and s.is_paris
+        )
+        members = [a.antenna_id for a in small_dataset.antennas
+                   if a.site_id == nba_site]
+        series = small_dataset.hourly_total(antenna_ids=members).mean(axis=0)
+        mask = event_mask_for_site(small_dataset, nba_site)
+
+        train, test = series[:-WEEK_HOURS], series[-WEEK_HOURS:]
+        aware = EventAwareProfile().fit(train, mask[:-WEEK_HOURS])
+        aware_forecast = aware.forecast(WEEK_HOURS, mask[-WEEK_HOURS:])
+        blind_forecast = WeeklyProfile().fit(train).forecast(WEEK_HOURS)
+
+        nba_hours = (
+            small_dataset.calendar.dates()[-WEEK_HOURS:] == STRIKE_DAY
+        ) & mask[-WEEK_HOURS:]
+        assert nba_hours.sum() > 0
+        aware_miss = np.abs(test[nba_hours] - aware_forecast[nba_hours]).mean()
+        blind_miss = np.abs(test[nba_hours] - blind_forecast[nba_hours]).mean()
+        assert aware_miss < 0.5 * blind_miss

@@ -1,0 +1,89 @@
+"""Tests for the empirical prediction intervals."""
+
+import numpy as np
+import pytest
+
+from repro.forecast.intervals import IntervalForecast, IntervalWeeklyProfile
+from repro.forecast.models import WEEK_HOURS
+
+from tests.test_forecast import weekly_series
+
+
+class TestIntervalForecastContainer:
+    def test_coverage(self):
+        forecast = IntervalForecast(
+            point=np.array([2.0, 2.0, 2.0]),
+            lower=np.array([1.0, 1.0, 1.0]),
+            upper=np.array([3.0, 3.0, 3.0]),
+        )
+        assert forecast.coverage([2.0, 0.5, 2.9]) == pytest.approx(2 / 3)
+
+    def test_headroom(self):
+        forecast = IntervalForecast(
+            point=np.array([2.0, 4.0]),
+            lower=np.array([1.0, 2.0]),
+            upper=np.array([3.0, 6.0]),
+        )
+        assert forecast.headroom_factor() == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="share a shape"):
+            IntervalForecast(np.ones(3), np.ones(2), np.ones(3))
+        with pytest.raises(ValueError, match="lower bound"):
+            IntervalForecast(np.ones(2), np.full(2, 2.0), np.ones(2))
+        forecast = IntervalForecast(np.ones(2), np.zeros(2), np.full(2, 2.0))
+        with pytest.raises(ValueError, match="actual shape"):
+            forecast.coverage(np.ones(3))
+
+
+class TestIntervalWeeklyProfile:
+    def test_coverage_near_target(self, rng):
+        series = weekly_series(10, noise=0.15, rng=rng)
+        train, test = series[:-WEEK_HOURS], series[-WEEK_HOURS:]
+        model = IntervalWeeklyProfile(coverage=0.9).fit(train)
+        forecast = model.forecast(WEEK_HOURS)
+        observed = forecast.coverage(test)
+        assert observed > 0.7  # near the nominal 0.9 on one holdout week
+
+    def test_bounds_bracket_point(self, rng):
+        series = weekly_series(8, noise=0.2, rng=rng)
+        forecast = IntervalWeeklyProfile().fit(series).forecast(48)
+        assert np.all(forecast.lower <= forecast.point + 1e-9)
+        assert np.all(forecast.point <= forecast.upper + 1e-9)
+        assert forecast.headroom_factor() > 1.0
+
+    def test_noisier_series_wider_intervals(self, rng):
+        quiet = weekly_series(8, noise=0.05, rng=np.random.default_rng(0))
+        loud = weekly_series(8, noise=0.4, rng=np.random.default_rng(0))
+        narrow = IntervalWeeklyProfile().fit(quiet).forecast(WEEK_HOURS)
+        wide = IntervalWeeklyProfile().fit(loud).forecast(WEEK_HOURS)
+        assert wide.headroom_factor() > narrow.headroom_factor()
+
+    def test_needs_enough_history(self):
+        with pytest.raises(ValueError, match="too short"):
+            IntervalWeeklyProfile(calibration_weeks=2).fit(
+                np.ones(3 * WEEK_HOURS)
+            )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="coverage"):
+            IntervalWeeklyProfile(coverage=1.0)
+        with pytest.raises(ValueError, match="calibration_weeks"):
+            IntervalWeeklyProfile(calibration_weeks=0)
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            IntervalWeeklyProfile().forecast(5)
+
+    def test_on_generated_cluster_series(self, small_dataset, small_profile):
+        from repro.forecast.evaluate import cluster_hourly_series
+
+        series = cluster_hourly_series(
+            small_dataset, small_profile.labels, 1, max_antennas=10
+        )
+        train, test = series[:-WEEK_HOURS], series[-WEEK_HOURS:]
+        forecast = IntervalWeeklyProfile(coverage=0.9).fit(train).forecast(
+            WEEK_HOURS
+        )
+        assert forecast.coverage(test) > 0.6
+        assert 1.0 < forecast.headroom_factor() < 5.0

@@ -1,0 +1,138 @@
+"""Tests for CSV ingestion/export of operator-style traffic data."""
+
+import numpy as np
+import pytest
+
+from repro.io.csvio import (
+    export_hourly_csv,
+    export_totals_csv,
+    load_hourly_csv,
+    load_totals_csv,
+    totals_from_hourly,
+)
+
+
+class TestTotalsCsv:
+    def test_roundtrip(self, tmp_path, small_dataset):
+        path = tmp_path / "totals.csv"
+        export_totals_csv(
+            path, small_dataset.totals[:20],
+            small_dataset.antenna_names()[:20],
+            small_dataset.service_names,
+        )
+        names, services, totals = load_totals_csv(path)
+        assert names == small_dataset.antenna_names()[:20]
+        assert services == small_dataset.service_names
+        np.testing.assert_allclose(totals, small_dataset.totals[:20],
+                                   rtol=1e-5)
+
+    def test_pipeline_runs_on_loaded_totals(self, tmp_path, small_dataset):
+        from repro.core.pipeline import ICNProfiler
+
+        path = tmp_path / "totals.csv"
+        export_totals_csv(
+            path, small_dataset.totals, small_dataset.antenna_names(),
+            small_dataset.service_names,
+        )
+        _, _, totals = load_totals_csv(path)
+        profile = ICNProfiler(n_clusters=4, surrogate_trees=5).fit(totals)
+        assert profile.n_clusters == 4
+
+    def test_export_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="antenna names"):
+            export_totals_csv(tmp_path / "x.csv", np.ones((2, 3)),
+                              ["a"], ["s1", "s2", "s3"])
+        with pytest.raises(ValueError, match="service names"):
+            export_totals_csv(tmp_path / "x.csv", np.ones((2, 3)),
+                              ["a", "b"], ["s1"])
+
+    def test_load_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar,Netflix\n1,x,2.0\n")
+        with pytest.raises(ValueError, match="header"):
+            load_totals_csv(path)
+
+    def test_load_rejects_ragged_rows(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("antenna_id,name,Netflix\n0,a,1.0\n1,b\n")
+        with pytest.raises(ValueError, match="expected 3 cells"):
+            load_totals_csv(path)
+
+    def test_load_rejects_non_numeric(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text("antenna_id,name,Netflix\n0,a,much\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            load_totals_csv(path)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_totals_csv(path)
+
+    def test_load_rejects_headers_only(self, tmp_path):
+        path = tmp_path / "hdr.csv"
+        path.write_text("antenna_id,name,Netflix\n")
+        with pytest.raises(ValueError, match="no antenna rows"):
+            load_totals_csv(path)
+
+
+class TestHourlyCsv:
+    def test_roundtrip(self, tmp_path, small_dataset):
+        window = small_dataset.calendar.window(
+            np.datetime64("2023-01-09T00", "h"),
+            np.datetime64("2023-01-10T23", "h"),
+        )
+        antenna_ids = [0, 1, 2]
+        hourly = small_dataset.hourly_service(
+            "Netflix", antenna_ids=antenna_ids, window=window
+        )
+        hours = small_dataset.calendar.hours[window]
+        path = tmp_path / "hourly.csv"
+        export_hourly_csv(path, hourly, hours, antenna_ids, "Netflix")
+        ids, services, loaded_hours, tensor = load_hourly_csv(path)
+        np.testing.assert_array_equal(ids, antenna_ids)
+        assert services == ["Netflix"]
+        np.testing.assert_array_equal(loaded_hours, hours)
+        np.testing.assert_allclose(tensor[:, 0, :], hourly, rtol=1e-5)
+
+    def test_duplicates_summed(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text(
+            "antenna_id,service,timestamp,traffic_mb\n"
+            "0,Netflix,2023-01-09T05,1.5\n"
+            "0,Netflix,2023-01-09T05,2.5\n"
+        )
+        _, _, _, tensor = load_hourly_csv(path)
+        assert tensor[0, 0, 0] == pytest.approx(4.0)
+
+    def test_totals_from_hourly(self, tmp_path):
+        tensor = np.arange(24, dtype=float).reshape(2, 3, 4)
+        totals = totals_from_hourly(tensor)
+        np.testing.assert_allclose(totals, tensor.sum(axis=2))
+        with pytest.raises(ValueError, match="3-D"):
+            totals_from_hourly(np.ones((2, 2)))
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "antenna_id,service,timestamp,traffic_mb\n"
+            "zero,Netflix,2023-01-09T05,1.0\n"
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            load_hourly_csv(path)
+
+    def test_load_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c,d\n")
+        with pytest.raises(ValueError, match="header"):
+            load_hourly_csv(path)
+
+    def test_export_shape_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="does not match"):
+            export_hourly_csv(
+                tmp_path / "x.csv", np.ones((2, 5)),
+                np.arange(np.datetime64("2023-01-01T00"),
+                          np.datetime64("2023-01-01T04")),
+                [0, 1], "Netflix",
+            )

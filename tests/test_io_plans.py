@@ -1,0 +1,80 @@
+"""Tests for JSON export of profiles and operational plans."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import plan_energy, plan_slices
+from repro.io.plans import (
+    export_operations_json,
+    load_operations_json,
+    profile_to_dict,
+    schedules_from_dict,
+    schedules_to_dict,
+    slices_from_dict,
+    slices_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def plans(request):
+    dataset = request.getfixturevalue("small_dataset")
+    profile = request.getfixturevalue("small_profile")
+    slices = plan_slices(dataset, profile, max_antennas=10)
+    schedules = plan_energy(dataset, profile, max_antennas=10)
+    return dataset, profile, slices, schedules
+
+
+class TestProfileDict:
+    def test_fields(self, plans):
+        _, profile, _, _ = plans
+        payload = profile_to_dict(profile)
+        assert payload["n_clusters"] == 9
+        assert len(payload["labels"]) == payload["n_antennas"]
+        assert len(payload["service_names"]) == payload["n_services"]
+        json.dumps(payload)  # must be JSON-serializable
+
+
+class TestSliceRoundtrip:
+    def test_roundtrip(self, plans):
+        _, _, slices, _ = plans
+        recovered = slices_from_dict(slices_to_dict(slices))
+        assert sorted(recovered) == sorted(slices)
+        for cluster, template in slices.items():
+            assert recovered[cluster] == template
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError, match="malformed slice"):
+            slices_from_dict({"0": {"n_antennas": 5}})
+
+
+class TestScheduleRoundtrip:
+    def test_roundtrip(self, plans):
+        _, _, _, schedules = plans
+        recovered = schedules_from_dict(schedules_to_dict(schedules))
+        for cluster, schedule in schedules.items():
+            assert recovered[cluster] == schedule
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError, match="malformed schedule"):
+            schedules_from_dict({"0": {"energy_saving": 0.2}})
+
+
+class TestBundle:
+    def test_export_and_load(self, plans, tmp_path):
+        _, profile, slices, schedules = plans
+        path = tmp_path / "operations.json"
+        export_operations_json(path, profile, slices, schedules)
+        bundle = load_operations_json(path)
+        assert bundle["profile"]["n_clusters"] == 9
+        assert sorted(bundle["slices"]) == sorted(slices)
+        assert bundle["energy"][3].energy_saving == pytest.approx(
+            schedules[3].energy_saving
+        )
+
+    def test_missing_section_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"profile": {}}))
+        with pytest.raises(ValueError, match="lacks"):
+            load_operations_json(path)

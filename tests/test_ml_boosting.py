@@ -1,0 +1,117 @@
+"""Tests for the gradient-boosted tree classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import GradientBoostingClassifier
+
+
+@pytest.fixture()
+def binary_data(rng):
+    x = rng.uniform(-1, 1, size=(400, 4))
+    y = np.where(x[:, 0] + 0.5 * x[:, 1] ** 2 > 0.2, 1, 0)
+    return x, y
+
+
+@pytest.fixture()
+def multiclass_data(rng):
+    x = rng.uniform(-1, 1, size=(500, 5))
+    y = (x[:, 0] > 0).astype(int) + 2 * (x[:, 1] > 0.3).astype(int)
+    return x, y
+
+
+class TestFit:
+    def test_binary_accuracy(self, binary_data):
+        x, y = binary_data
+        model = GradientBoostingClassifier(n_estimators=40,
+                                           random_state=0).fit(x, y)
+        assert model.score(x, y) > 0.95
+
+    def test_multiclass_accuracy(self, multiclass_data):
+        x, y = multiclass_data
+        model = GradientBoostingClassifier(n_estimators=40,
+                                           random_state=0).fit(x, y)
+        assert model.score(x, y) > 0.93
+        assert model.predict_proba(x).shape == (500, 4)
+
+    def test_generalizes(self, binary_data, rng):
+        x, y = binary_data
+        model = GradientBoostingClassifier(n_estimators=40,
+                                           random_state=0).fit(x, y)
+        x_test = rng.uniform(-1, 1, size=(300, 4))
+        y_test = np.where(x_test[:, 0] + 0.5 * x_test[:, 1] ** 2 > 0.2, 1, 0)
+        assert model.score(x_test, y_test) > 0.85
+
+    def test_more_rounds_improve_fit(self, binary_data):
+        x, y = binary_data
+        short = GradientBoostingClassifier(n_estimators=3,
+                                           random_state=0).fit(x, y)
+        long = GradientBoostingClassifier(n_estimators=60,
+                                          random_state=0).fit(x, y)
+        assert long.score(x, y) >= short.score(x, y)
+
+    def test_proba_rows_sum_to_one(self, multiclass_data):
+        x, y = multiclass_data
+        model = GradientBoostingClassifier(n_estimators=10,
+                                           random_state=0).fit(x, y)
+        np.testing.assert_allclose(model.predict_proba(x).sum(axis=1), 1.0)
+
+    def test_deterministic(self, binary_data):
+        x, y = binary_data
+        a = GradientBoostingClassifier(n_estimators=10, subsample=0.8,
+                                       random_state=5).fit(x, y)
+        b = GradientBoostingClassifier(n_estimators=10, subsample=0.8,
+                                       random_state=5).fit(x, y)
+        np.testing.assert_allclose(a.predict_proba(x), b.predict_proba(x))
+
+    def test_string_labels(self, rng):
+        x = rng.normal(size=(200, 3))
+        y = np.where(x[:, 0] > 0, "yes", "no")
+        model = GradientBoostingClassifier(n_estimators=20,
+                                           random_state=0).fit(x, y)
+        assert set(model.predict(x)) <= {"yes", "no"}
+        assert model.score(x, y) > 0.95
+
+    def test_subsample_runs(self, binary_data):
+        x, y = binary_data
+        model = GradientBoostingClassifier(
+            n_estimators=20, subsample=0.5, random_state=0
+        ).fit(x, y)
+        assert model.score(x, y) > 0.9
+
+    def test_surrogate_quality_on_rsca(self, small_profile):
+        """Boosting is a viable surrogate on the real task (paper cites
+        XGBoost as a TreeSHAP-compatible alternative)."""
+        model = GradientBoostingClassifier(
+            n_estimators=25, max_depth=3, random_state=0
+        ).fit(small_profile.features, small_profile.labels)
+        assert model.score(small_profile.features,
+                           small_profile.labels) > 0.9
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ValueError, match="n_estimators"):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(ValueError, match="learning_rate"):
+            GradientBoostingClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError, match="max_depth"):
+            GradientBoostingClassifier(max_depth=0)
+        with pytest.raises(ValueError, match="subsample"):
+            GradientBoostingClassifier(subsample=0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            GradientBoostingClassifier().predict(np.ones((2, 2)))
+
+    def test_feature_count_checked(self, binary_data):
+        x, y = binary_data
+        model = GradientBoostingClassifier(n_estimators=3,
+                                           random_state=0).fit(x, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(np.ones((2, 9)))
+
+    def test_label_shape(self, rng):
+        with pytest.raises(ValueError, match="one label per row"):
+            GradientBoostingClassifier().fit(rng.normal(size=(5, 2)),
+                                             np.zeros(4))

@@ -1,0 +1,109 @@
+"""Tests for the bagged random-forest classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+
+
+@pytest.fixture()
+def data(rng):
+    x = rng.uniform(-1, 1, size=(300, 5))
+    y = np.where(x[:, 0] + 0.5 * x[:, 1] > 0, 1, 0)
+    return x, y
+
+
+class TestFit:
+    def test_train_accuracy_high(self, data):
+        x, y = data
+        forest = RandomForestClassifier(n_estimators=20, random_state=0).fit(x, y)
+        assert forest.score(x, y) > 0.97
+
+    def test_generalizes(self, data, rng):
+        x, y = data
+        forest = RandomForestClassifier(n_estimators=30, random_state=0).fit(x, y)
+        x_test = rng.uniform(-1, 1, size=(200, 5))
+        y_test = np.where(x_test[:, 0] + 0.5 * x_test[:, 1] > 0, 1, 0)
+        assert forest.score(x_test, y_test) > 0.9
+
+    def test_n_estimators_respected(self, data):
+        x, y = data
+        forest = RandomForestClassifier(n_estimators=7, random_state=0).fit(x, y)
+        assert len(forest.trees_) == 7
+
+    def test_deterministic_given_seed(self, data):
+        x, y = data
+        a = RandomForestClassifier(n_estimators=5, random_state=3).fit(x, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=3).fit(x, y)
+        np.testing.assert_allclose(a.predict_proba(x), b.predict_proba(x))
+
+    def test_seed_changes_forest(self, data):
+        x, y = data
+        a = RandomForestClassifier(n_estimators=5, random_state=3).fit(x, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=4).fit(x, y)
+        assert not np.allclose(a.predict_proba(x), b.predict_proba(x))
+
+    def test_trees_differ(self, data):
+        x, y = data
+        forest = RandomForestClassifier(n_estimators=3, random_state=0).fit(x, y)
+        t0, t1 = forest.trees_[0].tree_, forest.trees_[1].tree_
+        assert (
+            t0.n_nodes != t1.n_nodes
+            or not np.array_equal(t0.threshold, t1.threshold)
+        )
+
+    def test_oob_score(self, data):
+        x, y = data
+        forest = RandomForestClassifier(n_estimators=30, random_state=0)
+        forest.fit(x, y, compute_oob=True)
+        assert forest.oob_score_ is not None
+        assert forest.oob_score_ > 0.85
+
+    def test_no_bootstrap(self, data):
+        x, y = data
+        forest = RandomForestClassifier(
+            n_estimators=5, bootstrap=False, random_state=0
+        ).fit(x, y)
+        assert forest.score(x, y) > 0.97
+
+    def test_missing_class_in_bootstrap_handled(self, rng):
+        # A tiny minority class can vanish from bootstrap samples; the
+        # forest must still emit probability columns for every class.
+        x = rng.normal(size=(50, 3))
+        y = np.zeros(50, dtype=int)
+        y[:2] = 1
+        y[2:4] = 2
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(x, y)
+        proba = forest.predict_proba(x)
+        assert proba.shape == (50, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestPredict:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RandomForestClassifier().predict(np.ones((1, 2)))
+
+    def test_predict_labels_in_classes(self, data):
+        x, y = data
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(x, y)
+        assert set(forest.predict(x)) <= set(forest.classes_.tolist())
+
+    def test_multiclass(self, rng):
+        x = rng.uniform(-1, 1, size=(400, 4))
+        y = (x[:, 0] > 0).astype(int) + 2 * (x[:, 1] > 0).astype(int)
+        forest = RandomForestClassifier(n_estimators=25, random_state=0).fit(x, y)
+        assert forest.score(x, y) > 0.95
+        assert forest.predict_proba(x).shape == (400, 4)
+
+
+class TestValidation:
+    def test_bad_estimators(self):
+        with pytest.raises(ValueError, match="n_estimators"):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_label_mismatch(self, rng):
+        with pytest.raises(ValueError, match="one label per row"):
+            RandomForestClassifier(n_estimators=2).fit(
+                rng.normal(size=(10, 2)), np.zeros(8)
+            )

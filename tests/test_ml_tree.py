@@ -1,0 +1,133 @@
+"""Tests for the from-scratch CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import LEAF, DecisionTreeClassifier
+
+
+@pytest.fixture()
+def xor_free_data(rng):
+    # Axis-separable three-class problem a greedy CART must solve exactly.
+    x = rng.uniform(-1, 1, size=(300, 4))
+    y = np.where(x[:, 0] > 0, 2, np.where(x[:, 1] > 0, 1, 0))
+    return x, y
+
+
+class TestFit:
+    def test_pure_leaves_on_separable_data(self, xor_free_data):
+        x, y = xor_free_data
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert np.all(tree.predict(x) == y)
+
+    def test_max_depth_respected(self, xor_free_data):
+        x, y = xor_free_data
+        tree = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        assert tree.tree_.max_depth() <= 2
+
+    def test_min_samples_leaf_respected(self, xor_free_data):
+        x, y = xor_free_data
+        tree = DecisionTreeClassifier(min_samples_leaf=20).fit(x, y)
+        leaves = tree.tree_.children_left == LEAF
+        assert np.all(tree.tree_.n_node_samples[leaves] >= 20)
+
+    def test_single_class_is_single_leaf(self, rng):
+        x = rng.normal(size=(30, 3))
+        tree = DecisionTreeClassifier().fit(x, np.zeros(30, dtype=int))
+        assert tree.tree_.n_nodes == 1
+
+    def test_constant_features_single_leaf(self):
+        x = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.tree_.n_nodes == 1
+        np.testing.assert_allclose(tree.predict_proba(x)[0], [0.5, 0.5])
+
+    def test_string_labels_supported(self, rng):
+        x = rng.normal(size=(40, 2))
+        y = np.where(x[:, 0] > 0, "high", "low")
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert set(tree.predict(x)) <= {"high", "low"}
+        assert np.all(tree.predict(x) == y)
+
+    def test_value_rows_are_distributions(self, xor_free_data):
+        x, y = xor_free_data
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        np.testing.assert_allclose(tree.tree_.value.sum(axis=1), 1.0)
+
+    def test_children_sample_counts_add_up(self, xor_free_data):
+        x, y = xor_free_data
+        tree = DecisionTreeClassifier(max_depth=5).fit(x, y)
+        structure = tree.tree_
+        for node in range(structure.n_nodes):
+            if not structure.is_leaf(node):
+                left = structure.children_left[node]
+                right = structure.children_right[node]
+                assert (
+                    structure.n_node_samples[node]
+                    == structure.n_node_samples[left]
+                    + structure.n_node_samples[right]
+                )
+
+    def test_max_features_subsampling_changes_tree(self, xor_free_data):
+        x, y = xor_free_data
+        full = DecisionTreeClassifier(random_state=0).fit(x, y)
+        sub = DecisionTreeClassifier(max_features=1, random_state=0).fit(x, y)
+        assert full.tree_.n_nodes != sub.tree_.n_nodes or not np.array_equal(
+            full.tree_.feature, sub.tree_.feature
+        )
+
+    def test_deterministic_given_seed(self, xor_free_data):
+        x, y = xor_free_data
+        a = DecisionTreeClassifier(max_features="sqrt", random_state=7).fit(x, y)
+        b = DecisionTreeClassifier(max_features="sqrt", random_state=7).fit(x, y)
+        np.testing.assert_array_equal(a.tree_.feature, b.tree_.feature)
+        np.testing.assert_array_equal(a.tree_.threshold, b.tree_.threshold)
+
+
+class TestPredict:
+    def test_predict_proba_shape(self, xor_free_data):
+        x, y = xor_free_data
+        tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        proba = tree.predict_proba(x[:10])
+        assert proba.shape == (10, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DecisionTreeClassifier().predict(np.ones((1, 2)))
+
+    def test_feature_count_mismatch_rejected(self, xor_free_data):
+        x, y = xor_free_data
+        tree = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(np.ones((1, 7)))
+
+    def test_threshold_routing_boundary(self):
+        # Split at 0.5: value exactly at the threshold goes left (<=).
+        x = np.array([[0.0], [1.0]] * 10)
+        y = np.array([0, 1] * 10)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.predict(np.array([[0.5]]))[0] == 0
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError, match="min_samples_split"):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError, match="min_samples_leaf"):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_bad_max_features(self, rng):
+        x = rng.normal(size=(10, 3))
+        y = np.array([0, 1] * 5)
+        with pytest.raises(ValueError, match="max_features"):
+            DecisionTreeClassifier(max_features=10).fit(x, y)
+        with pytest.raises(ValueError, match="max_features"):
+            DecisionTreeClassifier(max_features="log2").fit(x, y)
+
+    def test_label_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="one label per row"):
+            DecisionTreeClassifier().fit(rng.normal(size=(10, 2)), np.zeros(9))

@@ -1,0 +1,116 @@
+"""Tests for the Hungarian algorithm and label alignment."""
+
+from itertools import permutations
+
+import numpy as np
+import pytest
+
+from repro.utils.assignment import align_labels, hungarian
+
+
+def brute_force_min_cost(cost: np.ndarray) -> float:
+    n_rows, n_cols = cost.shape
+    best = np.inf
+    if n_rows <= n_cols:
+        for perm in permutations(range(n_cols), n_rows):
+            best = min(best, sum(cost[i, j] for i, j in enumerate(perm)))
+    else:
+        for perm in permutations(range(n_rows), n_cols):
+            best = min(best, sum(cost[i, j] for j, i in enumerate(perm)))
+    return best
+
+
+class TestHungarian:
+    def test_identity(self):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        rows, cols = hungarian(cost)
+        np.testing.assert_array_equal(rows, [0, 1])
+        np.testing.assert_array_equal(cols, [0, 1])
+
+    def test_swap(self):
+        cost = np.array([[4.0, 1.0], [2.0, 8.0]])
+        rows, cols = hungarian(cost)
+        assert list(zip(rows.tolist(), cols.tolist())) == [(0, 1), (1, 0)]
+
+    def test_square_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            cost = rng.random((5, 5))
+            rows, cols = hungarian(cost)
+            assert cost[rows, cols].sum() == pytest.approx(
+                brute_force_min_cost(cost)
+            )
+
+    def test_wide_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            cost = rng.random((3, 6))
+            rows, cols = hungarian(cost)
+            assert rows.size == 3
+            assert cost[rows, cols].sum() == pytest.approx(
+                brute_force_min_cost(cost)
+            )
+
+    def test_tall_matches_brute_force(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            cost = rng.random((6, 3))
+            rows, cols = hungarian(cost)
+            assert cols.size == 3
+            assert cost[rows, cols].sum() == pytest.approx(
+                brute_force_min_cost(cost)
+            )
+
+    def test_assignment_is_injective(self):
+        rng = np.random.default_rng(3)
+        cost = rng.random((8, 8))
+        rows, cols = hungarian(cost)
+        assert len(set(rows.tolist())) == 8
+        assert len(set(cols.tolist())) == 8
+
+    def test_negative_costs_supported(self):
+        cost = np.array([[-5.0, 0.0], [0.0, -5.0]])
+        rows, cols = hungarian(cost)
+        assert cost[rows, cols].sum() == pytest.approx(-10.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            hungarian(np.array([[np.nan, 1.0], [1.0, 0.0]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            hungarian(np.array([1.0, 2.0]))
+
+
+class TestAlignLabels:
+    def test_identity_alignment(self):
+        labels = [0, 0, 1, 1, 2]
+        mapping = align_labels(labels, labels)
+        assert mapping == {0: 0, 1: 1, 2: 2}
+
+    def test_permuted_alignment(self):
+        reference = np.array([0, 0, 1, 1, 2, 2])
+        predicted = np.array([2, 2, 0, 0, 1, 1])
+        mapping = align_labels(predicted, reference)
+        relabelled = np.array([mapping[p] for p in predicted])
+        np.testing.assert_array_equal(relabelled, reference)
+
+    def test_noisy_alignment_majority_wins(self):
+        reference = np.array([0] * 10 + [1] * 10)
+        predicted = np.array([5] * 9 + [7] + [7] * 10)
+        mapping = align_labels(predicted, reference)
+        assert mapping[5] == 0
+        assert mapping[7] == 1
+
+    def test_extra_predicted_labels_get_fresh_ids(self):
+        reference = np.array([0, 0, 0, 1, 1, 1])
+        predicted = np.array([0, 0, 1, 1, 2, 2])
+        mapping = align_labels(predicted, reference)
+        assert sorted(mapping) == [0, 1, 2]
+        assert len(set(mapping.values())) == 3
+        # The surplus label maps beyond the reference range.
+        assert max(mapping.values()) == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            align_labels([0, 1], [0, 1, 2])

@@ -1,0 +1,114 @@
+"""Tests for the terminal figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.explain.beeswarm import ClusterExplanation, ServiceImportance
+from repro.viz.render import (
+    render_beeswarm_table,
+    render_dendrogram_summary,
+    render_distribution,
+    render_heatmap,
+    render_histogram,
+    render_rsca_heatmap,
+    render_sankey,
+    render_scan,
+)
+
+
+class TestHistogram:
+    def test_renders_bars(self):
+        counts = np.array([1, 5, 2])
+        edges = np.array([0.0, 1.0, 2.0, 3.0])
+        out = render_histogram(counts, edges, title="demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) == 4
+        assert "#" in lines[2]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="edges"):
+            render_histogram(np.array([1, 2]), np.array([0.0, 1.0]))
+
+
+class TestHeatmap:
+    def test_shape_and_labels(self):
+        values = np.linspace(0, 1, 48).reshape(2, 24)
+        out = render_heatmap(values, row_labels=["mon", "tue"], title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].startswith("mon")
+        assert len(lines[1]) == len("mon ") + 24
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            render_heatmap(np.ones(5))
+
+    def test_label_count_checked(self):
+        with pytest.raises(ValueError, match="row labels"):
+            render_heatmap(np.ones((2, 3)), row_labels=["a"])
+
+
+class TestRscaHeatmap:
+    def test_renders_all_services(self, rng):
+        matrix = rng.uniform(-1, 1, size=(30, 5))
+        labels = rng.integers(0, 3, size=30)
+        out = render_rsca_heatmap(matrix, labels, [f"s{i}" for i in range(5)])
+        assert len(out.splitlines()) == 6  # title + 5 services
+
+
+class TestDendrogramSummary:
+    def test_contains_groups(self, rng):
+        from repro.core.cluster import linkage
+
+        z = linkage(rng.normal(size=(20, 3)), "ward")
+        out = render_dendrogram_summary(
+            z, 4, {0: 5, 1: 5, 2: 5, 3: 5}, {0: 0, 1: 0, 2: 1, 3: 1}
+        )
+        assert "group 0" in out
+        assert "group 1" in out
+        assert "leaves: 20" in out
+
+
+class TestSankey:
+    def test_lists_flows(self):
+        from repro.datagen.environments import EnvironmentType
+
+        flows = [(0, EnvironmentType.METRO, 100), (1, EnvironmentType.STADIUM, 5)]
+        out = render_sankey(flows)
+        assert "metro" in out
+        assert "stadium" in out
+
+    def test_top_truncation(self):
+        from repro.datagen.environments import EnvironmentType
+
+        flows = [(i, EnvironmentType.METRO, 10 - i) for i in range(10)]
+        out = render_sankey(flows, top=3)
+        assert len(out.splitlines()) == 4
+
+
+class TestBeeswarmTable:
+    def test_renders_ranked(self):
+        explanation = ClusterExplanation(
+            cluster=2,
+            importances=[
+                ServiceImportance("Spotify", 0.5, "over", 0.9),
+                ServiceImportance("Waze", 0.2, "under", -0.8),
+            ],
+        )
+        out = render_beeswarm_table(explanation)
+        assert "Cluster 2" in out
+        assert out.index("Spotify") < out.index("Waze")
+        assert "under" in out
+
+
+class TestScanAndDistribution:
+    def test_scan_table(self):
+        out = render_scan([2, 3], [0.5, 0.4], [1.0, 0.8])
+        assert "silhouette" in out
+        assert len(out.splitlines()) == 4
+
+    def test_distribution_bars(self):
+        out = render_distribution({1: 0.7, 2: 0.3})
+        assert "70.0%" in out
+        assert "30.0%" in out

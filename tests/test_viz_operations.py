@@ -1,0 +1,97 @@
+"""Tests for the operations/forecast renderers."""
+
+import numpy as np
+import pytest
+
+from repro.apps.energy import SleepSchedule
+from repro.viz.operations import (
+    render_capacity_schedule,
+    render_forecast_strip,
+    render_hour_profile,
+    render_pca_scatter,
+    render_sleep_calendar,
+    render_weekly_profile,
+)
+
+
+class TestHourProfile:
+    def test_renders(self):
+        out = render_hour_profile(np.arange(24, dtype=float), title="load")
+        lines = out.splitlines()
+        assert lines[0] == "load"
+        assert len(lines[1]) == 24
+
+    def test_zero_profile(self):
+        out = render_hour_profile(np.zeros(24))
+        assert out.splitlines()[1] == " " * 24
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError, match="24"):
+            render_hour_profile(np.ones(23))
+
+
+class TestWeeklyProfile:
+    def test_renders_seven_days(self):
+        out = render_weekly_profile(np.random.default_rng(0).random(168))
+        lines = out.splitlines()
+        assert len(lines) == 8
+        assert lines[1].startswith("Mon")
+        assert lines[7].startswith("Sun")
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError, match="168"):
+            render_weekly_profile(np.ones(100))
+
+
+class TestCapacityAndSleep:
+    def test_capacity_schedule(self):
+        schedule = np.full(24, 0.2)
+        schedule[8] = 1.0
+        out = render_capacity_schedule(schedule, cluster=3)
+        assert "slice c3" in out
+
+    def test_sleep_calendar(self):
+        schedule = SleepSchedule(5, (0, 1, 2), (0, 1, 2, 3), 0.25, 0.02)
+        out = render_sleep_calendar(schedule)
+        lines = out.splitlines()
+        assert "cluster 5" in lines[0]
+        assert lines[1].startswith("weekdays zzz.")
+        assert lines[2].startswith("weekends zzzz.")
+
+
+class TestForecastStrip:
+    def test_short_series(self):
+        actual = np.array([1.0, 2.0, 3.0, 2.0])
+        forecast = np.array([1.0, 2.0, 2.5, 2.0])
+        out = render_forecast_strip(actual, forecast)
+        lines = out.splitlines()
+        assert lines[1].startswith("actual")
+        assert lines[2].startswith("forecast")
+
+    def test_downsamples_long_series(self):
+        series = np.random.default_rng(0).random(500)
+        out = render_forecast_strip(series, series, width=40)
+        body = out.splitlines()[1][len("actual   "):]
+        assert len(body) == 40
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            render_forecast_strip(np.ones(3), np.ones(4))
+
+
+class TestPcaScatter:
+    def test_renders_cluster_digits(self, rng):
+        points = np.vstack([
+            rng.normal([-5, -5], 0.3, size=(30, 2)),
+            rng.normal([5, 5], 0.3, size=(30, 2)),
+        ])
+        labels = np.repeat([1, 2], 30)
+        out = render_pca_scatter(points, labels, width=30, height=10)
+        assert "1" in out
+        assert "2" in out
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="two columns"):
+            render_pca_scatter(rng.normal(size=(5, 1)), [0] * 5)
+        with pytest.raises(ValueError, match="one label"):
+            render_pca_scatter(rng.normal(size=(5, 2)), [0] * 4)
