@@ -1,0 +1,137 @@
+"""Performance benchmarks of the online ingestion subsystem.
+
+Times the streaming hot paths statistically (multi-round, like
+``test_perf_primitives.py``): accumulator ingestion throughput in
+antenna-hours/sec, per-batch classification latency of the
+nearest-centroid + surrogate-forest vote, and checkpoint round trips.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import AgglomerativeClustering
+from repro.core.rca import rsca
+from repro.ml.forest import RandomForestClassifier
+from repro.stream import (
+    FrozenProfile,
+    HourlyBatch,
+    IncrementalRSCA,
+    StreamingProfiler,
+    load_state,
+    save_state,
+)
+
+N_ANTENNAS = 800
+N_SERVICES = 73
+N_HOURS = 24
+
+SERVICES = tuple(f"service_{j}" for j in range(N_SERVICES))
+
+
+@pytest.fixture(scope="module")
+def hourly_batches():
+    """One synthetic day of batches over the full antenna population."""
+    rng = np.random.default_rng(0)
+    hour0 = np.datetime64("2023-01-09T00", "h")
+    ids = np.arange(N_ANTENNAS)
+    return [
+        HourlyBatch(
+            hour=hour0 + np.timedelta64(t, "h"),
+            antenna_ids=ids,
+            traffic=rng.lognormal(0.0, 1.0, size=(N_ANTENNAS, N_SERVICES)),
+            service_names=SERVICES,
+        )
+        for t in range(N_HOURS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def frozen(hourly_batches):
+    """Frozen reference fitted on the accumulated day of traffic."""
+    totals = np.sum([b.traffic for b in hourly_batches], axis=0)
+    features = rsca(totals)
+    labels = AgglomerativeClustering(n_clusters=9,
+                                     linkage="ward").fit_predict(features)
+    surrogate = RandomForestClassifier(n_estimators=20, max_depth=6,
+                                       random_state=0)
+    surrogate.fit(features, labels)
+    clusters = np.unique(labels)
+    centroids = np.vstack(
+        [features[labels == c].mean(axis=0) for c in clusters]
+    )
+    return FrozenProfile(
+        features=features,
+        labels=labels,
+        antenna_ids=np.arange(N_ANTENNAS, dtype=np.int64),
+        clusters=clusters,
+        centroids=centroids,
+        service_names=SERVICES,
+        surrogate=surrogate,
+    )
+
+
+def test_perf_ingest_throughput(benchmark, hourly_batches):
+    """Raw accumulator ingestion: antenna-hours folded per second."""
+
+    def ingest_day():
+        accumulator = IncrementalRSCA(SERVICES)
+        for batch in hourly_batches:
+            accumulator.update(batch)
+        return accumulator
+
+    accumulator = benchmark(ingest_day)
+    assert accumulator.hours_seen == N_HOURS
+    rows = N_ANTENNAS * N_HOURS
+    benchmark.extra_info["antenna_hours_per_sec"] = (
+        rows / benchmark.stats.stats.mean
+    )
+
+
+def test_perf_profiler_ingest(benchmark, hourly_batches, frozen):
+    """Full profiler ingestion without per-batch classification."""
+
+    def ingest_day():
+        streamer = StreamingProfiler(frozen, window_hours=N_HOURS,
+                                     classify_every=0)
+        for batch in hourly_batches:
+            streamer.ingest(batch)
+        return streamer
+
+    streamer = benchmark(ingest_day)
+    assert streamer.metrics.count("batches_ingested") == N_HOURS
+    benchmark.extra_info["antenna_hours_per_sec"] = (
+        N_ANTENNAS * N_HOURS / benchmark.stats.stats.mean
+    )
+
+
+def test_perf_classification_latency(benchmark, hourly_batches, frozen):
+    """Per-batch classification pass over every antenna seen so far."""
+    streamer = StreamingProfiler(frozen, window_hours=N_HOURS,
+                                 classify_every=0)
+    for batch in hourly_batches:
+        streamer.ingest(batch)
+
+    ids, labels = benchmark(streamer.classify_current)
+    assert ids.size == N_ANTENNAS
+    assert labels.size == N_ANTENNAS
+
+
+def test_perf_vote(benchmark, frozen):
+    """The nearest-centroid + forest vote on a fixed feature block."""
+    labels = benchmark(frozen.vote, frozen.features[:200])
+    assert labels.shape == (200,)
+
+
+def test_perf_checkpoint_roundtrip(benchmark, hourly_batches, tmp_path):
+    """Serialize + reload the accumulated day of state."""
+    accumulator = IncrementalRSCA(SERVICES)
+    for batch in hourly_batches:
+        accumulator.update(batch)
+    path = tmp_path / "checkpoint.npz"
+
+    def roundtrip():
+        save_state(path, accumulator.state_dict())
+        return IncrementalRSCA.from_state(load_state(path))
+
+    restored = benchmark(roundtrip)
+    assert np.array_equal(restored.totals(), accumulator.totals())

@@ -9,6 +9,9 @@ Subcommands:
 * ``validate``   — run the dataset statistical checks.
 * ``operations`` — print slice / cache / energy plans (paper Section 7).
 * ``report``     — write a markdown operations report for the profile.
+* ``stream``     — replay the dataset as hourly batches through the
+  online profiler: per-day cluster occupancy, drift check, ingestion
+  metrics, optional ``.npz`` checkpoint.
 """
 
 from __future__ import annotations
@@ -125,6 +128,54 @@ def _cmd_report(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    from repro.stream import StreamingProfiler, replay_dataset
+
+    dataset = _load_or_generate(args)
+    profiler = ICNProfiler(n_clusters=args.clusters)
+    align = dataset.archetypes() if args.align else None
+    profile = profiler.fit(dataset, align_to=align)
+    frozen = profile.freeze()
+    print(
+        f"frozen profile: {frozen.n_clusters} clusters over "
+        f"{frozen.features.shape[0]} antennas"
+    )
+
+    n_hours = dataset.calendar.n_hours
+    if args.days > 0:
+        n_hours = min(n_hours, args.days * 24)
+    antenna_ids = None
+    if args.limit > 0:
+        antenna_ids = [
+            a.antenna_id for a in dataset.antennas[: args.limit]
+        ]
+    streamer = StreamingProfiler(
+        frozen,
+        window_hours=args.window_hours,
+        classify_every=args.report_every,
+        drift_threshold=args.drift_threshold,
+    )
+    n_replayed = len(antenna_ids) if antenna_ids is not None else dataset.n_antennas
+    print(f"replaying {n_hours} hourly batches of {n_replayed} antennas ...")
+    for batch in replay_dataset(
+        dataset, window=slice(0, n_hours), antenna_ids=antenna_ids
+    ):
+        result = streamer.ingest(batch)
+        if result.occupancy is not None:
+            listing = ", ".join(
+                f"{c}:{n}" for c, n in sorted(result.occupancy.items()) if n
+            )
+            print(f"  [{result.hour}] occupancy {listing}")
+
+    signal = streamer.check_drift()
+    print(signal.summary())
+    if args.checkpoint:
+        streamer.checkpoint(args.checkpoint)
+        print(f"wrote checkpoint {args.checkpoint}")
+    print(streamer.metrics.summary())
     return 0
 
 
@@ -284,6 +335,28 @@ def build_parser() -> argparse.ArgumentParser:
                      help="include the outdoor comparison with N antennas")
     rep.add_argument("--shap-samples", type=int, default=15)
     rep.set_defaults(func=_cmd_report)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay hourly batches through the online profiler",
+    )
+    stream.add_argument("--dataset", help="existing .npz dataset (else generate)")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--clusters", type=int, default=9)
+    stream.add_argument("--align", action="store_true",
+                        help="align cluster ids to the latent archetypes")
+    stream.add_argument("--days", type=int, default=7,
+                        help="replay only the first N days (0 = full period)")
+    stream.add_argument("--limit", type=int, default=0,
+                        help="replay only the first N antennas (0 = all)")
+    stream.add_argument("--window-hours", type=int, default=168,
+                        help="sliding recent-history window span")
+    stream.add_argument("--report-every", type=int, default=24,
+                        help="classify and print occupancy every N batches")
+    stream.add_argument("--drift-threshold", type=float, default=1.5)
+    stream.add_argument("--checkpoint",
+                        help="write accumulator state to this .npz at the end")
+    stream.set_defaults(func=_cmd_stream)
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("figure", choices=FIGURES)

@@ -6,6 +6,7 @@ from repro.core.rca import (
     outdoor_rca,
     outdoor_rsca,
     rca,
+    rca_from_components,
     rsca,
     rsca_from_rca,
 )
@@ -41,6 +42,7 @@ from repro.core.pipeline import ICNProfile, ICNProfiler
 
 __all__ = [
     "rca",
+    "rca_from_components",
     "rsca",
     "rsca_from_rca",
     "outdoor_rca",

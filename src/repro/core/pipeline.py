@@ -160,6 +160,23 @@ class ICNProfile:
             all_clusters=sorted(self.cluster_sizes()),
         )
 
+    def freeze(self, antenna_ids: Optional[Sequence[int]] = None):
+        """Export the frozen artifact the online subsystem consumes.
+
+        Snapshots the reference partition — features, labels, centroids
+        and the fitted surrogate — into a
+        :class:`~repro.stream.frozen.FrozenProfile` that serializes to
+        ``.npz`` and classifies streamed antennas (see ``repro.stream``).
+
+        Args:
+            antenna_ids: ids of this profile's rows; defaults to
+                ``0..N-1``, matching profiles fitted on a
+                :class:`~repro.datagen.dataset.TrafficDataset`.
+        """
+        from repro.stream.frozen import freeze_profile
+
+        return freeze_profile(self, antenna_ids=antenna_ids)
+
     def generalization_accuracy(
         self, test_fraction: float = 0.25, random_state: int = 0
     ) -> float:

@@ -25,6 +25,61 @@ import numpy as np
 from repro.utils.checks import check_matrix
 
 
+def rca_from_components(
+    matrix: np.ndarray,
+    antenna_totals: np.ndarray,
+    service_totals: np.ndarray,
+    grand_total: float,
+) -> np.ndarray:
+    """Eq. 1 from a totals matrix and externally maintained marginals.
+
+    The marginals of a frozen matrix are simply its row/column/grand sums
+    (that is what :func:`rca` passes), but an online consumer such as
+    ``repro.stream`` maintains them additively across per-hour batches;
+    keeping the arithmetic in one place guarantees the streamed transform
+    matches the batch transform.
+
+    Args:
+        matrix: N x M non-negative traffic totals.
+        antenna_totals: length-N per-antenna totals.  Antennas with zero
+            total traffic are rejected — they have no utilization profile.
+        service_totals: length-M network-wide per-service totals.
+        grand_total: sum of all traffic; must be positive.
+
+    Returns:
+        N x M array of RCA values; entries are 0 where a service saw no
+        traffic network-wide.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    antenna_totals = np.asarray(antenna_totals, dtype=float)
+    service_totals = np.asarray(service_totals, dtype=float)
+    if antenna_totals.shape != (matrix.shape[0],):
+        raise ValueError(
+            f"antenna_totals must have shape ({matrix.shape[0]},), "
+            f"got {antenna_totals.shape}"
+        )
+    if service_totals.shape != (matrix.shape[1],):
+        raise ValueError(
+            f"service_totals must have shape ({matrix.shape[1]},), "
+            f"got {service_totals.shape}"
+        )
+    if np.any(antenna_totals == 0):
+        silent = np.flatnonzero(antenna_totals == 0)[:5]
+        raise ValueError(
+            f"antennas with zero total traffic have no utilization profile "
+            f"(first offending rows: {silent.tolist()})"
+        )
+    if not grand_total > 0:
+        raise ValueError(f"grand_total must be positive, got {grand_total}")
+    antenna_share = matrix / antenna_totals[:, None]
+    service_share = (service_totals / grand_total)[None, :]
+    # A service with zero network-wide traffic contributes nothing anywhere;
+    # define its RCA as 0 (neutral under-utilization) rather than 0/0.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.where(service_share > 0, antenna_share / service_share, 0.0)
+    return result
+
+
 def rca(totals: np.ndarray) -> np.ndarray:
     """Revealed comparative advantage per (antenna, service) — Eq. 1.
 
@@ -38,22 +93,9 @@ def rca(totals: np.ndarray) -> np.ndarray:
         traffic at an antenna.
     """
     matrix = check_matrix(totals, "totals", non_negative=True)
-    antenna_totals = matrix.sum(axis=1, keepdims=True)
-    if np.any(antenna_totals == 0):
-        silent = np.flatnonzero(antenna_totals[:, 0] == 0)[:5]
-        raise ValueError(
-            f"antennas with zero total traffic have no utilization profile "
-            f"(first offending rows: {silent.tolist()})"
-        )
-    service_totals = matrix.sum(axis=0, keepdims=True)
-    grand_total = matrix.sum()
-    antenna_share = matrix / antenna_totals
-    service_share = service_totals / grand_total
-    # A service with zero network-wide traffic contributes nothing anywhere;
-    # define its RCA as 0 (neutral under-utilization) rather than 0/0.
-    with np.errstate(divide="ignore", invalid="ignore"):
-        result = np.where(service_share > 0, antenna_share / service_share, 0.0)
-    return result
+    return rca_from_components(
+        matrix, matrix.sum(axis=1), matrix.sum(axis=0), matrix.sum()
+    )
 
 
 def rsca_from_rca(rca_values: np.ndarray) -> np.ndarray:

@@ -12,6 +12,7 @@ from repro.io.plans import (
 from repro.io.csvio import (
     export_hourly_csv,
     export_totals_csv,
+    iter_hourly_csv,
     load_hourly_csv,
     load_totals_csv,
     totals_from_hourly,
@@ -21,6 +22,7 @@ __all__ = [
     "export_totals_csv",
     "load_totals_csv",
     "export_hourly_csv",
+    "iter_hourly_csv",
     "load_hourly_csv",
     "totals_from_hourly",
     "profile_to_dict",

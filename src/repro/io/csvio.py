@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -181,6 +181,93 @@ def load_hourly_csv(
     for antenna, service, stamp, value in records:
         tensor[a_index[antenna], s_index[service], h_index[stamp]] += value
     return antenna_ids, service_names, hours, tensor
+
+
+def iter_hourly_csv(
+    path, service_names: Sequence[str]
+) -> Iterator[Tuple[np.datetime64, np.ndarray, np.ndarray]]:
+    """Stream a long-schema hourly CSV one hour at a time (chunked read).
+
+    Unlike :func:`load_hourly_csv`, which materializes the full tensor,
+    this reads the file sequentially and holds only the current hour's
+    rows in memory — the ingestion path for traces longer than RAM.  It
+    requires the file to be *hour-ordered*: rows grouped by timestamp,
+    timestamps strictly ascending (the natural order of a rolling
+    measurement-platform export).  Duplicate (antenna, service) cells
+    within an hour are summed.
+
+    Args:
+        path: CSV path with the ``antenna_id,service,timestamp,traffic_mb``
+            schema.
+        service_names: the output column order; every service appearing
+            in the file must be listed here.
+
+    Yields:
+        ``(hour, antenna_ids, matrix)`` per hour — antenna ids sorted
+        ascending, matrix of shape (n_reporting_antennas, n_services).
+
+    Raises:
+        ValueError: on malformed rows, unknown services, or timestamps
+            that go backwards (sort the export first, or use
+            :func:`load_hourly_csv`).
+    """
+    path = Path(path)
+    names = [str(s) for s in service_names]
+    s_index = {name: j for j, name in enumerate(names)}
+    if len(s_index) != len(names):
+        raise ValueError("service_names must be unique")
+
+    def flush(hour, cells: Dict[int, np.ndarray]):
+        ids = np.array(sorted(cells), dtype=np.int64)
+        matrix = np.vstack([cells[a] for a in ids.tolist()])
+        return hour, ids, matrix
+
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        expected = ["antenna_id", "service", "timestamp", "traffic_mb"]
+        if header != expected:
+            raise ValueError(f"expected header {expected}, got {header}")
+        current_hour: Optional[np.datetime64] = None
+        cells: Dict[int, np.ndarray] = {}
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != 4:
+                raise ValueError(f"{path}:{line_no}: expected 4 cells")
+            try:
+                antenna = int(row[0])
+                stamp = np.datetime64(row[2], "h")
+                value = float(row[3])
+            except ValueError:
+                raise ValueError(f"{path}:{line_no}: malformed record") from None
+            column = s_index.get(row[1])
+            if column is None:
+                raise ValueError(
+                    f"{path}:{line_no}: service {row[1]!r} not in "
+                    f"service_names"
+                )
+            if current_hour is None:
+                current_hour = stamp
+            elif stamp != current_hour:
+                if stamp < current_hour:
+                    raise ValueError(
+                        f"{path}:{line_no}: timestamp {stamp} goes backwards "
+                        f"(file must be hour-ordered; see load_hourly_csv "
+                        f"for unordered files)"
+                    )
+                yield flush(current_hour, cells)
+                current_hour = stamp
+                cells = {}
+            cell_row = cells.get(antenna)
+            if cell_row is None:
+                cell_row = np.zeros(len(names))
+                cells[antenna] = cell_row
+            cell_row[column] += value
+        if current_hour is None:
+            raise ValueError(f"{path} contains no measurements")
+        yield flush(current_hour, cells)
 
 
 def totals_from_hourly(tensor: np.ndarray) -> np.ndarray:

@@ -1,0 +1,105 @@
+"""Checkpoint/restore of accumulator state to ``.npz``.
+
+A checkpoint is a flat mapping ``key -> array | scalar | string``; nested
+components namespace their keys with ``"component."`` prefixes (e.g.
+``"totals.matrix"``).  Arrays round-trip losslessly through ``savez``,
+so an ingestion process restored from a checkpoint continues bit-for-bit
+identically to one that never stopped.  Scalars and strings are recorded
+in a JSON manifest so their Python types survive the round trip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping
+
+import numpy as np
+
+#: Reserved key of the JSON manifest inside the archive.
+_MANIFEST_KEY = "__manifest__"
+
+
+def save_state(path, state: Mapping[str, object]) -> None:
+    """Write a flat state mapping to a ``.npz`` checkpoint file.
+
+    Args:
+        path: destination path.
+        state: mapping of string keys to numpy arrays, ints, floats,
+            bools, or strings.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    scalars: Dict[str, Dict[str, object]] = {}
+    for key, value in state.items():
+        if key == _MANIFEST_KEY:
+            raise ValueError(f"{_MANIFEST_KEY!r} is a reserved key")
+        if isinstance(value, np.ndarray):
+            arrays[key] = value
+        elif isinstance(value, (bool, np.bool_)):
+            scalars[key] = {"type": "bool", "value": bool(value)}
+        elif isinstance(value, (int, np.integer)):
+            scalars[key] = {"type": "int", "value": int(value)}
+        elif isinstance(value, (float, np.floating)):
+            # repr round-trips float64 exactly (shortest-repr guarantee).
+            scalars[key] = {"type": "float", "value": repr(float(value))}
+        elif isinstance(value, str):
+            scalars[key] = {"type": "str", "value": value}
+        else:
+            raise TypeError(
+                f"unsupported checkpoint value for {key!r}: "
+                f"{type(value).__name__}"
+            )
+    manifest = json.dumps(scalars).encode("utf-8")
+    arrays[_MANIFEST_KEY] = np.frombuffer(manifest, dtype=np.uint8)
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_state(path) -> Dict[str, object]:
+    """Read back a checkpoint written by :func:`save_state`."""
+    path = Path(path)
+    state: Dict[str, object] = {}
+    with np.load(path, allow_pickle=False) as archive:
+        manifest_raw = archive[_MANIFEST_KEY]
+        scalars = json.loads(bytes(manifest_raw.tobytes()).decode("utf-8"))
+        for key in archive.files:
+            if key != _MANIFEST_KEY:
+                state[key] = archive[key]
+    for key, entry in scalars.items():
+        kind, value = entry["type"], entry["value"]
+        if kind == "bool":
+            state[key] = bool(value)
+        elif kind == "int":
+            state[key] = int(value)
+        elif kind == "float":
+            state[key] = float(value)
+        elif kind == "str":
+            state[key] = str(value)
+        else:  # pragma: no cover - forward compatibility guard
+            raise ValueError(f"unknown scalar type {kind!r} for {key!r}")
+    return state
+
+
+def split_namespace(
+    state: Mapping[str, object], prefix: str
+) -> Dict[str, object]:
+    """Extract one component's sub-state from a namespaced checkpoint."""
+    marker = prefix + "."
+    sub = {
+        key[len(marker):]: value
+        for key, value in state.items()
+        if key.startswith(marker)
+    }
+    if not sub:
+        raise KeyError(f"checkpoint has no {prefix!r} component")
+    return sub
+
+
+def merge_namespaces(
+    components: Mapping[str, Mapping[str, object]]
+) -> Dict[str, object]:
+    """Combine component states into one namespaced flat mapping."""
+    merged: Dict[str, object] = {}
+    for prefix, sub in components.items():
+        for key, value in sub.items():
+            merged[f"{prefix}.{key}"] = value
+    return merged

@@ -1,0 +1,187 @@
+"""Frozen-profile artifacts: the fitted reference a streamer classifies against.
+
+An :class:`~repro.core.pipeline.ICNProfile` is a heavyweight object
+(clustering model, dendrogram, SHAP caches).  The online path needs only
+the parts that define the *reference partition*: the RSCA features and
+labels of the training antennas, the per-cluster centroids, and the
+surrogate forest.  :class:`FrozenProfile` captures exactly that, serializes
+to ``.npz``, and exposes the nearest-centroid + surrogate-forest vote the
+:class:`~repro.stream.profiler.StreamingProfiler` classifies with.
+
+Serialization stores the training features/labels and the forest's
+hyper-parameters rather than the fitted trees: the from-scratch forest is
+deterministic in (data, parameters, seed), so :meth:`FrozenProfile.load`
+refits an identical ensemble — simpler and smaller than serializing tree
+structures, at the cost of a short refit on load.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.forest import RandomForestClassifier
+from repro.utils.checks import check_matrix
+
+#: Forest constructor arguments captured in the artifact.
+_FOREST_PARAMS = (
+    "n_estimators",
+    "max_depth",
+    "min_samples_leaf",
+    "max_features",
+    "bootstrap",
+    "random_state",
+)
+
+
+@dataclass
+class FrozenProfile:
+    """Immutable snapshot of a fitted profile, for online classification.
+
+    Attributes:
+        features: N x M RSCA matrix the reference clustering ran on.
+        labels: reference cluster label per training antenna.
+        antenna_ids: antenna ids of the training rows (drift checks match
+            streamed antennas against these).
+        clusters: sorted distinct cluster labels.
+        centroids: K x M per-cluster mean RSCA, rows ordered like
+            ``clusters``.
+        service_names: feature names in column order.
+        surrogate: the fitted surrogate forest.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    antenna_ids: np.ndarray
+    clusters: np.ndarray
+    centroids: np.ndarray
+    service_names: Tuple[str, ...]
+    surrogate: RandomForestClassifier
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of reference clusters K."""
+        return int(self.clusters.size)
+
+    def nearest_centroids(self, features: np.ndarray) -> np.ndarray:
+        """Cluster of the closest centroid for each feature row."""
+        x = check_matrix(features, "features")
+        if x.shape[1] != self.centroids.shape[1]:
+            raise ValueError(
+                f"features have {x.shape[1]} columns, centroids have "
+                f"{self.centroids.shape[1]}"
+            )
+        distances = np.linalg.norm(
+            x[:, None, :] - self.centroids[None, :, :], axis=2
+        )
+        return self.clusters[np.argmin(distances, axis=1)]
+
+    def vote(self, features: np.ndarray) -> np.ndarray:
+        """Nearest-centroid + surrogate-forest vote per feature row.
+
+        The surrogate contributes its class-probability distribution and
+        the nearest centroid one full vote; the argmax decides.  Where
+        forest and centroid agree the agreement wins outright; where they
+        disagree, the forest's confidence margin settles it.
+        """
+        x = check_matrix(features, "features")
+        scores = np.zeros((x.shape[0], self.n_clusters))
+        proba = self.surrogate.predict_proba(x)
+        cols = np.searchsorted(self.clusters, self.surrogate.classes_)
+        scores[:, cols] += proba
+        nearest = self.nearest_centroids(x)
+        nearest_cols = np.searchsorted(self.clusters, nearest)
+        scores[np.arange(x.shape[0]), nearest_cols] += 1.0
+        return self.clusters[np.argmax(scores, axis=1)]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the artifact to ``.npz``."""
+        params: Dict[str, object] = {
+            name: getattr(self.surrogate, name) for name in _FOREST_PARAMS
+        }
+        meta = {
+            "service_names": list(self.service_names),
+            "surrogate_params": params,
+        }
+        np.savez_compressed(
+            Path(path),
+            features=self.features,
+            labels=self.labels,
+            antenna_ids=self.antenna_ids,
+            clusters=self.clusters,
+            centroids=self.centroids,
+            meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        )
+
+    @classmethod
+    def load(cls, path) -> "FrozenProfile":
+        """Load an artifact, refitting the deterministic surrogate."""
+        with np.load(Path(path), allow_pickle=False) as archive:
+            features = np.asarray(archive["features"], dtype=float)
+            labels = np.asarray(archive["labels"], dtype=int)
+            antenna_ids = np.asarray(archive["antenna_ids"], dtype=np.int64)
+            clusters = np.asarray(archive["clusters"], dtype=int)
+            centroids = np.asarray(archive["centroids"], dtype=float)
+            meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
+        params = dict(meta["surrogate_params"])
+        # JSON round-trips "sqrt"/ints/None for max_features untouched.
+        surrogate = RandomForestClassifier(**params)
+        surrogate.fit(features, labels)
+        return cls(
+            features=features,
+            labels=labels,
+            antenna_ids=antenna_ids,
+            clusters=clusters,
+            centroids=centroids,
+            service_names=tuple(meta["service_names"]),
+            surrogate=surrogate,
+        )
+
+
+def freeze_profile(
+    profile, antenna_ids: Optional[Sequence[int]] = None
+) -> FrozenProfile:
+    """Snapshot an :class:`~repro.core.pipeline.ICNProfile` for streaming.
+
+    Args:
+        profile: a fitted ICN profile.
+        antenna_ids: ids of the profile's rows.  Defaults to
+            ``0..N-1``, which matches profiles fitted on a
+            :class:`~repro.datagen.dataset.TrafficDataset` (row order is
+            antenna-id order there).
+
+    Returns:
+        the frozen artifact, sharing the profile's fitted surrogate.
+    """
+    features = np.asarray(profile.features, dtype=float)
+    labels = np.asarray(profile.labels, dtype=int)
+    if antenna_ids is None:
+        ids = np.arange(features.shape[0], dtype=np.int64)
+    else:
+        ids = np.asarray(antenna_ids, dtype=np.int64)
+    if ids.shape != (features.shape[0],):
+        raise ValueError(
+            f"antenna_ids must have shape ({features.shape[0]},), "
+            f"got {ids.shape}"
+        )
+    clusters = np.unique(labels)
+    centroids = np.vstack(
+        [features[labels == c].mean(axis=0) for c in clusters]
+    )
+    return FrozenProfile(
+        features=features,
+        labels=labels,
+        antenna_ids=ids,
+        clusters=clusters,
+        centroids=centroids,
+        service_names=tuple(profile.service_names),
+        surrogate=profile.surrogate,
+    )

@@ -1,0 +1,107 @@
+"""Lightweight ingestion counters and timers.
+
+:class:`StreamMetrics` tracks what an operator's dashboard needs from an
+ingestion node: batches and antenna-hours ingested, newly discovered
+antennas, and wall-clock spent in ingestion / classification / drift
+checks, from which it derives throughput (antenna-hours per second) and
+mean per-batch classification latency.  Counters checkpoint alongside
+the accumulators; timers restart at zero on restore (wall-clock is a
+property of the process, not the stream).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict
+
+
+class StreamMetrics:
+    """Counters and timers for one ingestion process."""
+
+    #: Counter names, in reporting order.
+    COUNTERS = (
+        "batches_ingested",
+        "rows_ingested",
+        "antennas_discovered",
+        "classify_calls",
+        "drift_checks",
+        "checkpoints_written",
+    )
+    #: Timer names, in reporting order.
+    TIMERS = ("ingest_seconds", "classify_seconds", "drift_seconds")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {name: 0 for name in self.COUNTERS}
+        self._timers: Dict[str, float] = {name: 0.0 for name in self.TIMERS}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increment one counter."""
+        if name not in self._counters:
+            raise KeyError(f"unknown counter {name!r}")
+        self._counters[name] += int(amount)
+
+    def count(self, name: str) -> int:
+        """Current value of one counter."""
+        return self._counters[name]
+
+    def seconds(self, name: str) -> float:
+        """Accumulated wall-clock of one timer."""
+        return self._timers[name]
+
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager adding the enclosed wall-clock to a timer."""
+        if name not in self._timers:
+            raise KeyError(f"unknown timer {name!r}")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._timers[name] += time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Derived rates
+    # ------------------------------------------------------------------
+
+    def rows_per_second(self) -> float:
+        """Ingestion throughput in antenna-hours (rows) per second."""
+        elapsed = self._timers["ingest_seconds"]
+        return self._counters["rows_ingested"] / elapsed if elapsed > 0 else 0.0
+
+    def classification_latency(self) -> float:
+        """Mean wall-clock seconds per classification pass."""
+        calls = self._counters["classify_calls"]
+        return self._timers["classify_seconds"] / calls if calls else 0.0
+
+    def summary(self) -> str:
+        """Human-readable metrics block."""
+        lines = [
+            f"batches ingested:       {self._counters['batches_ingested']}",
+            f"antenna-hours ingested: {self._counters['rows_ingested']}",
+            f"antennas discovered:    {self._counters['antennas_discovered']}",
+            f"ingest throughput:      {self.rows_per_second():,.0f} "
+            f"antenna-hours/s",
+            f"classification passes:  {self._counters['classify_calls']} "
+            f"({self.classification_latency() * 1e3:.1f} ms/batch)",
+            f"drift checks:           {self._counters['drift_checks']}",
+            f"checkpoints written:    {self._counters['checkpoints_written']}",
+        ]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Counters only — wall-clock does not survive a restart."""
+        return {name: int(value) for name, value in self._counters.items()}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "StreamMetrics":
+        """Rebuild metrics with restored counters and zeroed timers."""
+        metrics = cls()
+        for name in metrics.COUNTERS:
+            if name in state:
+                metrics._counters[name] = int(state[name])
+        return metrics

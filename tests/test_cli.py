@@ -127,3 +127,17 @@ class TestNewCommands:
         text = out.read_text()
         assert text.startswith("# Indoor cellular demand profile")
         assert "Cluster inventory" in text
+
+    def test_stream(self, dataset_file, tmp_path, capsys):
+        checkpoint = tmp_path / "stream.npz"
+        assert main(["stream", "--dataset", dataset_file, "--align",
+                     "--days", "2", "--limit", "40", "--report-every", "24",
+                     "--window-hours", "24",
+                     "--checkpoint", str(checkpoint)]) == 0
+        out = capsys.readouterr().out
+        assert "frozen profile: 9 clusters" in out
+        assert "replaying 48 hourly batches of 40 antennas" in out
+        assert "occupancy" in out
+        assert "drift @" in out
+        assert "antenna-hours ingested: 1920" in out
+        assert checkpoint.exists()

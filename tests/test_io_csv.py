@@ -136,3 +136,75 @@ class TestHourlyCsv:
                           np.datetime64("2023-01-01T04")),
                 [0, 1], "Netflix",
             )
+
+
+class TestIterHourlyCsv:
+    """Chunked (hour-at-a-time) reads of long-schema hourly CSVs."""
+
+    def _write(self, path, rows):
+        path.write_text(
+            "antenna_id,service,timestamp,traffic_mb\n"
+            + "\n".join(",".join(str(c) for c in row) for row in rows)
+            + "\n"
+        )
+
+    def test_chunks_match_full_load(self, tmp_path):
+        from repro.io.csvio import iter_hourly_csv
+
+        path = tmp_path / "hourly.csv"
+        self._write(path, [
+            (0, "Netflix", "2023-01-09T00", 1.0),
+            (1, "Spotify", "2023-01-09T00", 2.0),
+            (0, "Spotify", "2023-01-09T01", 3.0),
+            (1, "Netflix", "2023-01-09T02", 4.0),
+        ])
+        ids, services, hours, tensor = load_hourly_csv(path)
+        chunks = list(iter_hourly_csv(path, services))
+        assert len(chunks) == hours.size
+        for t, (hour, chunk_ids, matrix) in enumerate(chunks):
+            assert hour == hours[t]
+            for k, antenna in enumerate(chunk_ids):
+                row = int(np.searchsorted(ids, antenna))
+                np.testing.assert_allclose(matrix[k], tensor[row, :, t])
+
+    def test_duplicates_within_hour_summed(self, tmp_path):
+        from repro.io.csvio import iter_hourly_csv
+
+        path = tmp_path / "dup.csv"
+        self._write(path, [
+            (0, "Netflix", "2023-01-09T05", 1.5),
+            (0, "Netflix", "2023-01-09T05", 2.5),
+        ])
+        (_, _, matrix), = iter_hourly_csv(path, ["Netflix"])
+        assert matrix[0, 0] == pytest.approx(4.0)
+
+    def test_rejects_backwards_timestamps(self, tmp_path):
+        from repro.io.csvio import iter_hourly_csv
+
+        path = tmp_path / "unordered.csv"
+        self._write(path, [
+            (0, "Netflix", "2023-01-09T05", 1.0),
+            (0, "Netflix", "2023-01-09T04", 1.0),
+        ])
+        with pytest.raises(ValueError, match="backwards"):
+            list(iter_hourly_csv(path, ["Netflix"]))
+
+    def test_rejects_unknown_service(self, tmp_path):
+        from repro.io.csvio import iter_hourly_csv
+
+        path = tmp_path / "unknown.csv"
+        self._write(path, [(0, "Netflix", "2023-01-09T05", 1.0)])
+        with pytest.raises(ValueError, match="not in"):
+            list(iter_hourly_csv(path, ["Spotify"]))
+
+    def test_rejects_empty_and_headers_only(self, tmp_path):
+        from repro.io.csvio import iter_hourly_csv
+
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            list(iter_hourly_csv(empty, ["Netflix"]))
+        headers = tmp_path / "headers.csv"
+        headers.write_text("antenna_id,service,timestamp,traffic_mb\n")
+        with pytest.raises(ValueError, match="no measurements"):
+            list(iter_hourly_csv(headers, ["Netflix"]))

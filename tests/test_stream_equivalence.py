@@ -1,0 +1,95 @@
+"""Batch/stream equivalence: the acceptance criteria of the subsystem.
+
+Replaying a full dataset through ``repro.stream`` must reproduce the
+batch pipeline's T-matrix and RSCA features (allclose, rtol=1e-9), for
+multiple generation seeds; and a run that checkpoints mid-stream and
+restores must end in exactly the state of an uninterrupted run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rca import rsca
+from repro.datagen.calendar import StudyCalendar
+from repro.datagen.dataset import generate_dataset
+from repro.stream import (
+    IncrementalRSCA,
+    SlidingWindowTensor,
+    load_state,
+    replay_dataset,
+    save_state,
+)
+from tests.conftest import scaled_specs
+
+
+def make_dataset(seed):
+    """Tiny deployment over one week — full replay stays fast."""
+    calendar = StudyCalendar(
+        np.datetime64("2023-01-09T00", "h"),
+        np.datetime64("2023-01-15T23", "h"),
+    )
+    return generate_dataset(master_seed=seed, specs=scaled_specs(0.05),
+                            calendar=calendar)
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_full_replay_reproduces_batch_transforms(seed):
+    dataset = make_dataset(seed)
+    accumulator = IncrementalRSCA(dataset.service_names)
+    for batch in replay_dataset(dataset):
+        accumulator.update(batch)
+
+    # streamed T-matrix == batch T-matrix
+    np.testing.assert_array_equal(accumulator.antenna_ids(),
+                                  np.arange(dataset.n_antennas))
+    np.testing.assert_allclose(accumulator.totals(), dataset.totals,
+                               rtol=1e-9, atol=0.0)
+    # streamed marginals == batch marginals
+    np.testing.assert_allclose(accumulator.row_totals(),
+                               dataset.totals.sum(axis=1), rtol=1e-9)
+    np.testing.assert_allclose(accumulator.col_totals(),
+                               dataset.totals.sum(axis=0), rtol=1e-9)
+    # streamed RSCA == batch RSCA
+    np.testing.assert_allclose(accumulator.rsca(), rsca(dataset.totals),
+                               rtol=1e-9, atol=1e-12)
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_checkpoint_restore_matches_uninterrupted_run(seed, tmp_path):
+    dataset = make_dataset(seed)
+    batches = list(replay_dataset(dataset, window=slice(0, 96)))
+    kill_at = 41  # mid-stream, deliberately not on a day boundary
+
+    uninterrupted = IncrementalRSCA(dataset.service_names)
+    uninterrupted_win = SlidingWindowTensor(dataset.service_names, 24)
+    for batch in batches:
+        uninterrupted.update(batch)
+        uninterrupted_win.update(batch)
+
+    interrupted = IncrementalRSCA(dataset.service_names)
+    interrupted_win = SlidingWindowTensor(dataset.service_names, 24)
+    for batch in batches[:kill_at]:
+        interrupted.update(batch)
+        interrupted_win.update(batch)
+    totals_path = tmp_path / f"totals_{seed}.npz"
+    window_path = tmp_path / f"window_{seed}.npz"
+    save_state(totals_path, interrupted.state_dict())
+    save_state(window_path, interrupted_win.state_dict())
+
+    resumed = IncrementalRSCA.from_state(load_state(totals_path))
+    resumed_win = SlidingWindowTensor.from_state(load_state(window_path))
+    for batch in batches[kill_at:]:
+        resumed.update(batch)
+        resumed_win.update(batch)
+
+    # identical final accumulator state, bit for bit
+    assert np.array_equal(uninterrupted.totals(), resumed.totals())
+    assert np.array_equal(uninterrupted.row_totals(), resumed.row_totals())
+    assert np.array_equal(uninterrupted.col_totals(), resumed.col_totals())
+    assert uninterrupted.grand_total == resumed.grand_total
+    assert uninterrupted.hours_seen == resumed.hours_seen
+    assert uninterrupted.last_hour == resumed.last_hour
+    assert np.array_equal(uninterrupted.rsca(), resumed.rsca())
+    assert np.array_equal(uninterrupted_win.tensor(), resumed_win.tensor())
+    np.testing.assert_array_equal(uninterrupted_win.hours(),
+                                  resumed_win.hours())

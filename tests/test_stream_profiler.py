@@ -1,0 +1,237 @@
+"""Tests for the frozen-profile artifact and the streaming profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ICNProfiler
+from repro.datagen.calendar import StudyCalendar
+from repro.datagen.dataset import generate_dataset
+from repro.stream import (
+    FrozenProfile,
+    StreamingProfiler,
+    freeze_profile,
+    replay_dataset,
+)
+from tests.conftest import scaled_specs
+
+
+@pytest.fixture(scope="module")
+def stream_dataset():
+    """Tiny deployment over a 4-day calendar — fast to replay in full."""
+    calendar = StudyCalendar(
+        np.datetime64("2023-01-09T00", "h"),
+        np.datetime64("2023-01-12T23", "h"),
+    )
+    return generate_dataset(master_seed=3, specs=scaled_specs(0.05),
+                            calendar=calendar)
+
+
+@pytest.fixture(scope="module")
+def stream_profile(stream_dataset):
+    profiler = ICNProfiler(n_clusters=9, surrogate_trees=15)
+    return profiler.fit(stream_dataset,
+                        align_to=stream_dataset.archetypes())
+
+
+@pytest.fixture(scope="module")
+def frozen(stream_profile):
+    return stream_profile.freeze()
+
+
+@pytest.fixture(scope="module")
+def batches(stream_dataset):
+    return list(replay_dataset(stream_dataset))
+
+
+class TestFrozenProfile:
+    def test_freeze_captures_partition(self, stream_profile, frozen):
+        assert frozen.n_clusters == stream_profile.n_clusters
+        assert frozen.service_names == tuple(stream_profile.service_names)
+        np.testing.assert_array_equal(
+            frozen.antenna_ids, np.arange(stream_profile.features.shape[0])
+        )
+        for k, cluster in enumerate(frozen.clusters):
+            members = stream_profile.features[
+                stream_profile.labels == cluster
+            ]
+            np.testing.assert_allclose(frozen.centroids[k],
+                                       members.mean(axis=0))
+
+    def test_centroids_classify_to_own_cluster(self, frozen):
+        np.testing.assert_array_equal(
+            frozen.nearest_centroids(frozen.centroids), frozen.clusters
+        )
+
+    def test_vote_recovers_training_labels(self, frozen):
+        labels = frozen.vote(frozen.features)
+        agreement = np.mean(labels == frozen.labels)
+        assert agreement > 0.9
+
+    def test_save_load_reproduces_votes(self, frozen, tmp_path):
+        path = tmp_path / "frozen.npz"
+        frozen.save(path)
+        loaded = FrozenProfile.load(path)
+        assert loaded.service_names == frozen.service_names
+        np.testing.assert_array_equal(loaded.labels, frozen.labels)
+        np.testing.assert_array_equal(loaded.centroids, frozen.centroids)
+        # the refit surrogate is deterministic -> identical predictions
+        np.testing.assert_array_equal(
+            loaded.surrogate.predict_proba(frozen.features),
+            frozen.surrogate.predict_proba(frozen.features),
+        )
+        np.testing.assert_array_equal(
+            loaded.vote(frozen.features), frozen.vote(frozen.features)
+        )
+
+    def test_freeze_rejects_bad_antenna_ids(self, stream_profile):
+        with pytest.raises(ValueError, match="antenna_ids"):
+            freeze_profile(stream_profile, antenna_ids=[1, 2, 3])
+
+
+class TestStreamingProfiler:
+    def test_full_replay_agrees_with_frozen_labels(self, frozen, batches):
+        streamer = StreamingProfiler(frozen, window_hours=24,
+                                     classify_every=0)
+        for batch in batches:
+            streamer.ingest(batch)
+        ids, labels = streamer.classify_current()
+        reference = frozen.labels[np.searchsorted(frozen.antenna_ids, ids)]
+        assert np.mean(labels == reference) > 0.9
+
+    def test_occupancy_counts_all_classified_antennas(self, frozen, batches):
+        streamer = StreamingProfiler(frozen, window_hours=24,
+                                     classify_every=12)
+        results = [streamer.ingest(batch) for batch in batches]
+        classified = [r for r in results if r.occupancy is not None]
+        assert len(classified) == len(batches) // 12
+        for result in classified:
+            assert sum(result.occupancy.values()) == streamer.totals.n_antennas
+        assert set(classified[-1].occupancy) == {
+            int(c) for c in frozen.clusters
+        }
+
+    def test_metrics_track_ingestion(self, frozen, batches):
+        streamer = StreamingProfiler(frozen, window_hours=24,
+                                     classify_every=24)
+        for batch in batches:
+            streamer.ingest(batch)
+        metrics = streamer.metrics
+        assert metrics.count("batches_ingested") == len(batches)
+        assert metrics.count("rows_ingested") == sum(
+            b.n_rows for b in batches
+        )
+        assert metrics.count("antennas_discovered") == batches[0].n_rows
+        assert metrics.count("classify_calls") == len(batches) // 24
+        assert metrics.rows_per_second() > 0
+        assert metrics.classification_latency() > 0
+        assert "antenna-hours" in metrics.summary()
+
+    def test_drift_low_on_faithful_replay(self, frozen, batches):
+        streamer = StreamingProfiler(frozen, window_hours=24,
+                                     classify_every=0)
+        for batch in batches:
+            streamer.ingest(batch)
+        signal = streamer.check_drift()
+        assert signal.n_common_antennas == streamer.totals.n_antennas
+        assert signal.mean_centroid_drift < 0.5
+        assert not signal.refit_recommended
+        assert "profile holds" in signal.summary()
+
+    def test_drift_flags_perturbed_stream(self, frozen, batches):
+        faithful = StreamingProfiler(frozen, window_hours=24,
+                                     classify_every=0)
+        shifted = StreamingProfiler(frozen, window_hours=24,
+                                    classify_every=0)
+        # collapse the service mix: all traffic lands on one service, so
+        # every antenna's RSCA walks far from its frozen profile
+        for batch in batches:
+            faithful.ingest(batch)
+            collapsed = np.zeros_like(batch.traffic)
+            collapsed[:, 0] = batch.traffic.sum(axis=1)
+            shifted.ingest(
+                type(batch)(
+                    hour=batch.hour,
+                    antenna_ids=batch.antenna_ids,
+                    traffic=collapsed,
+                    service_names=batch.service_names,
+                )
+            )
+        low = faithful.check_drift()
+        high = shifted.check_drift()
+        assert high.mean_centroid_drift > low.mean_centroid_drift
+        assert high.refit_recommended
+
+    def test_scheduled_drift_checks(self, frozen, batches):
+        streamer = StreamingProfiler(frozen, window_hours=24,
+                                     classify_every=0,
+                                     drift_check_every=48)
+        signals = [
+            r.drift for r in (streamer.ingest(b) for b in batches)
+            if r.drift is not None
+        ]
+        assert len(signals) == len(batches) // 48
+        assert streamer.metrics.count("drift_checks") == len(signals)
+
+    def test_checkpoint_restore_matches_uninterrupted(self, frozen, batches,
+                                                      tmp_path):
+        uninterrupted = StreamingProfiler(frozen, window_hours=24,
+                                          classify_every=0)
+        for batch in batches:
+            uninterrupted.ingest(batch)
+
+        interrupted = StreamingProfiler(frozen, window_hours=24,
+                                        classify_every=0)
+        half = len(batches) // 2
+        for batch in batches[:half]:
+            interrupted.ingest(batch)
+        path = tmp_path / "checkpoint.npz"
+        interrupted.checkpoint(path)
+        assert interrupted.metrics.count("checkpoints_written") == 1
+
+        resumed = StreamingProfiler.restore(path, frozen, classify_every=0)
+        assert resumed.metrics.count("batches_ingested") == half
+        for batch in batches[half:]:
+            resumed.ingest(batch)
+
+        assert np.array_equal(uninterrupted.totals.totals(),
+                              resumed.totals.totals())
+        assert uninterrupted.totals.grand_total == resumed.totals.grand_total
+        assert np.array_equal(uninterrupted.window.tensor(),
+                              resumed.window.tensor())
+        assert uninterrupted.occupancy() == resumed.occupancy()
+        assert resumed.metrics.count("batches_ingested") == len(batches)
+
+    def test_restore_rejects_service_mismatch(self, frozen, batches,
+                                              tmp_path):
+        streamer = StreamingProfiler(frozen, window_hours=24,
+                                     classify_every=0)
+        streamer.ingest(batches[0])
+        path = tmp_path / "checkpoint.npz"
+        streamer.checkpoint(path)
+        other = FrozenProfile(
+            features=frozen.features,
+            labels=frozen.labels,
+            antenna_ids=frozen.antenna_ids,
+            clusters=frozen.clusters,
+            centroids=frozen.centroids,
+            service_names=tuple(f"renamed_{s}"
+                                for s in frozen.service_names),
+            surrogate=frozen.surrogate,
+        )
+        with pytest.raises(ValueError, match="service columns"):
+            StreamingProfiler.restore(path, other)
+
+    def test_summary_reports_state(self, frozen, batches):
+        streamer = StreamingProfiler(frozen, window_hours=24,
+                                     classify_every=0)
+        for batch in batches[:24]:
+            streamer.ingest(batch)
+        text = streamer.summary()
+        assert "24 hours ingested" in text
+        assert "occupancy" in text
+
+    def test_rejects_bad_parameters(self, frozen):
+        with pytest.raises(ValueError, match="classify_every"):
+            StreamingProfiler(frozen, classify_every=-1)
+        with pytest.raises(ValueError, match="drift_threshold"):
+            StreamingProfiler(frozen, drift_threshold=0.0)
