@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Run the serving benchmark and write BENCH_serve.json.
+
+Thin wrapper over ``repro-icn bench-serve`` that works from a source
+checkout without installation::
+
+    python scripts/bench.py --queries 2000 --workers 1,4,8
+
+All arguments are forwarded verbatim; see ``repro-icn bench-serve
+--help`` for the full list.  The report lands in ``BENCH_serve.json``
+unless ``--output`` says otherwise.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import main  # noqa: E402 - after sys.path setup
+
+if __name__ == "__main__":
+    sys.exit(main(["bench-serve", *sys.argv[1:]]))

@@ -12,6 +12,10 @@ Subcommands:
 * ``stream``     — replay the dataset as hourly batches through the
   online profiler: per-day cluster occupancy, drift check, ingestion
   metrics, optional ``.npz`` checkpoint.
+* ``serve``      — start the concurrent profile-serving HTTP endpoint
+  (micro-batching, LRU+TTL cache, admission control; ``repro.serve``).
+* ``bench-serve`` — measure serving throughput/latency (unbatched vs
+  micro-batched at several worker counts) and write ``BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -132,7 +136,18 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_stream(args) -> int:
+    from pathlib import Path
+
     from repro.stream import StreamingProfiler, replay_dataset
+
+    if args.checkpoint:
+        parent = Path(args.checkpoint).resolve().parent
+        if not parent.is_dir():
+            print(
+                f"error: checkpoint directory {parent} does not exist",
+                file=sys.stderr,
+            )
+            return 2
 
     dataset = _load_or_generate(args)
     profiler = ICNProfiler(n_clusters=args.clusters)
@@ -177,6 +192,131 @@ def _cmd_stream(args) -> int:
         print(f"wrote checkpoint {args.checkpoint}")
     print(streamer.metrics.summary())
     return 0
+
+
+def _serve_frozen_profile(args):
+    """Resolve the profile to serve: a saved artifact or a fresh fit.
+
+    Returns ``(frozen, error_code)``; exactly one is None.
+    """
+    from pathlib import Path
+
+    from repro.stream import FrozenProfile
+
+    if getattr(args, "frozen", None):
+        artifact = Path(args.frozen)
+        if not artifact.is_file():
+            print(
+                f"error: frozen profile {artifact} does not exist",
+                file=sys.stderr,
+            )
+            return None, 2
+        return FrozenProfile.load(artifact), None
+    dataset = _load_or_generate(args)
+    profiler = ICNProfiler(n_clusters=args.clusters)
+    align = dataset.archetypes() if args.align else None
+    profile = profiler.fit(dataset, align_to=align)
+    frozen = profile.freeze(service_totals=dataset.totals.sum(axis=0))
+    return frozen, None
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import ProfileService, make_server
+
+    frozen, error = _serve_frozen_profile(args)
+    if error is not None:
+        return error
+    service = ProfileService(
+        frozen,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        n_workers=args.workers,
+        cache_size=args.cache_size,
+        cache_ttl_s=args.cache_ttl,
+        max_queue_depth=args.queue_depth,
+    )
+    server = make_server(service, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(
+        f"serving profile version {service.registry.current_version()} "
+        f"({frozen.n_clusters} clusters, "
+        f"{frozen.features.shape[0]} reference antennas) "
+        f"on http://{host}:{port}"
+    )
+    print(
+        f"  micro-batch <= {args.max_batch} rows / {args.max_wait_ms} ms, "
+        f"{args.workers} workers, cache {args.cache_size}, "
+        f"admission watermark {args.queue_depth}"
+    )
+    try:
+        if args.max_requests > 0:
+            for _ in range(args.max_requests):
+                server.handle_request()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.close()
+        print(service.metrics.summary())
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    import json as json_module
+
+    from repro.serve import format_report, run_serve_benchmark
+
+    frozen, error = _serve_frozen_profile(args)
+    if error is not None:
+        return error
+    report = run_serve_benchmark(
+        frozen,
+        n_queries=args.queries,
+        worker_counts=args.workers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        hot_set=args.hot_set,
+    )
+    print(format_report(report))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json_module.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _worker_list(text: str) -> List[int]:
+    try:
+        workers = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        )
+    if not workers or any(w < 1 for w in workers):
+        raise argparse.ArgumentTypeError(
+            f"worker counts must be >= 1, got {text!r}"
+        )
+    return workers
+
+
+def _port_number(text: str) -> int:
+    value = int(text)
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"port must be in [0, 65535], got {value}"
+        )
+    return value
 
 
 def _cmd_figure(args) -> int:
@@ -357,6 +497,60 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--checkpoint",
                         help="write accumulator state to this .npz at the end")
     stream.set_defaults(func=_cmd_stream)
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the concurrent profile-serving HTTP endpoint",
+    )
+    serve.add_argument("--dataset", help="existing .npz dataset (else generate)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--clusters", type=int, default=9)
+    serve.add_argument("--align", action="store_true",
+                       help="align cluster ids to the latent archetypes")
+    serve.add_argument("--frozen",
+                       help="serve this FrozenProfile .npz instead of fitting")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=_port_number, default=8080,
+                       help="listening port (0 = pick a free port)")
+    serve.add_argument("--max-batch", type=_positive_int, default=64,
+                       help="micro-batch row target")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="micro-batch gather window in milliseconds")
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       help="classification worker threads")
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="result-cache capacity in vectors (0 disables)")
+    serve.add_argument("--cache-ttl", type=float, default=None,
+                       help="result-cache TTL in seconds (default: no TTL)")
+    serve.add_argument("--queue-depth", type=_positive_int, default=256,
+                       help="admission watermark: queued requests before shedding")
+    serve.add_argument("--max-requests", type=int, default=0,
+                       help="serve N requests then exit (0 = run forever)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request")
+    serve.set_defaults(func=_cmd_serve)
+
+    bench = sub.add_parser(
+        "bench-serve",
+        help="benchmark serving throughput and write BENCH_serve.json",
+    )
+    bench.add_argument("--dataset", help="existing .npz dataset (else generate)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--clusters", type=int, default=9)
+    bench.add_argument("--align", action="store_true")
+    bench.add_argument("--frozen",
+                       help="benchmark this FrozenProfile .npz instead of fitting")
+    bench.add_argument("--queries", type=_positive_int, default=2000,
+                       help="total single-vector queries per workload")
+    bench.add_argument("--workers", type=_worker_list, default=[1, 4, 8],
+                       help="comma-separated worker counts to sweep")
+    bench.add_argument("--max-batch", type=_positive_int, default=64)
+    bench.add_argument("--max-wait-ms", type=float, default=2.0)
+    bench.add_argument("--hot-set", type=_positive_int, default=64,
+                       help="distinct vectors in the cache workload")
+    bench.add_argument("--output", default="BENCH_serve.json",
+                       help="write the JSON report here ('' skips the file)")
+    bench.set_defaults(func=_cmd_bench_serve)
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("figure", choices=FIGURES)

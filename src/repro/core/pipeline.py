@@ -160,7 +160,11 @@ class ICNProfile:
             all_clusters=sorted(self.cluster_sizes()),
         )
 
-    def freeze(self, antenna_ids: Optional[Sequence[int]] = None):
+    def freeze(
+        self,
+        antenna_ids: Optional[Sequence[int]] = None,
+        service_totals: Optional[np.ndarray] = None,
+    ):
         """Export the frozen artifact the online subsystem consumes.
 
         Snapshots the reference partition — features, labels, centroids
@@ -172,10 +176,16 @@ class ICNProfile:
             antenna_ids: ids of this profile's rows; defaults to
                 ``0..N-1``, matching profiles fitted on a
                 :class:`~repro.datagen.dataset.TrafficDataset`.
+            service_totals: network-wide per-service traffic totals of
+                the reference period (``dataset.totals.sum(axis=0)``);
+                enables raw-volume queries in the serving layer
+                (``repro.serve``).
         """
         from repro.stream.frozen import freeze_profile
 
-        return freeze_profile(self, antenna_ids=antenna_ids)
+        return freeze_profile(
+            self, antenna_ids=antenna_ids, service_totals=service_totals
+        )
 
     def generalization_accuracy(
         self, test_fraction: float = 0.25, random_state: int = 0

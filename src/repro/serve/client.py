@@ -1,0 +1,106 @@
+"""Clients for the serving subsystem.
+
+:class:`ServeClient` talks to an in-process :class:`ProfileService`
+directly — the harness tests, benchmarks, and examples use it to drive
+the full cache/admission/micro-batch path without a socket in the way.
+:class:`HttpServeClient` speaks the JSON protocol of
+:mod:`repro.serve.http` over ``urllib`` for end-to-end checks against a
+live server.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.serve.scheduler import ShedRequest
+from repro.serve.service import ClassifyResult, PendingClassify, ProfileService
+
+
+class ServeClient:
+    """In-process client over a :class:`ProfileService`."""
+
+    def __init__(self, service: ProfileService) -> None:
+        self._service = service
+
+    def classify(self, vectors: np.ndarray,
+                 timeout: Optional[float] = None) -> ClassifyResult:
+        """Classify RSCA vectors (blocks for the answer)."""
+        return self._service.classify(vectors, timeout=timeout)
+
+    def classify_volumes(self, volumes: np.ndarray,
+                         timeout: Optional[float] = None) -> ClassifyResult:
+        """Classify raw per-service volumes (blocks for the answer)."""
+        return self._service.classify_volumes(volumes, timeout=timeout)
+
+    def submit(self, vectors: np.ndarray) -> PendingClassify:
+        """Asynchronous classify — lets callers keep many queries in flight."""
+        return self._service.submit(vectors)
+
+    def clusters(self) -> Dict[str, object]:
+        """Per-cluster occupancy/centroid summary."""
+        return self._service.cluster_summaries()
+
+    def metrics(self) -> Dict[str, object]:
+        """Node metrics snapshot."""
+        return self._service.metrics_snapshot()
+
+
+class HttpServeClient:
+    """Minimal ``urllib`` client for the JSON endpoint.
+
+    Raises:
+        ShedRequest: on HTTP 429 (mirrors the in-process behaviour).
+        RuntimeError: on any other non-2xx response.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode("utf-8", errors="replace")
+            if exc.code == 429:
+                retry_after = float(exc.headers.get("Retry-After", "0.05"))
+                raise ShedRequest(-1, -1, retry_after) from None
+            raise RuntimeError(f"HTTP {exc.code}: {body}") from None
+
+    def classify(self, vectors) -> dict:
+        """POST /classify with RSCA rows; returns the raw JSON answer."""
+        return self._request(
+            "/classify", {"vectors": np.asarray(vectors, dtype=float).tolist()}
+        )
+
+    def classify_volumes(self, volumes) -> dict:
+        """POST /classify with raw volumes; returns the raw JSON answer."""
+        return self._request(
+            "/classify", {"volumes": np.asarray(volumes, dtype=float).tolist()}
+        )
+
+    def healthz(self) -> dict:
+        """GET /healthz."""
+        return self._request("/healthz")
+
+    def clusters(self) -> dict:
+        """GET /clusters."""
+        return self._request("/clusters")
+
+    def metrics(self) -> dict:
+        """GET /metrics."""
+        return self._request("/metrics")

@@ -1,0 +1,168 @@
+"""Stdlib HTTP endpoint over a :class:`ProfileService`.
+
+A :class:`~http.server.ThreadingHTTPServer` front-end — one handler
+thread per connection, all funnelling into the shared service (whose
+micro-batcher aggregates them).  JSON in, JSON out, no dependencies:
+
+* ``GET  /healthz``  — liveness + current profile version;
+* ``GET  /clusters`` — per-cluster occupancy/centroid summaries;
+* ``GET  /metrics``  — :meth:`ProfileService.metrics_snapshot`;
+* ``POST /classify`` — body ``{"vectors": [[...], ...]}`` (RSCA rows)
+  or ``{"volumes": [[...], ...]}`` (raw per-service MB); responds
+  ``{"labels": [...], "version": V, "cached": C}``.
+
+Error mapping: malformed input -> 400; no profile loaded -> 503;
+admission shed -> 429 with a ``Retry-After`` header; unknown path ->
+404.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.serve.scheduler import ShedRequest
+from repro.serve.service import ProfileService
+
+#: Largest request body accepted, in bytes (guards the JSON parser).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """JSON request handler bound to the server's :class:`ProfileService`."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> ProfileService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Responses
+    # ------------------------------------------------------------------
+
+    def _respond(self, status: int, payload: dict,
+                 headers: Optional[dict] = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str,
+               headers: Optional[dict] = None) -> None:
+        self._respond(status, {"error": message}, headers)
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        if self.path == "/healthz":
+            self._respond(
+                200,
+                {
+                    "status": "ok",
+                    "profile_version": self.service.registry.current_version(),
+                },
+            )
+        elif self.path == "/clusters":
+            try:
+                self._respond(200, self.service.cluster_summaries())
+            except RuntimeError as exc:
+                self._error(503, str(exc))
+        elif self.path == "/metrics":
+            self._respond(200, self.service.metrics_snapshot())
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        if self.path != "/classify":
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        payload, failure = self._read_json()
+        if failure is not None:
+            self._error(400, failure)
+            return
+        vectors = payload.get("vectors")
+        volumes = payload.get("volumes")
+        if (vectors is None) == (volumes is None):
+            self._error(
+                400, "body must contain exactly one of 'vectors' or 'volumes'"
+            )
+            return
+        try:
+            if vectors is not None:
+                result = self.service.classify(np.asarray(vectors, dtype=float))
+            else:
+                result = self.service.classify_volumes(
+                    np.asarray(volumes, dtype=float)
+                )
+        except ShedRequest as exc:
+            self._error(
+                429, str(exc), {"Retry-After": f"{exc.retry_after:.3f}"}
+            )
+        except (TypeError, ValueError) as exc:
+            self._error(400, str(exc))
+        except RuntimeError as exc:
+            self._error(503, str(exc))
+        else:
+            self._respond(
+                200,
+                {
+                    "labels": [int(label) for label in result.labels],
+                    "version": result.version,
+                    "cached": result.n_cached,
+                },
+            )
+
+    def _read_json(self) -> Tuple[Optional[dict], Optional[str]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            return None, "invalid Content-Length"
+        if length <= 0:
+            return None, "empty request body"
+        if length > MAX_BODY_BYTES:
+            return None, f"request body exceeds {MAX_BODY_BYTES} bytes"
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None, "request body is not valid JSON"
+        if not isinstance(payload, dict):
+            return None, "request body must be a JSON object"
+        return payload, None
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server owning a shared :class:`ProfileService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: ProfileService,
+                 verbose: bool = False) -> None:
+        super().__init__(address, ServeHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(
+    service: ProfileService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+) -> ServeHTTPServer:
+    """Bind a :class:`ServeHTTPServer` (``port=0`` picks a free port)."""
+    return ServeHTTPServer((host, port), service, verbose=verbose)

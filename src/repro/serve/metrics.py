@@ -1,0 +1,229 @@
+"""Serving-side counters, latency reservoir, and batch-size histogram.
+
+:class:`ServeMetrics` is the serving counterpart of
+:class:`repro.stream.metrics.StreamMetrics`: where the stream metrics
+describe an ingestion node, these describe a query-serving node — request
+and query counts, executed micro-batches with their size distribution,
+cache hits/misses, shed (load-rejected) requests, and a bounded
+reservoir of per-request latencies from which p50/p95/p99 are derived.
+Both classes export the same ``to_dict()`` JSON shape (``counters`` /
+``derived`` sections) so one dashboard can scrape either node type.
+
+All mutators are thread-safe: the serving layer updates metrics from
+worker threads, HTTP handler threads, and client threads concurrently.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+#: Default number of latency samples the reservoir retains.
+DEFAULT_RESERVOIR_SIZE = 2048
+
+
+class LatencyReservoir:
+    """Fixed-size uniform reservoir of latency samples (seconds).
+
+    Keeps at most ``capacity`` samples via Vitter's algorithm R, so the
+    retained set is a uniform sample of everything observed; quantiles
+    over the reservoir estimate quantiles of the full latency stream
+    without unbounded memory.  The replacement RNG is seeded, so a
+    replayed request sequence yields the same reservoir.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RESERVOIR_SIZE,
+                 seed: int = 0xA5) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._samples: List[float] = []
+        self._seen = 0
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        """Fold one latency sample into the reservoir."""
+        value = float(seconds)
+        with self._lock:
+            self._seen += 1
+            if len(self._samples) < self.capacity:
+                self._samples.append(value)
+            else:
+                slot = self._rng.randrange(self._seen)
+                if slot < self.capacity:
+                    self._samples[slot] = value
+
+    @property
+    def n_seen(self) -> int:
+        """Total samples observed (retained or not)."""
+        with self._lock:
+            return self._seen
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile ``q`` in [0, 100] (0.0 if empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        if len(samples) == 1:
+            return samples[0]
+        rank = (q / 100.0) * (len(samples) - 1)
+        low = int(rank)
+        high = min(low + 1, len(samples) - 1)
+        frac = rank - low
+        return samples[low] * (1.0 - frac) + samples[high] * frac
+
+    def quantiles_ms(self) -> Dict[str, float]:
+        """The dashboard trio — p50/p95/p99 in milliseconds."""
+        return {
+            "p50_ms": self.percentile(50.0) * 1e3,
+            "p95_ms": self.percentile(95.0) * 1e3,
+            "p99_ms": self.percentile(99.0) * 1e3,
+        }
+
+
+class ServeMetrics:
+    """Counters, latency reservoir, and batch histogram for one server."""
+
+    #: Counter names, in reporting order.
+    COUNTERS = (
+        "requests",
+        "vectors_classified",
+        "batches_executed",
+        "cache_hits",
+        "cache_misses",
+        "shed_requests",
+        "errors",
+        "reloads",
+    )
+
+    def __init__(self, reservoir_size: int = DEFAULT_RESERVOIR_SIZE) -> None:
+        self._counters: Dict[str, int] = {name: 0 for name in self.COUNTERS}
+        self._batch_sizes: Dict[int, int] = {}
+        self._lock = threading.Lock()
+        self.latency = LatencyReservoir(reservoir_size)
+        self._first_request: Optional[float] = None
+        self._last_request: Optional[float] = None
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increment one counter."""
+        if name not in self._counters:
+            raise KeyError(f"unknown counter {name!r}")
+        with self._lock:
+            self._counters[name] += int(amount)
+
+    def count(self, name: str) -> int:
+        """Current value of one counter."""
+        with self._lock:
+            return self._counters[name]
+
+    def observe_request(self, latency_seconds: float,
+                        n_vectors: int = 1) -> None:
+        """Record one completed request and its end-to-end latency."""
+        now = time.perf_counter()
+        with self._lock:
+            self._counters["requests"] += 1
+            self._counters["vectors_classified"] += int(n_vectors)
+            if self._first_request is None:
+                self._first_request = now
+            self._last_request = now
+        self.latency.observe(latency_seconds)
+
+    def observe_batch(self, n_rows: int) -> None:
+        """Record one executed micro-batch of ``n_rows`` stacked vectors."""
+        rows = int(n_rows)
+        with self._lock:
+            self._counters["batches_executed"] += 1
+            self._batch_sizes[rows] = self._batch_sizes.get(rows, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Derived rates
+    # ------------------------------------------------------------------
+
+    def qps(self) -> float:
+        """Completed requests per second over the observed request span."""
+        with self._lock:
+            requests = self._counters["requests"]
+            first, last = self._first_request, self._last_request
+        if requests < 2 or first is None or last is None or last <= first:
+            return 0.0
+        return requests / (last - first)
+
+    def cache_hit_rate(self) -> Optional[float]:
+        """Fraction of vector lookups answered from cache (None if no lookups)."""
+        with self._lock:
+            hits = self._counters["cache_hits"]
+            misses = self._counters["cache_misses"]
+        total = hits + misses
+        return hits / total if total else None
+
+    def batch_size_histogram(self) -> Dict[int, int]:
+        """Rows-per-batch -> batch count."""
+        with self._lock:
+            return dict(self._batch_sizes)
+
+    def mean_batch_size(self) -> float:
+        """Average rows per executed micro-batch (0.0 before any batch)."""
+        with self._lock:
+            total = sum(size * n for size, n in self._batch_sizes.items())
+            batches = self._counters["batches_executed"]
+        return total / batches if batches else 0.0
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable metrics block."""
+        hit_rate = self.cache_hit_rate()
+        quantiles = self.latency.quantiles_ms()
+        lines = [
+            f"requests served:   {self.count('requests')} "
+            f"({self.qps():,.0f} qps)",
+            f"vectors classified: {self.count('vectors_classified')}",
+            f"micro-batches:     {self.count('batches_executed')} "
+            f"(mean size {self.mean_batch_size():.1f})",
+            f"latency:           p50 {quantiles['p50_ms']:.2f} ms, "
+            f"p95 {quantiles['p95_ms']:.2f} ms, "
+            f"p99 {quantiles['p99_ms']:.2f} ms",
+            f"cache hit rate:    "
+            + (f"{hit_rate:.1%}" if hit_rate is not None else "n/a"),
+            f"shed requests:     {self.count('shed_requests')}",
+            f"errors:            {self.count('errors')}",
+            f"profile reloads:   {self.count('reloads')}",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (same shape as StreamMetrics)."""
+        with self._lock:
+            counters = dict(self._counters)
+            histogram = {str(k): v for k, v in sorted(self._batch_sizes.items())}
+        hit_rate = self.cache_hit_rate()
+        derived: Dict[str, object] = {
+            "qps": self.qps(),
+            "mean_batch_size": self.mean_batch_size(),
+            "cache_hit_rate": hit_rate,
+        }
+        derived.update(self.latency.quantiles_ms())
+        return {
+            "counters": counters,
+            "batch_size_histogram": histogram,
+            "derived": derived,
+        }
+
+
+def merge_batch_histograms(
+    histograms: Sequence[Dict[int, int]]
+) -> Dict[int, int]:
+    """Sum batch-size histograms from several servers into one."""
+    merged: Dict[int, int] = {}
+    for histogram in histograms:
+        for size, count in histogram.items():
+            merged[int(size)] = merged.get(int(size), 0) + int(count)
+    return merged

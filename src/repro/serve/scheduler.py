@@ -1,0 +1,266 @@
+"""Micro-batching scheduler with a worker pool and admission control.
+
+The forest vote is vastly cheaper per row when rows are stacked: one
+``vote()`` over 64 vectors costs little more than one over a single
+vector, because the per-tree Python overhead is paid once per batch
+instead of once per query.  The :class:`MicroBatcher` exploits that —
+incoming requests land on a bounded queue; each worker thread takes the
+first pending request, keeps gathering until it holds ``max_batch`` rows
+or ``max_wait_ms`` elapsed since the gather started, stacks the feature
+rows, classifies them in one call, and scatters the labels back to the
+waiting requests.
+
+Admission control is the bounded queue itself: when the queue holds
+``max_queue_depth`` requests the node is past its high-watermark and
+further submissions are *shed* immediately with a suggested retry delay
+(:class:`ShedRequest`) rather than queued into ever-growing latency —
+fail fast and let the load balancer retry elsewhere.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+#: Sentinel instructing a worker to exit.
+_STOP = object()
+
+
+class ShedRequest(RuntimeError):
+    """Raised when admission control rejects a request (queue over watermark).
+
+    Attributes:
+        depth: queue depth observed at rejection.
+        watermark: the configured admission limit.
+        retry_after: suggested client back-off in seconds (maps to an
+            HTTP ``Retry-After`` header).
+    """
+
+    def __init__(self, depth: int, watermark: int, retry_after: float) -> None:
+        super().__init__(
+            f"request shed: queue depth {depth} at watermark {watermark}; "
+            f"retry after {retry_after:.3f}s"
+        )
+        self.depth = depth
+        self.watermark = watermark
+        self.retry_after = retry_after
+
+
+class _WorkItem:
+    """One submitted request: feature rows in, labels + version out."""
+
+    __slots__ = ("features", "done", "labels", "version", "error")
+
+    def __init__(self, features: np.ndarray) -> None:
+        self.features = features
+        self.done = threading.Event()
+        self.labels: Optional[np.ndarray] = None
+        self.version: Optional[int] = None
+        self.error: Optional[BaseException] = None
+
+
+class MicroBatcher:
+    """Collect concurrent requests into vectorized classification batches.
+
+    Args:
+        classify_fn: callable ``(features) -> (labels, version)`` run once
+            per batch on the stacked rows; must be thread-safe.
+        max_batch: target rows per batch.  A gather stops adding requests
+            once it holds at least this many rows (a single over-sized
+            request still runs alone, never split).
+        max_wait_ms: longest a gathered batch waits for co-riders.  Zero
+            disables waiting — batches only aggregate what is already
+            queued, trading throughput for minimum latency.
+        n_workers: classification worker threads.
+        max_queue_depth: admission watermark — queued requests beyond
+            which submissions are shed.
+        shed_retry_after_s: back-off suggested to shed clients.
+        on_batch: optional callback ``(n_requests, n_rows)`` per executed
+            batch (metrics hook).
+    """
+
+    def __init__(
+        self,
+        classify_fn: Callable[[np.ndarray], Tuple[np.ndarray, int]],
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        n_workers: int = 2,
+        max_queue_depth: int = 256,
+        shed_retry_after_s: float = 0.05,
+        on_batch: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self._classify = classify_fn
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1e3
+        self.n_workers = int(n_workers)
+        self.max_queue_depth = int(max_queue_depth)
+        self.shed_retry_after_s = float(shed_retry_after_s)
+        self._on_batch = on_batch
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.max_queue_depth)
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._stopped = False
+        self._lifecycle = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        with self._lifecycle:
+            if self._started:
+                return
+            self._started = True
+            for index in range(self.n_workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-serve-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain the pool: workers finish gathered batches, then exit.
+
+        Requests still queued when the pool exits are failed with a
+        ``RuntimeError`` so no caller blocks forever.
+        """
+        with self._lifecycle:
+            if not self._started or self._stopped:
+                self._stopped = True
+                return
+            self._stopped = True
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout)
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                continue
+            item.error = RuntimeError("micro-batcher stopped")
+            item.done.set()
+
+    def __enter__(self) -> "MicroBatcher":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Requests currently queued (approximate, racy by nature)."""
+        return self._queue.qsize()
+
+    def submit(self, features: np.ndarray) -> _WorkItem:
+        """Enqueue one request; sheds when the queue is at the watermark."""
+        if self._stopped:
+            raise RuntimeError("micro-batcher stopped")
+        if not self._started:
+            raise RuntimeError("micro-batcher not started")
+        item = _WorkItem(np.asarray(features, dtype=float))
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            raise ShedRequest(
+                self._queue.qsize(),
+                self.max_queue_depth,
+                self.shed_retry_after_s,
+            ) from None
+        return item
+
+    @staticmethod
+    def wait(item: _WorkItem,
+             timeout: Optional[float] = None) -> Tuple[np.ndarray, int]:
+        """Block for one submitted request's ``(labels, version)``."""
+        if not item.done.wait(timeout):
+            raise TimeoutError("classification did not complete in time")
+        if item.error is not None:
+            raise item.error
+        assert item.labels is not None and item.version is not None
+        return item.labels, item.version
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+
+    def _gather(self, first: _WorkItem) -> Tuple[List[_WorkItem], bool]:
+        """Collect co-riders for ``first`` until rows or deadline run out."""
+        batch = [first]
+        rows = first.features.shape[0]
+        deadline = time.monotonic() + self.max_wait_s
+        saw_stop = False
+        while rows < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                # Preserve the sentinel count for the other workers, then
+                # let this worker finish the batch it already holds.
+                self._queue.put(_STOP)
+                saw_stop = True
+                break
+            batch.append(item)
+            rows += item.features.shape[0]
+        return batch, saw_stop
+
+    def _execute(self, batch: List[_WorkItem]) -> None:
+        stacked = (
+            batch[0].features
+            if len(batch) == 1
+            else np.vstack([item.features for item in batch])
+        )
+        try:
+            labels, version = self._classify(stacked)
+        except BaseException as exc:  # propagate to every waiting caller
+            for item in batch:
+                item.error = exc
+                item.done.set()
+            return
+        if self._on_batch is not None:
+            self._on_batch(len(batch), int(stacked.shape[0]))
+        offset = 0
+        for item in batch:
+            rows = item.features.shape[0]
+            item.labels = np.asarray(labels[offset:offset + rows])
+            item.version = int(version)
+            offset += rows
+            item.done.set()
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            batch, saw_stop = self._gather(item)
+            self._execute(batch)
+            if saw_stop:
+                return

@@ -1,0 +1,310 @@
+"""The profile-serving facade: registry + micro-batcher + cache + metrics.
+
+:class:`ProfileService` is the in-process serving engine behind both the
+HTTP endpoint (:mod:`repro.serve.http`) and the test/bench client
+(:class:`repro.serve.client.ServeClient`).  It answers three query
+types against the registry's current :class:`FrozenProfile` version:
+
+* ``classify`` — label RSCA feature vectors;
+* ``classify_volumes`` — label raw per-service traffic volumes; the
+  service applies the frozen reference's
+  :func:`repro.core.rca.rca_from_components` transform first, so clients
+  need not know the network-wide service mix;
+* ``cluster_summaries`` — per-cluster occupancy and centroids of the
+  reference partition.
+
+Requests flow cache -> admission -> micro-batch -> vote.  Version
+consistency is guaranteed per answer: every label in one
+:class:`ClassifyResult` comes from a single profile version.  When a hot
+swap lands between a request's cache lookup and its batch execution, the
+service transparently re-classifies the whole request against the new
+version instead of mixing cached old-version labels with fresh ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.cache import DEFAULT_DECIMALS, ResultCache, quantize_key
+from repro.serve.metrics import ServeMetrics
+from repro.serve.registry import ProfileRegistry
+from repro.serve.scheduler import MicroBatcher, ShedRequest
+from repro.stream.frozen import FrozenProfile
+from repro.utils.checks import check_matrix
+
+__all__ = ["ClassifyResult", "PendingClassify", "ProfileService", "ShedRequest"]
+
+
+@dataclass(frozen=True)
+class ClassifyResult:
+    """One answered classification request.
+
+    Attributes:
+        labels: cluster label per query vector.
+        version: the single profile version every label came from.
+        cached: per-vector flag — True where the label was served from
+            the result cache.
+    """
+
+    labels: np.ndarray
+    version: int
+    cached: np.ndarray
+
+    @property
+    def n_vectors(self) -> int:
+        """Number of query vectors answered."""
+        return int(self.labels.size)
+
+    @property
+    def n_cached(self) -> int:
+        """How many of them were cache hits."""
+        return int(np.sum(self.cached))
+
+
+class PendingClassify:
+    """Handle for an in-flight request; ``result()`` blocks for the answer.
+
+    Created by :meth:`ProfileService.submit` /
+    :meth:`ProfileService.submit_volumes`; the asynchronous form lets
+    benchmarks and the HTTP layer keep many requests in flight so the
+    micro-batcher actually has co-riders to aggregate.
+    """
+
+    def __init__(
+        self,
+        service: "ProfileService",
+        features: np.ndarray,
+        keys: List[bytes],
+        cached_labels: Dict[int, int],
+        item,
+        missing: List[int],
+        version: Optional[int],
+        started_at: float,
+    ) -> None:
+        self._service = service
+        self._features = features
+        self._keys = keys
+        self._cached_labels = cached_labels
+        self._item = item
+        self._missing = missing
+        self._version = version
+        self._started_at = started_at
+
+    def result(self, timeout: Optional[float] = None) -> ClassifyResult:
+        """Block until classified; returns a version-consistent answer."""
+        service = self._service
+        n = self._features.shape[0]
+        labels = np.empty(n, dtype=int)
+        cached_mask = np.zeros(n, dtype=bool)
+        try:
+            if self._item is None:
+                # Fully served from cache: all entries share self._version.
+                for row, label in self._cached_labels.items():
+                    labels[row] = label
+                    cached_mask[row] = True
+                version = self._version
+                assert version is not None
+            else:
+                fresh, version = MicroBatcher.wait(self._item, timeout)
+                if self._cached_labels and version != self._version:
+                    # A hot swap landed between the cache pass and the
+                    # batch: cached labels are old-version.  Re-classify
+                    # everything in one batch for a single-version answer.
+                    retry = service._batcher.submit(self._features)
+                    fresh, version = MicroBatcher.wait(retry, timeout)
+                    for row in range(n):
+                        labels[row] = int(fresh[row])
+                        service._store(version, self._keys[row], labels[row])
+                else:
+                    for slot, row in enumerate(self._missing):
+                        labels[row] = int(fresh[slot])
+                        service._store(version, self._keys[row], labels[row])
+                    for row, label in self._cached_labels.items():
+                        labels[row] = label
+                        cached_mask[row] = True
+        except BaseException:
+            service.metrics.incr("errors")
+            raise
+        service.metrics.observe_request(
+            time.perf_counter() - self._started_at, n_vectors=n
+        )
+        return ClassifyResult(
+            labels=labels, version=int(version), cached=cached_mask
+        )
+
+
+class ProfileService:
+    """Concurrent query-serving engine over a versioned profile registry.
+
+    Args:
+        frozen: profile to install immediately (else call :meth:`reload`).
+        max_batch: micro-batch row target (see :class:`MicroBatcher`).
+        max_wait_ms: micro-batch gather window.
+        n_workers: classification worker threads.
+        cache_size: LRU capacity in vectors; 0 disables caching.
+        cache_ttl_s: cache entry lifetime; None keeps until evicted.
+        cache_decimals: feature quantization for cache keys.
+        max_queue_depth: admission watermark (queued requests).
+        shed_retry_after_s: back-off suggested to shed clients.
+        metrics: share an existing :class:`ServeMetrics` (else create one).
+    """
+
+    def __init__(
+        self,
+        frozen: Optional[FrozenProfile] = None,
+        *,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        n_workers: int = 2,
+        cache_size: int = 4096,
+        cache_ttl_s: Optional[float] = None,
+        cache_decimals: int = DEFAULT_DECIMALS,
+        max_queue_depth: int = 256,
+        shed_retry_after_s: float = 0.05,
+        metrics: Optional[ServeMetrics] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.registry = ProfileRegistry()
+        self.cache = ResultCache(maxsize=cache_size, ttl_seconds=cache_ttl_s)
+        self.cache_decimals = int(cache_decimals)
+        self._batcher = MicroBatcher(
+            self._classify_batch,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            n_workers=n_workers,
+            max_queue_depth=max_queue_depth,
+            shed_retry_after_s=shed_retry_after_s,
+            on_batch=lambda n_requests, n_rows: self.metrics.observe_batch(
+                n_rows
+            ),
+        )
+        self._batcher.start()
+        if frozen is not None:
+            self.reload(frozen)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def reload(self, frozen: FrozenProfile,
+               drain_timeout: Optional[float] = 5.0) -> int:
+        """Hot-swap in a new profile version; returns its version number."""
+        version = self.registry.load(frozen, drain_timeout=drain_timeout)
+        self.metrics.incr("reloads")
+        return version
+
+    def close(self) -> None:
+        """Stop the worker pool; queued requests fail fast."""
+        self._batcher.stop()
+
+    def __enter__(self) -> "ProfileService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Query paths
+    # ------------------------------------------------------------------
+
+    def submit(self, vectors: np.ndarray) -> PendingClassify:
+        """Asynchronously classify RSCA vectors (one row per query).
+
+        Raises:
+            ShedRequest: when admission control rejects the request.
+            RuntimeError: when no profile is loaded.
+        """
+        started_at = time.perf_counter()
+        with self.registry.acquire() as (version, profile):
+            features = check_matrix(vectors, "vectors")
+            if features.shape[1] != profile.centroids.shape[1]:
+                raise ValueError(
+                    f"vectors have {features.shape[1]} columns, profile "
+                    f"serves {profile.centroids.shape[1]} services"
+                )
+        keys = [
+            quantize_key(features[row], self.cache_decimals)
+            for row in range(features.shape[0])
+        ]
+        cached_labels: Dict[int, int] = {}
+        missing: List[int] = []
+        for row, key in enumerate(keys):
+            hit = self.cache.get((version, key))
+            if hit is None:
+                missing.append(row)
+            else:
+                cached_labels[row] = int(hit)
+        self.metrics.incr("cache_hits", len(cached_labels))
+        self.metrics.incr("cache_misses", len(missing))
+        item = None
+        if missing:
+            try:
+                item = self._batcher.submit(features[missing])
+            except ShedRequest:
+                self.metrics.incr("shed_requests")
+                raise
+        return PendingClassify(
+            self,
+            features,
+            keys,
+            cached_labels,
+            item,
+            missing,
+            version,
+            started_at,
+        )
+
+    def classify(self, vectors: np.ndarray,
+                 timeout: Optional[float] = None) -> ClassifyResult:
+        """Classify RSCA vectors and block for the answer."""
+        return self.submit(vectors).result(timeout)
+
+    def submit_volumes(self, volumes: np.ndarray) -> PendingClassify:
+        """Asynchronously classify raw per-service traffic volumes.
+
+        The current profile version's reference marginals drive the
+        RCA -> RSCA transform; the classification itself then follows the
+        ordinary vector path (and shares its cache namespace, since the
+        transformed rows *are* RSCA vectors).
+        """
+        with self.registry.acquire() as (_version, profile):
+            features = profile.rsca_of_volumes(volumes)
+        return self.submit(features)
+
+    def classify_volumes(self, volumes: np.ndarray,
+                         timeout: Optional[float] = None) -> ClassifyResult:
+        """Classify raw volumes and block for the answer."""
+        return self.submit_volumes(volumes).result(timeout)
+
+    def cluster_summaries(self) -> Dict[str, object]:
+        """Per-cluster occupancy/centroid summary of the current version."""
+        return self.registry.cluster_summaries()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _classify_batch(self, features: np.ndarray):
+        """Vote one stacked batch under a single pinned version."""
+        with self.registry.acquire() as (version, profile):
+            return profile.vote(features), version
+
+    def _store(self, version: int, key: bytes, label: int) -> None:
+        self.cache.put((version, key), int(label))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """JSON-serializable node status: metrics, cache, queue, version."""
+        snapshot = self.metrics.to_dict()
+        snapshot["cache"] = self.cache.stats()
+        snapshot["queue_depth"] = self._batcher.queue_depth()
+        snapshot["max_queue_depth"] = self._batcher.max_queue_depth
+        snapshot["profile_version"] = self.registry.current_version()
+        return snapshot

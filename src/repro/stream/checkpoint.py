@@ -11,6 +11,7 @@ in a JSON manifest so their Python types survive the round trip.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Mapping
 
@@ -23,8 +24,14 @@ _MANIFEST_KEY = "__manifest__"
 def save_state(path, state: Mapping[str, object]) -> None:
     """Write a flat state mapping to a ``.npz`` checkpoint file.
 
+    The write is atomic: the archive is assembled in a ``<path>.tmp``
+    sibling and moved into place with :func:`os.replace`, so a process
+    killed mid-write can never leave a torn checkpoint — the destination
+    either holds the previous complete checkpoint or the new one.
+
     Args:
-        path: destination path.
+        path: destination path (``.npz`` is appended when missing, to
+            match :func:`numpy.savez_compressed`).
         state: mapping of string keys to numpy arrays, ints, floats,
             bools, or strings.
     """
@@ -51,7 +58,19 @@ def save_state(path, state: Mapping[str, object]) -> None:
             )
     manifest = json.dumps(scalars).encode("utf-8")
     arrays[_MANIFEST_KEY] = np.frombuffer(manifest, dtype=np.uint8)
-    np.savez_compressed(Path(path), **arrays)
+    destination = Path(path)
+    if destination.suffix != ".npz":
+        destination = destination.with_name(destination.name + ".npz")
+    staging = destination.with_name(destination.name + ".tmp")
+    try:
+        # Writing through a file handle keeps numpy from appending a
+        # suffix to the staging name.
+        with open(staging, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(staging, destination)
+    finally:
+        if staging.exists():
+            staging.unlink()
 
 
 def load_state(path) -> Dict[str, object]:

@@ -24,6 +24,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.rca import rca_from_components, rsca_from_rca
 from repro.ml.forest import RandomForestClassifier
 from repro.utils.checks import check_matrix
 
@@ -52,6 +53,11 @@ class FrozenProfile:
             ``clusters``.
         service_names: feature names in column order.
         surrogate: the fitted surrogate forest.
+        service_totals: optional length-M network-wide per-service traffic
+            totals of the reference period.  When present, the profile can
+            transform *raw* per-service volumes into RSCA features
+            (:meth:`rsca_of_volumes`) — the serving layer's volume-query
+            path — without the caller knowing the reference mix.
     """
 
     features: np.ndarray
@@ -61,6 +67,7 @@ class FrozenProfile:
     centroids: np.ndarray
     service_names: Tuple[str, ...]
     surrogate: RandomForestClassifier
+    service_totals: Optional[np.ndarray] = None
 
     @property
     def n_clusters(self) -> int:
@@ -98,6 +105,37 @@ class FrozenProfile:
         scores[np.arange(x.shape[0]), nearest_cols] += 1.0
         return self.clusters[np.argmax(scores, axis=1)]
 
+    def rsca_of_volumes(self, volumes: np.ndarray) -> np.ndarray:
+        """RSCA features of raw per-service volumes vs. the reference mix.
+
+        Applies :func:`repro.core.rca.rca_from_components` with this
+        profile's frozen ``service_totals`` as the reference marginals —
+        the Eq. 5 generalization: a queried antenna's service shares are
+        compared against the *reference* network mix, not the query's own.
+
+        Raises:
+            ValueError: when the artifact was frozen without
+                ``service_totals``, or the volumes are malformed.
+        """
+        if self.service_totals is None:
+            raise ValueError(
+                "profile was frozen without service_totals; re-freeze with "
+                "freeze_profile(..., service_totals=dataset.totals.sum(axis=0))"
+            )
+        matrix = check_matrix(volumes, "volumes", non_negative=True)
+        if matrix.shape[1] != len(self.service_names):
+            raise ValueError(
+                f"volumes have {matrix.shape[1]} columns, profile has "
+                f"{len(self.service_names)} services"
+            )
+        rca = rca_from_components(
+            matrix,
+            matrix.sum(axis=1),
+            self.service_totals,
+            float(self.service_totals.sum()),
+        )
+        return rsca_from_rca(rca)
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -111,15 +149,19 @@ class FrozenProfile:
             "service_names": list(self.service_names),
             "surrogate_params": params,
         }
-        np.savez_compressed(
-            Path(path),
-            features=self.features,
-            labels=self.labels,
-            antenna_ids=self.antenna_ids,
-            clusters=self.clusters,
-            centroids=self.centroids,
-            meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
-        )
+        arrays = {
+            "features": self.features,
+            "labels": self.labels,
+            "antenna_ids": self.antenna_ids,
+            "clusters": self.clusters,
+            "centroids": self.centroids,
+            "meta": np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8
+            ),
+        }
+        if self.service_totals is not None:
+            arrays["service_totals"] = self.service_totals
+        np.savez_compressed(Path(path), **arrays)
 
     @classmethod
     def load(cls, path) -> "FrozenProfile":
@@ -130,6 +172,11 @@ class FrozenProfile:
             antenna_ids = np.asarray(archive["antenna_ids"], dtype=np.int64)
             clusters = np.asarray(archive["clusters"], dtype=int)
             centroids = np.asarray(archive["centroids"], dtype=float)
+            service_totals = (
+                np.asarray(archive["service_totals"], dtype=float)
+                if "service_totals" in archive.files
+                else None
+            )
             meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
         params = dict(meta["surrogate_params"])
         # JSON round-trips "sqrt"/ints/None for max_features untouched.
@@ -143,11 +190,14 @@ class FrozenProfile:
             centroids=centroids,
             service_names=tuple(meta["service_names"]),
             surrogate=surrogate,
+            service_totals=service_totals,
         )
 
 
 def freeze_profile(
-    profile, antenna_ids: Optional[Sequence[int]] = None
+    profile,
+    antenna_ids: Optional[Sequence[int]] = None,
+    service_totals: Optional[np.ndarray] = None,
 ) -> FrozenProfile:
     """Snapshot an :class:`~repro.core.pipeline.ICNProfile` for streaming.
 
@@ -157,6 +207,10 @@ def freeze_profile(
             ``0..N-1``, which matches profiles fitted on a
             :class:`~repro.datagen.dataset.TrafficDataset` (row order is
             antenna-id order there).
+        service_totals: optional network-wide per-service traffic totals
+            of the reference period (``dataset.totals.sum(axis=0)``);
+            required later for raw-volume queries
+            (:meth:`FrozenProfile.rsca_of_volumes`).
 
     Returns:
         the frozen artifact, sharing the profile's fitted surrogate.
@@ -172,6 +226,14 @@ def freeze_profile(
             f"antenna_ids must have shape ({features.shape[0]},), "
             f"got {ids.shape}"
         )
+    totals = None
+    if service_totals is not None:
+        totals = np.asarray(service_totals, dtype=float)
+        if totals.shape != (features.shape[1],):
+            raise ValueError(
+                f"service_totals must have shape ({features.shape[1]},), "
+                f"got {totals.shape}"
+            )
     clusters = np.unique(labels)
     centroids = np.vstack(
         [features[labels == c].mean(axis=0) for c in clusters]
@@ -184,4 +246,5 @@ def freeze_profile(
         centroids=centroids,
         service_names=tuple(profile.service_names),
         surrogate=profile.surrogate,
+        service_totals=totals,
     )

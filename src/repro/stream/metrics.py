@@ -76,6 +76,12 @@ class StreamMetrics:
 
     def summary(self) -> str:
         """Human-readable metrics block."""
+        # Before any classification pass there is no latency to report;
+        # "0.0 ms/batch" would read as a (suspiciously great) measurement.
+        if self._counters["classify_calls"]:
+            latency = f"{self.classification_latency() * 1e3:.1f} ms/batch"
+        else:
+            latency = "n/a"
         lines = [
             f"batches ingested:       {self._counters['batches_ingested']}",
             f"antenna-hours ingested: {self._counters['rows_ingested']}",
@@ -83,11 +89,30 @@ class StreamMetrics:
             f"ingest throughput:      {self.rows_per_second():,.0f} "
             f"antenna-hours/s",
             f"classification passes:  {self._counters['classify_calls']} "
-            f"({self.classification_latency() * 1e3:.1f} ms/batch)",
+            f"({latency})",
             f"drift checks:           {self._counters['drift_checks']}",
             f"checkpoints written:    {self._counters['checkpoints_written']}",
         ]
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (same shape as ServeMetrics).
+
+        ``classification_latency_ms`` is None rather than 0.0 before the
+        first pass — an export consumer must be able to tell "fast" from
+        "never ran".
+        """
+        calls = self._counters["classify_calls"]
+        return {
+            "counters": dict(self._counters),
+            "timers": dict(self._timers),
+            "derived": {
+                "rows_per_second": self.rows_per_second(),
+                "classification_latency_ms": (
+                    self.classification_latency() * 1e3 if calls else None
+                ),
+            },
+        }
 
     # ------------------------------------------------------------------
     # Checkpointing

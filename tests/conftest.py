@@ -60,3 +60,48 @@ def short_calendar():
 def rng():
     """Fresh deterministic generator per test."""
     return np.random.default_rng(1234)
+
+
+def build_frozen_profile(n_antennas=120, n_services=12, n_clusters=4,
+                         seed=0, label_shift=0):
+    """A small synthetic FrozenProfile for serving-layer tests.
+
+    Built directly from lognormal traffic (no dataset generation), so the
+    serve tests stay fast.  ``label_shift`` relabels the clusters — two
+    profiles built with different shifts disagree on every answer, which
+    the hot-swap tests use to detect version mixing.
+    """
+    from repro.core.cluster import AgglomerativeClustering
+    from repro.core.rca import rsca
+    from repro.ml.forest import RandomForestClassifier
+    from repro.stream.frozen import FrozenProfile
+
+    gen = np.random.default_rng(seed)
+    totals = gen.lognormal(1.0, 1.0, size=(n_antennas, n_services))
+    features = rsca(totals)
+    labels = AgglomerativeClustering(
+        n_clusters=n_clusters, linkage="ward"
+    ).fit_predict(features) + int(label_shift)
+    forest = RandomForestClassifier(n_estimators=10, max_depth=5,
+                                    random_state=0)
+    forest.fit(features, labels)
+    clusters = np.unique(labels)
+    centroids = np.vstack(
+        [features[labels == c].mean(axis=0) for c in clusters]
+    )
+    return FrozenProfile(
+        features=features,
+        labels=labels,
+        antenna_ids=np.arange(n_antennas, dtype=np.int64),
+        clusters=clusters,
+        centroids=centroids,
+        service_names=tuple(f"service_{j}" for j in range(n_services)),
+        surrogate=forest,
+        service_totals=totals.sum(axis=0),
+    ), totals
+
+
+@pytest.fixture(scope="session")
+def tiny_frozen():
+    """Session-shared small frozen profile plus its raw totals."""
+    return build_frozen_profile()

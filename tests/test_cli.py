@@ -128,6 +128,70 @@ class TestNewCommands:
         assert text.startswith("# Indoor cellular demand profile")
         assert "Cluster inventory" in text
 
+    def test_serve_answers_requests_then_exits(self, tmp_path, capsys):
+        import json
+        import socket
+        import threading
+        import time
+        import urllib.request
+
+        from tests.conftest import build_frozen_profile
+
+        frozen, _ = build_frozen_profile()
+        artifact = tmp_path / "frozen.npz"
+        frozen.save(artifact)
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        answers = []
+
+        def poke():
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                try:
+                    with urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}/healthz", timeout=2.0
+                    ) as response:
+                        answers.append(json.loads(response.read()))
+                        return
+                except OSError:
+                    time.sleep(0.05)
+
+        client = threading.Thread(target=poke)
+        client.start()
+        code = main(["serve", "--frozen", str(artifact),
+                     "--port", str(port), "--max-requests", "1"])
+        client.join(25.0)
+        assert code == 0
+        assert answers and answers[0]["status"] == "ok"
+        out = capsys.readouterr().out
+        assert "serving profile version 1" in out
+        assert "requests served" in out
+
+    def test_bench_serve_writes_report(self, tmp_path, capsys):
+        from tests.conftest import build_frozen_profile
+
+        frozen, _ = build_frozen_profile()
+        artifact = tmp_path / "frozen.npz"
+        frozen.save(artifact)
+        output = tmp_path / "BENCH_serve.json"
+        assert main(["bench-serve", "--frozen", str(artifact),
+                     "--queries", "120", "--workers", "1,2",
+                     "--max-batch", "16", "--hot-set", "16",
+                     "--output", str(output)]) == 0
+        import json
+
+        report = json.loads(output.read_text())
+        assert report["unbatched"]["qps"] > 0
+        assert len(report["batched"]) == 2
+        assert report["cached"]["hit_rate"] > 0
+        assert "speedup" in report
+        out = capsys.readouterr().out
+        assert "micro-batching speedup" in out
+
     def test_stream(self, dataset_file, tmp_path, capsys):
         checkpoint = tmp_path / "stream.npz"
         assert main(["stream", "--dataset", dataset_file, "--align",

@@ -1,0 +1,99 @@
+"""Tests for the LRU+TTL result cache and its quantized keys."""
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import ResultCache, quantize_key
+
+
+class TestQuantizeKey:
+    def test_identical_vectors_share_key(self):
+        vector = np.array([0.1, -0.5, 0.9])
+        assert quantize_key(vector) == quantize_key(vector.copy())
+
+    def test_sub_quantum_jitter_collapses(self):
+        base = np.array([0.123456, -0.654321])
+        jittered = base + 1e-9
+        assert quantize_key(base, decimals=6) == quantize_key(
+            jittered, decimals=6
+        )
+
+    def test_meaningful_difference_separates(self):
+        assert quantize_key(np.array([0.1, 0.2])) != quantize_key(
+            np.array([0.1, 0.3])
+        )
+
+    def test_negative_zero_normalized(self):
+        assert quantize_key(np.array([0.0])) == quantize_key(np.array([-0.0]))
+        tiny = np.array([-1e-12])  # rounds to -0.0 before normalization
+        assert quantize_key(tiny) == quantize_key(np.array([0.0]))
+
+
+class TestResultCache:
+    def test_put_get_roundtrip(self):
+        cache = ResultCache(maxsize=4)
+        cache.put(b"k", 7)
+        assert cache.get(b"k") == 7
+        assert cache.stats()["hits"] == 1
+
+    def test_miss_counts(self):
+        cache = ResultCache(maxsize=4)
+        assert cache.get(b"absent") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a": now "b" is least recent
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_ttl_expiry_with_injected_clock(self):
+        now = [0.0]
+        cache = ResultCache(maxsize=4, ttl_seconds=10.0, clock=lambda: now[0])
+        cache.put("k", 1)
+        now[0] = 9.9
+        assert cache.get("k") == 1
+        now[0] = 10.1
+        assert cache.get("k") is None
+        assert cache.stats()["expirations"] == 1
+
+    def test_disabled_cache(self):
+        cache = ResultCache(maxsize=0)
+        assert not cache.enabled
+        cache.put("k", 1)
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_clear_preserves_stats(self):
+        cache = ResultCache(maxsize=4)
+        cache.put("k", 1)
+        cache.get("k")
+        cache.clear()
+        assert cache.get("k") is None
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["size"] == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ResultCache(maxsize=-1)
+        with pytest.raises(ValueError):
+            ResultCache(ttl_seconds=0.0)
+
+    def test_hit_rate(self):
+        cache = ResultCache(maxsize=4)
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("absent")
+        assert cache.stats()["hit_rate"] == pytest.approx(0.5)
+
+    def test_put_refresh_updates_value(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("k", 1)
+        cache.put("k", 2)
+        assert cache.get("k") == 2
+        assert len(cache) == 1

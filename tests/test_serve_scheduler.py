@@ -1,0 +1,195 @@
+"""Tests for the micro-batching scheduler and admission control."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.scheduler import MicroBatcher, ShedRequest
+
+
+def _echo_classify(features):
+    """Labels each row with its own first-column value (for routing checks)."""
+    return features[:, 0].astype(int), 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_wait_ms": -1.0},
+            {"n_workers": 0},
+            {"max_queue_depth": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MicroBatcher(_echo_classify, **kwargs)
+
+    def test_submit_before_start_raises(self):
+        batcher = MicroBatcher(_echo_classify)
+        with pytest.raises(RuntimeError, match="not started"):
+            batcher.submit(np.zeros((1, 2)))
+
+    def test_submit_after_stop_raises(self):
+        batcher = MicroBatcher(_echo_classify)
+        batcher.start()
+        batcher.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            batcher.submit(np.zeros((1, 2)))
+
+
+class TestBatching:
+    def test_results_route_back_to_the_right_request(self):
+        with MicroBatcher(_echo_classify, max_batch=8,
+                          max_wait_ms=5.0, n_workers=2) as batcher:
+            items = [
+                batcher.submit(np.full((rows, 3), value, dtype=float))
+                for value, rows in [(10, 1), (20, 3), (30, 2)]
+            ]
+            for value, item in zip([10, 20, 30], items):
+                labels, version = MicroBatcher.wait(item, timeout=5.0)
+                assert labels.tolist() == [value] * item.features.shape[0]
+                assert version == 1
+
+    def test_concurrent_submissions_aggregate_into_batches(self):
+        batch_rows = []
+
+        def classify(features):
+            batch_rows.append(features.shape[0])
+            time.sleep(0.002)  # give co-riders time to queue
+            return features[:, 0].astype(int), 1
+
+        n_requests = 64
+        with MicroBatcher(classify, max_batch=16, max_wait_ms=20.0,
+                          n_workers=1, max_queue_depth=n_requests) as batcher:
+            items = []
+            barrier = threading.Barrier(8)
+
+            def submitter(start):
+                barrier.wait()
+                for value in range(start, start + 8):
+                    items.append(
+                        batcher.submit(np.full((1, 2), value, dtype=float))
+                    )
+
+            threads = [
+                threading.Thread(target=submitter, args=(base * 8,))
+                for base in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            results = sorted(
+                int(MicroBatcher.wait(item, timeout=10.0)[0][0])
+                for item in items
+            )
+        assert results == list(range(n_requests))
+        assert sum(batch_rows) == n_requests
+        assert max(batch_rows) > 1, "no batch ever aggregated"
+        assert max(batch_rows) <= 16
+
+    def test_oversized_request_runs_alone(self):
+        sizes = []
+
+        def classify(features):
+            sizes.append(features.shape[0])
+            return np.zeros(features.shape[0], dtype=int), 1
+
+        with MicroBatcher(classify, max_batch=4, max_wait_ms=0.0,
+                          n_workers=1) as batcher:
+            item = batcher.submit(np.zeros((10, 2)))
+            labels, _ = MicroBatcher.wait(item, timeout=5.0)
+        assert labels.size == 10
+        assert sizes == [10]
+
+    def test_on_batch_callback_sees_requests_and_rows(self):
+        seen = []
+        with MicroBatcher(_echo_classify, max_batch=8, max_wait_ms=0.0,
+                          n_workers=1,
+                          on_batch=lambda reqs, rows: seen.append(
+                              (reqs, rows))) as batcher:
+            MicroBatcher.wait(batcher.submit(np.zeros((3, 2))), timeout=5.0)
+        assert seen == [(1, 3)]
+
+
+class TestAdmissionControl:
+    def test_shed_when_queue_at_watermark(self):
+        blocker = threading.Event()
+
+        def classify(features):
+            blocker.wait(10.0)
+            return features[:, 0].astype(int), 1
+
+        batcher = MicroBatcher(classify, max_batch=1, max_wait_ms=0.0,
+                               n_workers=1, max_queue_depth=2,
+                               shed_retry_after_s=0.25)
+        batcher.start()
+        try:
+            first = batcher.submit(np.zeros((1, 2)))  # occupies the worker
+            # Wait for the worker to pick the first request up.
+            deadline = time.monotonic() + 5.0
+            while batcher.queue_depth() > 0 and time.monotonic() < deadline:
+                time.sleep(0.001)
+            batcher.submit(np.zeros((1, 2)))
+            batcher.submit(np.zeros((1, 2)))
+            with pytest.raises(ShedRequest) as excinfo:
+                batcher.submit(np.zeros((1, 2)))
+            assert excinfo.value.watermark == 2
+            assert excinfo.value.retry_after == pytest.approx(0.25)
+        finally:
+            blocker.set()
+            MicroBatcher.wait(first, timeout=5.0)
+            batcher.stop()
+
+
+class TestFailurePaths:
+    def test_classify_error_propagates_to_waiters(self):
+        def classify(features):
+            raise ValueError("bad features")
+
+        with MicroBatcher(classify, n_workers=1) as batcher:
+            item = batcher.submit(np.zeros((1, 2)))
+            with pytest.raises(ValueError, match="bad features"):
+                MicroBatcher.wait(item, timeout=5.0)
+
+    def test_stop_fails_undelivered_requests(self):
+        release = threading.Event()
+
+        def classify(features):
+            release.wait(10.0)
+            return features[:, 0].astype(int), 1
+
+        batcher = MicroBatcher(classify, max_batch=1, max_wait_ms=0.0,
+                               n_workers=1, max_queue_depth=8)
+        batcher.start()
+        busy = batcher.submit(np.zeros((1, 2)))
+        queued = batcher.submit(np.zeros((1, 2)))
+        release.set()
+        batcher.stop()
+        # Both must resolve one way or the other — nothing hangs.
+        for item in (busy, queued):
+            try:
+                MicroBatcher.wait(item, timeout=5.0)
+            except RuntimeError as exc:
+                assert "stopped" in str(exc)
+
+    def test_wait_timeout(self):
+        def classify(features):
+            time.sleep(0.2)
+            return features[:, 0].astype(int), 1
+
+        with MicroBatcher(classify, n_workers=1) as batcher:
+            item = batcher.submit(np.zeros((1, 2)))
+            with pytest.raises(TimeoutError):
+                MicroBatcher.wait(item, timeout=0.01)
+            MicroBatcher.wait(item, timeout=5.0)
+
+    def test_stop_is_idempotent(self):
+        batcher = MicroBatcher(_echo_classify, n_workers=2)
+        batcher.start()
+        batcher.stop()
+        batcher.stop()

@@ -1,0 +1,281 @@
+"""Tests for the ProfileService facade: correctness under concurrency,
+hot-swap version consistency, caching, volumes, and admission."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import ProfileService, ServeClient, ShedRequest
+from tests.conftest import build_frozen_profile
+
+
+@pytest.fixture(scope="module")
+def frozen_and_totals():
+    return build_frozen_profile()
+
+
+@pytest.fixture()
+def service(frozen_and_totals):
+    frozen, _ = frozen_and_totals
+    with ProfileService(frozen, max_batch=16, max_wait_ms=2.0,
+                        n_workers=2, max_queue_depth=512) as svc:
+        yield svc
+
+
+class TestSequentialCorrectness:
+    def test_classify_matches_direct_vote(self, service, frozen_and_totals):
+        frozen, _ = frozen_and_totals
+        result = service.classify(frozen.features)
+        assert np.array_equal(result.labels, frozen.vote(frozen.features))
+        assert result.version == 1
+        assert result.n_vectors == frozen.features.shape[0]
+
+    def test_single_vector_query(self, service, frozen_and_totals):
+        frozen, _ = frozen_and_totals
+        result = service.classify(frozen.features[3:4])
+        assert result.labels.tolist() == [int(frozen.vote(
+            frozen.features[3:4])[0])]
+
+    def test_volumes_match_transform_then_vote(self, service,
+                                               frozen_and_totals):
+        frozen, totals = frozen_and_totals
+        result = service.classify_volumes(totals[:9])
+        expected = frozen.vote(frozen.rsca_of_volumes(totals[:9]))
+        assert np.array_equal(result.labels, expected)
+
+    def test_width_mismatch_rejected(self, service):
+        with pytest.raises(ValueError, match="columns"):
+            service.classify(np.zeros((2, 5)))
+
+    def test_no_profile_loaded(self):
+        with ProfileService() as empty:
+            with pytest.raises(RuntimeError, match="no profile loaded"):
+                empty.classify(np.zeros((1, 12)))
+
+
+class TestCaching:
+    def test_repeat_queries_hit_cache(self, service, frozen_and_totals):
+        frozen, _ = frozen_and_totals
+        block = frozen.features[:10]
+        first = service.classify(block)
+        second = service.classify(block)
+        assert first.n_cached == 0
+        assert second.n_cached == 10
+        assert np.array_equal(first.labels, second.labels)
+        assert service.metrics.count("cache_hits") >= 10
+
+    def test_cache_disabled(self, frozen_and_totals):
+        frozen, _ = frozen_and_totals
+        with ProfileService(frozen, cache_size=0) as svc:
+            svc.classify(frozen.features[:5])
+            result = svc.classify(frozen.features[:5])
+            assert result.n_cached == 0
+
+    def test_float_jitter_below_quantum_still_hits(self, service,
+                                                   frozen_and_totals):
+        frozen, _ = frozen_and_totals
+        row = frozen.features[7:8]
+        service.classify(row)
+        result = service.classify(row + 1e-9)
+        assert result.n_cached == 1
+
+    def test_reload_invalidates_by_version_key(self, frozen_and_totals):
+        frozen, _ = frozen_and_totals
+        shifted, _ = build_frozen_profile(label_shift=10)
+        with ProfileService(frozen) as svc:
+            svc.classify(frozen.features[:5])
+            svc.reload(shifted)
+            result = svc.classify(frozen.features[:5])
+            # Same vectors, new version: cache must not leak old labels.
+            assert result.n_cached == 0
+            assert result.version == 2
+            assert np.array_equal(
+                result.labels, shifted.vote(frozen.features[:5])
+            )
+
+
+class TestConcurrencyCorrectness:
+    def test_threaded_mixed_queries_match_sequential_answers(
+            self, frozen_and_totals):
+        """Acceptance: N threads, mixed queries, zero drops, exact labels."""
+        frozen, totals = frozen_and_totals
+        expected_vectors = frozen.vote(frozen.features)
+        expected_volumes = frozen.vote(frozen.rsca_of_volumes(totals))
+
+        n_threads = 8
+        queries_per_thread = 40
+        failures = []
+        completed = [0] * n_threads
+
+        with ProfileService(frozen, max_batch=16, max_wait_ms=2.0,
+                            n_workers=4, max_queue_depth=4096,
+                            cache_size=256) as svc:
+            client = ServeClient(svc)
+            barrier = threading.Barrier(n_threads)
+
+            def worker(thread_index):
+                rng = np.random.default_rng(thread_index)
+                barrier.wait()
+                for _ in range(queries_per_thread):
+                    row = int(rng.integers(0, frozen.features.shape[0]))
+                    span = int(rng.integers(1, 5))
+                    stop = min(row + span, frozen.features.shape[0])
+                    try:
+                        if rng.random() < 0.5:
+                            result = client.classify(
+                                frozen.features[row:stop], timeout=30.0
+                            )
+                            reference = expected_vectors[row:stop]
+                        else:
+                            result = client.classify_volumes(
+                                totals[row:stop], timeout=30.0
+                            )
+                            reference = expected_volumes[row:stop]
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        failures.append((thread_index, repr(exc)))
+                        continue
+                    if not np.array_equal(result.labels, reference):
+                        failures.append(
+                            (thread_index,
+                             f"labels {result.labels} != {reference}")
+                        )
+                    completed[thread_index] += 1
+
+            threads = [
+                threading.Thread(target=worker, args=(index,))
+                for index in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60.0)
+
+        assert not failures, failures[:5]
+        assert completed == [queries_per_thread] * n_threads
+        # The load was concurrent enough that batching actually happened.
+        assert svc.metrics.count("batches_executed") > 0
+        assert svc.metrics.count("shed_requests") == 0
+
+
+class TestHotSwap:
+    def test_reload_mid_traffic_is_version_consistent(self, frozen_and_totals):
+        """Acceptance: no mixed-version answers, no in-flight errors."""
+        frozen_a, _ = frozen_and_totals
+        frozen_b, _ = build_frozen_profile(label_shift=10)
+        expected = {
+            1: frozen_a.vote(frozen_a.features),
+            2: frozen_b.vote(frozen_a.features),
+        }
+        # The label spaces are disjoint (shift 10), so any mixed-version
+        # answer is detectable row by row.
+        assert set(np.unique(expected[1])).isdisjoint(np.unique(expected[2]))
+
+        stop_flag = threading.Event()
+        failures = []
+        answered = [0]
+
+        with ProfileService(frozen_a, max_batch=8, max_wait_ms=1.0,
+                            n_workers=2, max_queue_depth=4096,
+                            cache_size=512) as svc:
+            client = ServeClient(svc)
+
+            def traffic(seed):
+                rng = np.random.default_rng(seed)
+                while not stop_flag.is_set():
+                    row = int(rng.integers(0, frozen_a.features.shape[0] - 4))
+                    block = frozen_a.features[row:row + 4]
+                    try:
+                        result = client.classify(block, timeout=30.0)
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        failures.append(repr(exc))
+                        return
+                    if result.version not in expected:
+                        failures.append(f"unknown version {result.version}")
+                        return
+                    if not np.array_equal(
+                            result.labels, expected[result.version][row:row + 4]
+                    ):
+                        failures.append(
+                            f"mixed/mismatched answer at version "
+                            f"{result.version}: {result.labels}"
+                        )
+                        return
+                    answered[0] += 1
+
+            threads = [
+                threading.Thread(target=traffic, args=(seed,))
+                for seed in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.15)
+            version = svc.reload(frozen_b, drain_timeout=5.0)
+            assert version == 2
+            time.sleep(0.15)
+            stop_flag.set()
+            for thread in threads:
+                thread.join(30.0)
+
+            assert not failures, failures[:5]
+            assert answered[0] > 0
+            # The displaced version fully drained.
+            assert svc.registry.drain(1, timeout=5.0)
+            # Traffic continued on the new version after the swap.
+            late = client.classify(frozen_a.features[:4])
+            assert late.version == 2
+            assert np.array_equal(late.labels, expected[2][:4])
+
+
+class TestAdmissionControl:
+    def test_shed_surfaces_and_counts(self):
+        # A dedicated profile whose vote blocks until released, so the
+        # queue reliably fills to the watermark.
+        frozen, _ = build_frozen_profile(n_antennas=60)
+        release = threading.Event()
+        original_vote = frozen.vote
+
+        def slow_vote(features):
+            release.wait(10.0)
+            return original_vote(features)
+
+        frozen.vote = slow_vote  # instance attribute shadows the method
+        with ProfileService(frozen, max_batch=1, max_wait_ms=0.0,
+                            n_workers=1, max_queue_depth=2,
+                            cache_size=0) as svc:
+            pending = [svc.submit(frozen.features[:1])]
+            deadline = time.monotonic() + 5.0
+            while (svc._batcher.queue_depth() > 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.001)
+            pending.append(svc.submit(frozen.features[1:2]))
+            pending.append(svc.submit(frozen.features[2:3]))
+            with pytest.raises(ShedRequest) as excinfo:
+                svc.submit(frozen.features[3:4])
+            assert excinfo.value.retry_after > 0
+            assert svc.metrics.count("shed_requests") == 1
+            release.set()
+            for handle in pending:
+                handle.result(timeout=10.0)
+
+
+class TestMetricsSnapshot:
+    def test_snapshot_contents(self, service, frozen_and_totals):
+        frozen, _ = frozen_and_totals
+        service.classify(frozen.features[:8])
+        service.classify(frozen.features[:8])
+        snapshot = service.metrics_snapshot()
+        assert snapshot["profile_version"] == 1
+        assert snapshot["counters"]["requests"] == 2
+        assert snapshot["counters"]["vectors_classified"] == 16
+        assert snapshot["cache"]["hits"] >= 8
+        assert snapshot["derived"]["cache_hit_rate"] == pytest.approx(0.5)
+        assert snapshot["queue_depth"] == 0
+
+    def test_errors_counted(self, service):
+        with pytest.raises(ValueError):
+            service.classify(np.zeros((1, 5)))
+        # Validation errors occur before submission; error counter tracks
+        # failures of accepted requests, so nothing was recorded here.
+        assert service.metrics.count("requests") == 0

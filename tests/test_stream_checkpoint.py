@@ -1,0 +1,96 @@
+"""Tests for atomic checkpoint writes (crash mid-write leaves no torn file)."""
+
+import numpy as np
+import pytest
+
+import repro.stream.checkpoint as checkpoint_module
+from repro.stream.checkpoint import load_state, save_state
+
+
+@pytest.fixture()
+def state():
+    return {
+        "matrix": np.arange(12, dtype=float).reshape(3, 4),
+        "count": 7,
+        "rate": 0.25,
+        "name": "node-1",
+        "flag": True,
+    }
+
+
+class TestAtomicSave:
+    def test_roundtrip(self, tmp_path, state):
+        path = tmp_path / "state.npz"
+        save_state(path, state)
+        restored = load_state(path)
+        assert np.array_equal(restored["matrix"], state["matrix"])
+        assert restored["count"] == 7 and isinstance(restored["count"], int)
+        assert restored["rate"] == 0.25
+        assert restored["name"] == "node-1"
+        assert restored["flag"] is True
+
+    def test_no_staging_file_left_behind(self, tmp_path, state):
+        path = tmp_path / "state.npz"
+        save_state(path, state)
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["state.npz"]
+
+    def test_suffix_appended_like_numpy(self, tmp_path, state):
+        # np.savez_compressed appends .npz to suffix-less paths; the
+        # atomic path must preserve that contract.
+        save_state(tmp_path / "state", state)
+        assert (tmp_path / "state.npz").exists()
+        assert load_state(tmp_path / "state.npz")["count"] == 7
+
+    def test_crash_mid_write_preserves_previous_checkpoint(
+            self, tmp_path, state, monkeypatch):
+        path = tmp_path / "state.npz"
+        save_state(path, state)
+        good_bytes = path.read_bytes()
+
+        real_savez = np.savez_compressed
+
+        def torn_savez(handle, **arrays):
+            # Write a partial archive, then die — simulating a kill
+            # mid-serialization.
+            real_savez(handle, **arrays)
+            handle.truncate(10)
+            raise OSError("killed mid-write")
+
+        monkeypatch.setattr(
+            checkpoint_module.np, "savez_compressed", torn_savez
+        )
+        with pytest.raises(OSError, match="killed mid-write"):
+            save_state(path, {"count": 99})
+
+        # The destination still holds the previous complete checkpoint
+        # and no .tmp debris remains.
+        assert path.read_bytes() == good_bytes
+        assert load_state(path)["count"] == 7
+        assert [p.name for p in tmp_path.iterdir()] == ["state.npz"]
+
+    def test_crash_on_first_write_leaves_nothing(self, tmp_path, monkeypatch):
+        path = tmp_path / "fresh.npz"
+
+        def exploding_savez(handle, **arrays):
+            handle.write(b"partial")
+            raise OSError("killed mid-write")
+
+        monkeypatch.setattr(
+            checkpoint_module.np, "savez_compressed", exploding_savez
+        )
+        with pytest.raises(OSError):
+            save_state(path, {"count": 1})
+        assert list(tmp_path.iterdir()) == []
+
+    def test_overwrite_is_atomic_replace(self, tmp_path, state):
+        path = tmp_path / "state.npz"
+        save_state(path, state)
+        save_state(path, {"count": 42})
+        assert load_state(path)["count"] == 42
+
+    def test_reserved_key_rejected_before_touching_disk(self, tmp_path):
+        path = tmp_path / "state.npz"
+        with pytest.raises(ValueError, match="reserved"):
+            save_state(path, {"__manifest__": 1})
+        assert list(tmp_path.iterdir()) == []

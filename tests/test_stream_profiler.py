@@ -126,6 +126,37 @@ class TestStreamingProfiler:
         assert metrics.classification_latency() > 0
         assert "antenna-hours" in metrics.summary()
 
+    def test_metrics_summary_before_any_classification(self, frozen,
+                                                       batches):
+        # "0.0 ms/batch" would read as a measurement; show n/a instead.
+        streamer = StreamingProfiler(frozen, window_hours=24,
+                                     classify_every=0)
+        streamer.ingest(batches[0])
+        text = streamer.metrics.summary()
+        assert "(n/a)" in text
+        assert "ms/batch" not in text
+
+    def test_metrics_to_dict_is_json_ready(self, frozen, batches):
+        import json
+
+        streamer = StreamingProfiler(frozen, window_hours=24,
+                                     classify_every=24)
+        for batch in batches[:24]:
+            streamer.ingest(batch)
+        snapshot = streamer.metrics.to_dict()
+        json.dumps(snapshot)  # must serialize without help
+        assert snapshot["counters"]["batches_ingested"] == 24
+        assert snapshot["derived"]["rows_per_second"] > 0
+        assert snapshot["derived"]["classification_latency_ms"] > 0
+
+    def test_metrics_to_dict_latency_none_before_first_pass(self, frozen,
+                                                            batches):
+        streamer = StreamingProfiler(frozen, window_hours=24,
+                                     classify_every=0)
+        streamer.ingest(batches[0])
+        snapshot = streamer.metrics.to_dict()
+        assert snapshot["derived"]["classification_latency_ms"] is None
+
     def test_drift_low_on_faithful_replay(self, frozen, batches):
         streamer = StreamingProfiler(frozen, window_hours=24,
                                      classify_every=0)
