@@ -16,6 +16,11 @@ Subcommands:
   (micro-batching, LRU+TTL cache, admission control; ``repro.serve``).
 * ``bench-serve`` — measure serving throughput/latency (unbatched vs
   micro-batched at several worker counts) and write ``BENCH_serve.json``.
+* ``obs``        — observability tooling (``repro.obs``):
+  ``obs trace-export`` runs the instrumented pipeline end-to-end with
+  tracing on and writes Chrome ``trace_event`` JSON for flamegraph
+  viewing; ``obs dump`` runs it and dumps the metrics registry as
+  Prometheus text or JSON.
 """
 
 from __future__ import annotations
@@ -289,6 +294,62 @@ def _cmd_bench_serve(args) -> int:
     return 0
 
 
+def _run_instrumented_pipeline(args):
+    """Run the full pipeline (fit + SHAP) with tracing enabled.
+
+    Returns ``(trace_store, registry, profile)`` — the observability
+    state the ``obs`` subcommands export.
+    """
+    from repro.obs import enable_tracing, get_registry
+
+    store = enable_tracing(clear=True)
+    dataset = _load_or_generate(args)
+    profiler = ICNProfiler(n_clusters=args.clusters)
+    align = dataset.archetypes() if args.align else None
+    profile = profiler.fit(dataset, align_to=align)
+    if args.shap_samples > 0:
+        profile.explain(samples_per_cluster=args.shap_samples)
+    return store, get_registry(), profile
+
+
+def _cmd_obs_trace_export(args) -> int:
+    store, registry, profile = _run_instrumented_pipeline(args)
+    n_spans = store.export_chrome(args.output)
+    stages = sorted({s.name for s in store.spans()})
+    print(
+        f"wrote {args.output}: {n_spans} spans over "
+        f"{len(stages)} stages ({', '.join(stages)})"
+    )
+    if args.metrics_output:
+        import json as json_module
+
+        with open(args.metrics_output, "w") as handle:
+            json_module.dump(registry.to_dict(), handle, indent=2,
+                             sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.metrics_output}")
+    print(profile.summary())
+    return 0
+
+
+def _cmd_obs_dump(args) -> int:
+    import json as json_module
+
+    _store, registry, _profile = _run_instrumented_pipeline(args)
+    if args.format == "prometheus":
+        text = registry.prometheus_text()
+    else:
+        text = json_module.dumps(registry.to_dict(), indent=2, sort_keys=True)
+        text += "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -551,6 +612,44 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default="BENCH_serve.json",
                        help="write the JSON report here ('' skips the file)")
     bench.set_defaults(func=_cmd_bench_serve)
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability tooling: trace export and metrics dumps",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    def _add_obs_pipeline_args(parser) -> None:
+        parser.add_argument("--dataset",
+                            help="existing .npz dataset (else generate)")
+        parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument("--clusters", type=int, default=9)
+        parser.add_argument("--align", action="store_true",
+                            help="align cluster ids to the latent archetypes")
+        parser.add_argument("--shap-samples", type=int, default=15,
+                            help="SHAP samples per cluster (0 skips the "
+                                 "pipeline.shap stage)")
+
+    trace_export = obs_sub.add_parser(
+        "trace-export",
+        help="run the instrumented pipeline and export Chrome trace JSON",
+    )
+    _add_obs_pipeline_args(trace_export)
+    trace_export.add_argument("--output", default="trace.json",
+                              help="Chrome trace_event JSON path")
+    trace_export.add_argument("--metrics-output",
+                              help="also dump the metrics registry as JSON")
+    trace_export.set_defaults(func=_cmd_obs_trace_export)
+
+    dump = obs_sub.add_parser(
+        "dump",
+        help="run the instrumented pipeline and dump the metrics registry",
+    )
+    _add_obs_pipeline_args(dump)
+    dump.add_argument("--format", choices=("prometheus", "json"),
+                      default="prometheus")
+    dump.add_argument("--output", help="write to this path (else stdout)")
+    dump.set_defaults(func=_cmd_obs_dump)
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("figure", choices=FIGURES)

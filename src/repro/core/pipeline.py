@@ -24,6 +24,7 @@ from repro.datagen.environments import EnvironmentType
 from repro.explain.beeswarm import ClusterExplanation, explain_clusters
 from repro.explain.treeshap import TreeExplainer
 from repro.ml.forest import RandomForestClassifier
+from repro.obs import timed_stage
 from repro.utils.assignment import align_labels
 from repro.utils.checks import check_matrix
 
@@ -126,15 +127,18 @@ class ICNProfile:
     ) -> Dict[int, ClusterExplanation]:
         """Per-cluster SHAP summaries (Fig. 5); computed once and cached."""
         if self._explanations is None:
-            explainer = TreeExplainer(self.surrogate)
-            self._explanations = explain_clusters(
-                explainer,
-                self.features,
-                self.labels,
-                self.service_names,
-                samples_per_cluster=samples_per_cluster,
-                random_state=random_state,
-            )
+            with timed_stage("pipeline.shap",
+                             n_clusters=self.n_clusters,
+                             samples_per_cluster=samples_per_cluster):
+                explainer = TreeExplainer(self.surrogate)
+                self._explanations = explain_clusters(
+                    explainer,
+                    self.features,
+                    self.labels,
+                    self.service_names,
+                    samples_per_cluster=samples_per_cluster,
+                    random_state=random_state,
+                )
         return self._explanations
 
     def environment_table(self) -> ContingencyTable:
@@ -290,18 +294,25 @@ class ICNProfiler:
             env_types = None
             paris_mask = None
 
-        features = rsca(totals)
-        clustering = AgglomerativeClustering(
-            n_clusters=self.n_clusters, linkage=self.linkage
-        )
-        labels = clustering.fit_predict(features)
-        surrogate = RandomForestClassifier(
-            n_estimators=self.surrogate_trees,
-            max_depth=self.surrogate_max_depth,
-            random_state=self.random_state,
-        )
-        surrogate.fit(features, labels)
-        accuracy = surrogate.score(features, labels)
+        with timed_stage("pipeline.rca",
+                         rows=int(totals.shape[0]),
+                         services=int(totals.shape[1])):
+            features = rsca(totals)
+        with timed_stage("pipeline.cluster",
+                         n_clusters=self.n_clusters, linkage=self.linkage):
+            clustering = AgglomerativeClustering(
+                n_clusters=self.n_clusters, linkage=self.linkage
+            )
+            labels = clustering.fit_predict(features)
+        with timed_stage("pipeline.surrogate",
+                         n_estimators=self.surrogate_trees):
+            surrogate = RandomForestClassifier(
+                n_estimators=self.surrogate_trees,
+                max_depth=self.surrogate_max_depth,
+                random_state=self.random_state,
+            )
+            surrogate.fit(features, labels)
+            accuracy = surrogate.score(features, labels)
         profile = ICNProfile(
             features=features,
             labels=labels,
@@ -313,7 +324,8 @@ class ICNProfiler:
             paris_mask=paris_mask,
         )
         if align_to is not None:
-            profile = profile.aligned_to(align_to)
+            with timed_stage("pipeline.align"):
+                profile = profile.aligned_to(align_to)
         return profile
 
     def scan_cluster_counts(

@@ -1,0 +1,91 @@
+"""Unified telemetry: metrics registry, tracing spans, logs, profiling.
+
+Every execution mode of the reproduction — the batch pipeline
+(:mod:`repro.core.pipeline`), online ingestion (:mod:`repro.stream`),
+and concurrent serving (:mod:`repro.serve`) — reports through this one
+zero-dependency layer:
+
+* :class:`MetricsRegistry` — process-wide counter/gauge/histogram
+  families with labels, exposed as Prometheus text (the serve
+  endpoint's ``GET /metrics``) or JSON (``repro-icn obs dump``);
+* :func:`span` / :class:`TraceStore` — hierarchical timed spans with a
+  ring-buffer store and Chrome ``trace_event`` export for flamegraphs
+  (``repro-icn obs trace-export``);
+* :func:`get_logger` — structured JSON-lines logging carrying the
+  active trace/span ids;
+* :func:`timed_stage` / :func:`profile_stage` — stage instrumentation
+  (span + stage-seconds histogram) and on-demand wall/CPU/RSS profiles.
+
+Quickstart::
+
+    from repro import generate_dataset, ICNProfiler
+    from repro.obs import enable_tracing, get_registry, get_trace_store
+
+    store = enable_tracing()
+    dataset = generate_dataset(master_seed=0)
+    profile = ICNProfiler(n_clusters=9).fit(dataset)
+    profile.explain(samples_per_cluster=10)
+
+    store.export_chrome("trace.json")          # chrome://tracing
+    print(get_registry().prometheus_text())    # scrape-able metrics
+"""
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    DEFAULT_TRACE_CAPACITY,
+    SpanRecord,
+    TraceStore,
+    current_span,
+    current_span_id,
+    current_trace_id,
+    disable_tracing,
+    enable_tracing,
+    get_trace_store,
+    span,
+    tracing_enabled,
+)
+from repro.obs.logs import (
+    LEVELS,
+    StructLogger,
+    get_logger,
+    set_log_level,
+    set_log_stream,
+)
+from repro.obs.profiling import StageStats, profile_stage, timed_stage
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_TRACE_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "LEVELS",
+    "MetricsRegistry",
+    "SpanRecord",
+    "StageStats",
+    "StructLogger",
+    "TraceStore",
+    "current_span",
+    "current_span_id",
+    "current_trace_id",
+    "disable_tracing",
+    "enable_tracing",
+    "get_logger",
+    "get_registry",
+    "get_trace_store",
+    "profile_stage",
+    "set_log_level",
+    "set_log_stream",
+    "set_registry",
+    "span",
+    "tracing_enabled",
+    "timed_stage",
+]

@@ -1,0 +1,134 @@
+"""Structured JSON-lines logging with trace/span correlation.
+
+``get_logger("repro.serve")`` returns a tiny structured logger whose
+methods emit one JSON object per line::
+
+    {"ts": "2026-08-06T12:00:00.123456+00:00", "level": "info",
+     "logger": "repro.serve", "event": "request_shed",
+     "queue_depth": 256, "trace_id": "0000000000a1", "span_id": "...b2"}
+
+Every line carries the emitting logger's name, the event (a short
+machine-greppable slug), any keyword fields, and — when emitted inside
+an open :func:`repro.obs.trace.span` — the active trace/span ids, so a
+log line found in production joins back to its flamegraph.
+
+The sink is a plain text stream (``sys.stderr`` by default; swap with
+:func:`set_log_stream` — tests point it at a ``StringIO``).  Severity
+filtering is global and process-wide (:func:`set_log_level`); the
+default level is ``"info"``.  No stdlib-``logging`` handlers, no
+formatter classes, no configuration files — the JSON line *is* the
+format.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import sys
+import threading
+from typing import Dict, Optional, TextIO
+
+from repro.obs.trace import current_span_id, current_trace_id
+
+__all__ = [
+    "LEVELS",
+    "StructLogger",
+    "get_logger",
+    "set_log_level",
+    "set_log_stream",
+]
+
+#: Severity order, least to most severe.
+LEVELS = ("debug", "info", "warning", "error")
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+_lock = threading.Lock()
+_stream: Optional[TextIO] = None  # None -> sys.stderr at emit time
+_threshold = _LEVEL_RANK["info"]
+_loggers: Dict[str, "StructLogger"] = {}
+
+
+def set_log_stream(stream: Optional[TextIO]) -> Optional[TextIO]:
+    """Redirect log lines to ``stream`` (None -> stderr); returns the old one."""
+    global _stream
+    with _lock:
+        previous = _stream
+        _stream = stream
+    return previous
+
+
+def set_log_level(level: str) -> str:
+    """Set the global severity threshold; returns the previous level."""
+    if level not in _LEVEL_RANK:
+        raise ValueError(f"unknown log level {level!r}; choose from {LEVELS}")
+    global _threshold
+    with _lock:
+        previous = LEVELS[_threshold]
+        _threshold = _LEVEL_RANK[level]
+    return previous
+
+
+class StructLogger:
+    """Named emitter of structured JSON log lines."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def log(self, level: str, event: str, **fields) -> None:
+        """Emit one line at ``level`` (dropped when below the threshold)."""
+        rank = _LEVEL_RANK.get(level)
+        if rank is None:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {LEVELS}"
+            )
+        if rank < _threshold:
+            return
+        record: Dict[str, object] = {
+            "ts": _dt.datetime.now(_dt.timezone.utc).isoformat(),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        record.update(fields)
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            record.setdefault("trace_id", trace_id)
+            record.setdefault("span_id", current_span_id())
+        line = json.dumps(record, default=str)
+        with _lock:
+            stream = _stream if _stream is not None else sys.stderr
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except ValueError:
+                # Sink closed under us (interpreter teardown, test stream
+                # lifetime) — losing a log line beats crashing the caller.
+                pass
+
+    def debug(self, event: str, **fields) -> None:
+        """Emit at ``debug`` severity."""
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        """Emit at ``info`` severity."""
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        """Emit at ``warning`` severity."""
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        """Emit at ``error`` severity."""
+        self.log("error", event, **fields)
+
+
+def get_logger(name: str) -> StructLogger:
+    """The process-wide :class:`StructLogger` registered under ``name``."""
+    with _lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = StructLogger(name)
+            _loggers[name] = logger
+        return logger

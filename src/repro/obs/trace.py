@@ -1,0 +1,288 @@
+"""Hierarchical tracing spans with a ring-buffer store and Chrome export.
+
+The tracing layer answers "where did the time go" for one run of any
+execution mode — batch pipeline, stream ingestion, or query serving —
+without external dependencies.  ``with span("cluster.fit"):`` opens a
+timed span; spans opened inside it become children (a per-thread stack
+tracks the active span), a span whose body raises still closes and is
+recorded with ``error=true``, and finished spans land in a bounded
+:class:`TraceStore` ring buffer so a long-running server never grows
+its trace memory unboundedly.
+
+Tracing is **off by default** and the disabled fast path is a couple of
+attribute loads, so instrumentation can stay in hot paths permanently
+(see ``benchmarks/test_perf_obs.py`` for the overhead bound).  Turn it
+on with :func:`enable_tracing`, then export with
+:meth:`TraceStore.export_chrome` — the output is Chrome
+``trace_event`` JSON that loads directly into ``chrome://tracing`` /
+Perfetto for flamegraph viewing.
+
+Correlation: :func:`current_trace_id` / :func:`current_span_id` expose
+the active ids so structured log lines (:mod:`repro.obs.logs`) and HTTP
+error bodies can be joined back to their trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "DEFAULT_TRACE_CAPACITY",
+    "SpanRecord",
+    "TraceStore",
+    "current_span",
+    "current_span_id",
+    "current_trace_id",
+    "disable_tracing",
+    "enable_tracing",
+    "get_trace_store",
+    "span",
+    "tracing_enabled",
+]
+
+#: Default ring-buffer capacity (finished spans retained).
+DEFAULT_TRACE_CAPACITY = 8192
+
+# Monotonic id source; next() on itertools.count is atomic under the GIL.
+_ids = itertools.count(1)
+
+
+def _new_id() -> str:
+    return f"{next(_ids):012x}"
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or still-open) span.
+
+    Attributes:
+        name: the stage name, e.g. ``"pipeline.cluster"``.
+        trace_id: id shared by every span of one root-to-leaf tree.
+        span_id: this span's unique id.
+        parent_id: enclosing span's id (None for roots).
+        thread_id: OS thread ident the span ran on.
+        start_s: start offset in seconds on the store's monotonic clock.
+        duration_s: wall-clock seconds (0.0 while still open).
+        attributes: user attributes; ``error``/``error_type`` are set
+            automatically when the span body raises.
+        error: True when the span closed by exception.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    thread_id: int
+    start_s: float
+    duration_s: float = 0.0
+    attributes: Dict[str, object] = field(default_factory=dict)
+    error: bool = False
+
+    def to_chrome_event(self) -> Dict[str, object]:
+        """This span as one Chrome ``trace_event`` complete ("X") event."""
+        args = dict(self.attributes)
+        args["trace_id"] = self.trace_id
+        args["span_id"] = self.span_id
+        if self.parent_id is not None:
+            args["parent_id"] = self.parent_id
+        return {
+            "name": self.name,
+            "cat": "repro" + (",error" if self.error else ""),
+            "ph": "X",
+            "ts": self.start_s * 1e6,
+            "dur": self.duration_s * 1e6,
+            "pid": os.getpid(),
+            "tid": self.thread_id,
+            "args": args,
+        }
+
+
+class TraceStore:
+    """Bounded ring buffer of finished spans."""
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._spans: deque = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+
+    def now(self) -> float:
+        """Seconds since this store's epoch (the trace timeline)."""
+        return time.perf_counter() - self._epoch
+
+    def add(self, record: SpanRecord) -> None:
+        """Append one finished span (oldest spans fall off at capacity)."""
+        with self._lock:
+            self._spans.append(record)
+
+    def spans(self) -> List[SpanRecord]:
+        """Retained spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        """Drop every retained span."""
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_chrome(self) -> Dict[str, object]:
+        """The retained spans as a Chrome ``trace_event`` JSON object."""
+        return {
+            "traceEvents": [s.to_chrome_event() for s in self.spans()],
+            "displayTimeUnit": "ms",
+        }
+
+    def export_chrome(self, path) -> int:
+        """Write Chrome trace JSON to ``path``; returns the span count."""
+        trace = self.to_chrome()
+        with open(path, "w") as handle:
+            json.dump(trace, handle, indent=2, default=str)
+            handle.write("\n")
+        return len(trace["traceEvents"])
+
+
+class _TraceState:
+    """Module-global tracing switches (one per process)."""
+
+    __slots__ = ("enabled", "store")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.store = TraceStore()
+
+
+_state = _TraceState()
+_local = threading.local()
+
+
+def _stack() -> List[SpanRecord]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+def enable_tracing(capacity: Optional[int] = None,
+                   clear: bool = False) -> TraceStore:
+    """Turn span recording on; returns the active :class:`TraceStore`.
+
+    Args:
+        capacity: replace the store with a fresh one of this capacity.
+        clear: drop previously retained spans (implied by ``capacity``).
+    """
+    if capacity is not None:
+        _state.store = TraceStore(capacity)
+    elif clear:
+        _state.store.clear()
+    _state.enabled = True
+    return _state.store
+
+
+def disable_tracing() -> None:
+    """Turn span recording off (retained spans stay exportable)."""
+    _state.enabled = False
+
+
+def tracing_enabled() -> bool:
+    """Whether spans are currently being recorded."""
+    return _state.enabled
+
+
+def get_trace_store() -> TraceStore:
+    """The active span ring buffer."""
+    return _state.store
+
+
+def current_span() -> Optional[SpanRecord]:
+    """The innermost open span on this thread, or None."""
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+def current_trace_id() -> Optional[str]:
+    """Trace id of the active span tree on this thread, or None."""
+    active = current_span()
+    return active.trace_id if active is not None else None
+
+
+def current_span_id() -> Optional[str]:
+    """Span id of the innermost open span on this thread, or None."""
+    active = current_span()
+    return active.span_id if active is not None else None
+
+
+class span:
+    """Context manager timing one named stage as a hierarchical span.
+
+    ``with span("pipeline.rca", rows=n):`` records a
+    :class:`SpanRecord` into the active store when tracing is enabled
+    (and is a near-free no-op otherwise).  Nesting is automatic: spans
+    opened inside the body become children.  If the body raises, the
+    span still closes, gains ``error=true`` plus an ``error_type``
+    attribute, and the exception propagates unchanged.
+
+    Implemented as a plain class rather than ``@contextmanager`` so the
+    disabled path costs no generator frame.
+    """
+
+    __slots__ = ("name", "attributes", "record")
+
+    def __init__(self, name: str, **attributes) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.record: Optional[SpanRecord] = None
+
+    def __enter__(self) -> Optional[SpanRecord]:
+        if not _state.enabled:
+            return None
+        stack = _stack()
+        parent = stack[-1] if stack else None
+        record = SpanRecord(
+            name=self.name,
+            trace_id=parent.trace_id if parent else _new_id(),
+            span_id=_new_id(),
+            parent_id=parent.span_id if parent else None,
+            thread_id=threading.get_ident(),
+            start_s=_state.store.now(),
+            attributes=dict(self.attributes),
+        )
+        stack.append(record)
+        self.record = record
+        return record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        record = self.record
+        if record is None:
+            return False
+        stack = _stack()
+        # The record may not be stack-top if the body leaked spans across
+        # threads; remove defensively rather than corrupting siblings.
+        if stack and stack[-1] is record:
+            stack.pop()
+        elif record in stack:
+            stack.remove(record)
+        record.duration_s = _state.store.now() - record.start_s
+        if exc_type is not None:
+            record.error = True
+            record.attributes["error"] = True
+            record.attributes["error_type"] = exc_type.__name__
+        _state.store.add(record)
+        return False

@@ -102,5 +102,11 @@ class HttpServeClient:
         return self._request("/clusters")
 
     def metrics(self) -> dict:
-        """GET /metrics."""
-        return self._request("/metrics")
+        """GET /metrics.json — the structured node snapshot."""
+        return self._request("/metrics.json")
+
+    def metrics_text(self) -> str:
+        """GET /metrics — the Prometheus text exposition."""
+        url = f"{self.base_url}/metrics"
+        with urllib.request.urlopen(url, timeout=self.timeout) as response:
+            return response.read().decode("utf-8")

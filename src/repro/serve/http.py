@@ -4,31 +4,44 @@ A :class:`~http.server.ThreadingHTTPServer` front-end — one handler
 thread per connection, all funnelling into the shared service (whose
 micro-batcher aggregates them).  JSON in, JSON out, no dependencies:
 
-* ``GET  /healthz``  — liveness + current profile version;
-* ``GET  /clusters`` — per-cluster occupancy/centroid summaries;
-* ``GET  /metrics``  — :meth:`ProfileService.metrics_snapshot`;
-* ``POST /classify`` — body ``{"vectors": [[...], ...]}`` (RSCA rows)
+* ``GET  /healthz``      — liveness + current profile version;
+* ``GET  /clusters``     — per-cluster occupancy/centroid summaries;
+* ``GET  /metrics``      — Prometheus text exposition of the node's
+  :class:`~repro.obs.MetricsRegistry` (qps, latency histograms and
+  quantiles, cache, shed, queue depth, profile version);
+* ``GET  /metrics.json`` — :meth:`ProfileService.metrics_snapshot`;
+* ``POST /classify``     — body ``{"vectors": [[...], ...]}`` (RSCA rows)
   or ``{"volumes": [[...], ...]}`` (raw per-service MB); responds
   ``{"labels": [...], "version": V, "cached": C}``.
 
 Error mapping: malformed input -> 400; no profile loaded -> 503;
 admission shed -> 429 with a ``Retry-After`` header; unknown path ->
-404.
+404.  Anything unexpected inside a handler -> 500 with a **structured
+JSON body** (``error``/``error_type``/``request_id``/``trace_id``) —
+never a bare status line — and a structured log line carrying the same
+correlation ids, so an operator can join the client-visible failure to
+the server-side trace.  Each request runs inside a ``serve.http`` span
+when tracing is enabled.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.obs import current_trace_id, get_logger, span
 from repro.serve.scheduler import ShedRequest
 from repro.serve.service import ProfileService
 
 #: Largest request body accepted, in bytes (guards the JSON parser).
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_log = get_logger("repro.serve.http")
+_request_ids = itertools.count(1)
 
 
 class ServeHandler(BaseHTTPRequestHandler):
@@ -48,8 +61,12 @@ class ServeHandler(BaseHTTPRequestHandler):
     def _respond(self, status: int, payload: dict,
                  headers: Optional[dict] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._respond_bytes(status, body, "application/json", headers)
+
+    def _respond_bytes(self, status: int, body: bytes, content_type: str,
+                       headers: Optional[dict] = None) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -65,6 +82,52 @@ class ServeHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._handle(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._handle(self._route_post)
+
+    def _handle(self, route) -> None:
+        """Run one route inside a span with last-resort error mapping.
+
+        A route that raises anything its own mapping did not anticipate
+        must still produce a structured JSON 500 (clients parse every
+        body) and a correlated server-side log line — a silent bare 500
+        is an operational dead end.
+        """
+        request_id = f"req-{next(_request_ids):08x}"
+        with span("serve.http", method=self.command,
+                  path=self.path, request_id=request_id) as record:
+            try:
+                route()
+            except Exception as exc:  # noqa: BLE001 - last-resort mapping
+                if record is not None:
+                    record.attributes["error"] = True
+                    record.attributes["error_type"] = type(exc).__name__
+                trace_id = current_trace_id()
+                _log.error(
+                    "unhandled_handler_error",
+                    request_id=request_id,
+                    method=self.command,
+                    path=self.path,
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                )
+                self.service.metrics.incr("errors")
+                try:
+                    self._respond(500, {
+                        "error": "internal server error",
+                        "error_type": type(exc).__name__,
+                        "detail": str(exc),
+                        "request_id": request_id,
+                        "trace_id": trace_id,
+                    })
+                except OSError:
+                    # Client already hung up; the log line above is all
+                    # that remains of this request.
+                    pass
+
+    def _route_get(self) -> None:
         if self.path == "/healthz":
             self._respond(
                 200,
@@ -79,11 +142,17 @@ class ServeHandler(BaseHTTPRequestHandler):
             except RuntimeError as exc:
                 self._error(503, str(exc))
         elif self.path == "/metrics":
+            self._respond_bytes(
+                200,
+                self.service.metrics_text().encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif self.path == "/metrics.json":
             self._respond(200, self.service.metrics_snapshot())
         else:
             self._error(404, f"unknown path {self.path!r}")
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+    def _route_post(self) -> None:
         if self.path != "/classify":
             self._error(404, f"unknown path {self.path!r}")
             return

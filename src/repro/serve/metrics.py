@@ -9,8 +9,23 @@ reservoir of per-request latencies from which p50/p95/p99 are derived.
 Both classes export the same ``to_dict()`` JSON shape (``counters`` /
 ``derived`` sections) so one dashboard can scrape either node type.
 
+Since the observability layer landed, both classes are thin facades over
+a :class:`repro.obs.MetricsRegistry`: every counter is a registry
+counter family (``repro_serve_<name>_total``), latencies and the new
+request-lifecycle timings (queue wait, batch assembly) additionally feed
+registry histograms, and :meth:`ServeMetrics.prometheus_text` renders
+the whole node state in the Prometheus text format for the serve
+endpoint's ``GET /metrics``.  Each instance owns a private registry by
+default so independent services stay independent; pass a shared
+registry explicitly to merge several components onto one exposition
+surface.
+
 All mutators are thread-safe: the serving layer updates metrics from
 worker threads, HTTP handler threads, and client threads concurrently.
+Audit note: quantile reads (:meth:`LatencyReservoir.quantiles_ms`) now
+sort **one** locked snapshot of the reservoir instead of re-locking per
+percentile, so the reported p50/p95/p99 trio is always internally
+consistent even while worker threads keep swapping reservoir slots.
 """
 
 from __future__ import annotations
@@ -20,8 +35,18 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs.registry import MetricsRegistry
+
 #: Default number of latency samples the reservoir retains.
 DEFAULT_RESERVOIR_SIZE = 2048
+
+#: Bucket bounds of the exposition latency histograms (seconds).
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+#: Bucket bounds of the rows-per-batch exposition histogram.
+BATCH_ROW_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 
 class LatencyReservoir:
@@ -45,7 +70,12 @@ class LatencyReservoir:
         self._lock = threading.Lock()
 
     def observe(self, seconds: float) -> None:
-        """Fold one latency sample into the reservoir."""
+        """Fold one latency sample into the reservoir.
+
+        The seen-count bump, slot draw, and slot swap happen under one
+        lock acquisition — concurrent observers can never double-assign
+        a slot or skew the replacement probability.
+        """
         value = float(seconds)
         with self._lock:
             self._seen += 1
@@ -62,12 +92,13 @@ class LatencyReservoir:
         with self._lock:
             return self._seen
 
-    def percentile(self, q: float) -> float:
-        """Linear-interpolated percentile ``q`` in [0, 100] (0.0 if empty)."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
+    def snapshot(self) -> List[float]:
+        """Sorted copy of the retained samples (one lock acquisition)."""
         with self._lock:
-            samples = sorted(self._samples)
+            return sorted(self._samples)
+
+    @staticmethod
+    def _percentile_of(samples: Sequence[float], q: float) -> float:
         if not samples:
             return 0.0
         if len(samples) == 1:
@@ -78,17 +109,38 @@ class LatencyReservoir:
         frac = rank - low
         return samples[low] * (1.0 - frac) + samples[high] * frac
 
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile ``q`` in [0, 100] (0.0 if empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        return self._percentile_of(self.snapshot(), q)
+
     def quantiles_ms(self) -> Dict[str, float]:
-        """The dashboard trio — p50/p95/p99 in milliseconds."""
+        """The dashboard trio — p50/p95/p99 in milliseconds.
+
+        All three quantiles come from a single locked snapshot, so the
+        trio is internally consistent under concurrent observers (the
+        old per-percentile locking could interleave reservoir swaps
+        between the p50 and p99 reads).
+        """
+        samples = self.snapshot()
         return {
-            "p50_ms": self.percentile(50.0) * 1e3,
-            "p95_ms": self.percentile(95.0) * 1e3,
-            "p99_ms": self.percentile(99.0) * 1e3,
+            "p50_ms": self._percentile_of(samples, 50.0) * 1e3,
+            "p95_ms": self._percentile_of(samples, 95.0) * 1e3,
+            "p99_ms": self._percentile_of(samples, 99.0) * 1e3,
         }
 
 
 class ServeMetrics:
-    """Counters, latency reservoir, and batch histogram for one server."""
+    """Counters, latency reservoir, and batch histogram for one server.
+
+    Args:
+        reservoir_size: latency reservoir capacity.
+        registry: back the metrics onto this
+            :class:`~repro.obs.MetricsRegistry` (a fresh private one by
+            default).  Sharing a registry between components merges them
+            onto one Prometheus exposition surface.
+    """
 
     #: Counter names, in reporting order.
     COUNTERS = (
@@ -102,44 +154,101 @@ class ServeMetrics:
         "reloads",
     )
 
-    def __init__(self, reservoir_size: int = DEFAULT_RESERVOIR_SIZE) -> None:
-        self._counters: Dict[str, int] = {name: 0 for name in self.COUNTERS}
+    def __init__(self, reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(
+                f"repro_serve_{name}_total",
+                f"Serving counter: {name.replace('_', ' ')}",
+            )
+            for name in self.COUNTERS
+        }
         self._batch_sizes: Dict[int, int] = {}
         self._lock = threading.Lock()
         self.latency = LatencyReservoir(reservoir_size)
+        self._latency_hist = self.registry.histogram(
+            "repro_serve_request_latency_seconds",
+            "End-to-end request latency",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._queue_wait_hist = self.registry.histogram(
+            "repro_serve_queue_wait_seconds",
+            "Time requests spent queued before batch execution",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._assembly_hist = self.registry.histogram(
+            "repro_serve_batch_assembly_seconds",
+            "Gather window spent assembling each micro-batch",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._batch_rows_hist = self.registry.histogram(
+            "repro_serve_batch_rows",
+            "Stacked rows per executed micro-batch",
+            buckets=BATCH_ROW_BUCKETS,
+        )
         self._first_request: Optional[float] = None
         self._last_request: Optional[float] = None
+        # Scrape-time gauges: evaluated at exposition, never stored.
+        self.registry.gauge(
+            "repro_serve_qps", "Completed requests per second"
+        ).set_function(self.qps)
+        self.registry.gauge(
+            "repro_serve_cache_hit_rate",
+            "Fraction of vector lookups answered from cache (0 before any)",
+        ).set_function(lambda: self.cache_hit_rate() or 0.0)
+        quantile_gauge = self.registry.gauge(
+            "repro_serve_latency_ms",
+            "Reservoir latency quantiles in milliseconds",
+            labelnames=("quantile",),
+        )
+        for q in (50.0, 95.0, 99.0):
+            quantile_gauge.labels(quantile=f"p{q:.0f}").set_function(
+                lambda q=q: self.latency.percentile(q) * 1e3
+            )
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Increment one counter."""
-        if name not in self._counters:
+        counter = self._counters.get(name)
+        if counter is None:
             raise KeyError(f"unknown counter {name!r}")
-        with self._lock:
-            self._counters[name] += int(amount)
+        counter.inc(int(amount))
 
     def count(self, name: str) -> int:
         """Current value of one counter."""
-        with self._lock:
-            return self._counters[name]
+        counter = self._counters.get(name)
+        if counter is None:
+            raise KeyError(f"unknown counter {name!r}")
+        return int(counter.value)
 
     def observe_request(self, latency_seconds: float,
                         n_vectors: int = 1) -> None:
         """Record one completed request and its end-to-end latency."""
         now = time.perf_counter()
+        self._counters["requests"].inc()
+        self._counters["vectors_classified"].inc(int(n_vectors))
         with self._lock:
-            self._counters["requests"] += 1
-            self._counters["vectors_classified"] += int(n_vectors)
             if self._first_request is None:
                 self._first_request = now
             self._last_request = now
         self.latency.observe(latency_seconds)
+        self._latency_hist.observe(latency_seconds)
 
     def observe_batch(self, n_rows: int) -> None:
         """Record one executed micro-batch of ``n_rows`` stacked vectors."""
         rows = int(n_rows)
+        self._counters["batches_executed"].inc()
+        self._batch_rows_hist.observe(rows)
         with self._lock:
-            self._counters["batches_executed"] += 1
             self._batch_sizes[rows] = self._batch_sizes.get(rows, 0) + 1
+
+    def observe_queue_wait(self, seconds: float) -> None:
+        """Record one request's queue wait (submit -> batch execution)."""
+        self._queue_wait_hist.observe(seconds)
+
+    def observe_assembly(self, seconds: float) -> None:
+        """Record one micro-batch's gather (assembly) window."""
+        self._assembly_hist.observe(seconds)
 
     # ------------------------------------------------------------------
     # Derived rates
@@ -147,8 +256,8 @@ class ServeMetrics:
 
     def qps(self) -> float:
         """Completed requests per second over the observed request span."""
+        requests = self.count("requests")
         with self._lock:
-            requests = self._counters["requests"]
             first, last = self._first_request, self._last_request
         if requests < 2 or first is None or last is None or last <= first:
             return 0.0
@@ -156,9 +265,8 @@ class ServeMetrics:
 
     def cache_hit_rate(self) -> Optional[float]:
         """Fraction of vector lookups answered from cache (None if no lookups)."""
-        with self._lock:
-            hits = self._counters["cache_hits"]
-            misses = self._counters["cache_misses"]
+        hits = self.count("cache_hits")
+        misses = self.count("cache_misses")
         total = hits + misses
         return hits / total if total else None
 
@@ -169,9 +277,9 @@ class ServeMetrics:
 
     def mean_batch_size(self) -> float:
         """Average rows per executed micro-batch (0.0 before any batch)."""
+        batches = self.count("batches_executed")
         with self._lock:
             total = sum(size * n for size, n in self._batch_sizes.items())
-            batches = self._counters["batches_executed"]
         return total / batches if batches else 0.0
 
     # ------------------------------------------------------------------
@@ -201,8 +309,8 @@ class ServeMetrics:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable snapshot (same shape as StreamMetrics)."""
+        counters = {name: self.count(name) for name in self.COUNTERS}
         with self._lock:
-            counters = dict(self._counters)
             histogram = {str(k): v for k, v in sorted(self._batch_sizes.items())}
         hit_rate = self.cache_hit_rate()
         derived: Dict[str, object] = {
@@ -216,6 +324,10 @@ class ServeMetrics:
             "batch_size_histogram": histogram,
             "derived": derived,
         }
+
+    def prometheus_text(self) -> str:
+        """This node's registry in the Prometheus text exposition format."""
+        return self.registry.prometheus_text()
 
 
 def merge_batch_histograms(

@@ -53,7 +53,8 @@ class ShedRequest(RuntimeError):
 class _WorkItem:
     """One submitted request: feature rows in, labels + version out."""
 
-    __slots__ = ("features", "done", "labels", "version", "error")
+    __slots__ = ("features", "done", "labels", "version", "error",
+                 "enqueued_at")
 
     def __init__(self, features: np.ndarray) -> None:
         self.features = features
@@ -61,6 +62,7 @@ class _WorkItem:
         self.labels: Optional[np.ndarray] = None
         self.version: Optional[int] = None
         self.error: Optional[BaseException] = None
+        self.enqueued_at = time.monotonic()
 
 
 class MicroBatcher:
@@ -81,6 +83,11 @@ class MicroBatcher:
         shed_retry_after_s: back-off suggested to shed clients.
         on_batch: optional callback ``(n_requests, n_rows)`` per executed
             batch (metrics hook).
+        on_queue_wait: optional callback ``(seconds)`` per request with
+            its submit-to-execution queue wait (request-lifecycle
+            metrics hook).
+        on_assembly: optional callback ``(seconds)`` per executed batch
+            with the gather-window duration spent assembling it.
     """
 
     def __init__(
@@ -92,6 +99,8 @@ class MicroBatcher:
         max_queue_depth: int = 256,
         shed_retry_after_s: float = 0.05,
         on_batch: Optional[Callable[[int, int], None]] = None,
+        on_queue_wait: Optional[Callable[[float], None]] = None,
+        on_assembly: Optional[Callable[[float], None]] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -110,6 +119,8 @@ class MicroBatcher:
         self.max_queue_depth = int(max_queue_depth)
         self.shed_retry_after_s = float(shed_retry_after_s)
         self._on_batch = on_batch
+        self._on_queue_wait = on_queue_wait
+        self._on_assembly = on_assembly
         self._queue: "queue.Queue" = queue.Queue(maxsize=self.max_queue_depth)
         self._threads: List[threading.Thread] = []
         self._started = False
@@ -260,7 +271,14 @@ class MicroBatcher:
             item = self._queue.get()
             if item is _STOP:
                 return
+            gather_start = time.monotonic()
             batch, saw_stop = self._gather(item)
+            now = time.monotonic()
+            if self._on_assembly is not None:
+                self._on_assembly(now - gather_start)
+            if self._on_queue_wait is not None:
+                for member in batch:
+                    self._on_queue_wait(now - member.enqueued_at)
             self._execute(batch)
             if saw_stop:
                 return

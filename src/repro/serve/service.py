@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs import timed_stage
 from repro.serve.cache import DEFAULT_DECIMALS, ResultCache, quantize_key
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import ProfileRegistry
@@ -181,7 +182,22 @@ class ProfileService:
             on_batch=lambda n_requests, n_rows: self.metrics.observe_batch(
                 n_rows
             ),
+            on_queue_wait=self.metrics.observe_queue_wait,
+            on_assembly=self.metrics.observe_assembly,
         )
+        # Scrape-time node gauges on the metrics registry, so one
+        # Prometheus text render covers the whole serving node.
+        obs_registry = self.metrics.registry
+        obs_registry.gauge(
+            "repro_serve_queue_depth", "Requests currently queued"
+        ).set_function(self._batcher.queue_depth)
+        obs_registry.gauge(
+            "repro_serve_profile_version",
+            "Profile version being served (0 before the first load)",
+        ).set_function(lambda: self.registry.current_version() or 0)
+        obs_registry.gauge(
+            "repro_serve_cache_entries", "Result-cache entries resident"
+        ).set_function(lambda: self.cache.stats()["size"])
         self._batcher.start()
         if frozen is not None:
             self.reload(frozen)
@@ -290,8 +306,10 @@ class ProfileService:
 
     def _classify_batch(self, features: np.ndarray):
         """Vote one stacked batch under a single pinned version."""
-        with self.registry.acquire() as (version, profile):
-            return profile.vote(features), version
+        with timed_stage("serve.vote", registry=self.metrics.registry,
+                         rows=int(features.shape[0])):
+            with self.registry.acquire() as (version, profile):
+                return profile.vote(features), version
 
     def _store(self, version: int, key: bytes, label: int) -> None:
         self.cache.put((version, key), int(label))
@@ -308,3 +326,7 @@ class ProfileService:
         snapshot["max_queue_depth"] = self._batcher.max_queue_depth
         snapshot["profile_version"] = self.registry.current_version()
         return snapshot
+
+    def metrics_text(self) -> str:
+        """This node's full metric surface as Prometheus exposition text."""
+        return self.metrics.prometheus_text()

@@ -7,17 +7,36 @@ checks, from which it derives throughput (antenna-hours per second) and
 mean per-batch classification latency.  Counters checkpoint alongside
 the accumulators; timers restart at zero on restore (wall-clock is a
 property of the process, not the stream).
+
+Since the observability layer landed, the class is a facade over a
+:class:`repro.obs.MetricsRegistry`: counters become
+``repro_stream_<name>_total`` families and timers become
+``repro_stream_<name>_total`` second-counters, so an ingestion node
+exposes the same Prometheus text surface as a serving node
+(:meth:`StreamMetrics.prometheus_text`).  All mutations are thread-safe
+under the registry's per-family locks — an ingestion node may share its
+metrics object between a reader thread and a checkpointing thread.
+Each instance owns a private registry by default; pass a shared one to
+merge components onto a single exposition surface.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict
+from typing import Dict, Optional
+
+from repro.obs.registry import MetricsRegistry
 
 
 class StreamMetrics:
-    """Counters and timers for one ingestion process."""
+    """Counters and timers for one ingestion process.
+
+    Args:
+        registry: back the metrics onto this
+            :class:`~repro.obs.MetricsRegistry` (a fresh private one by
+            default).
+    """
 
     #: Counter names, in reporting order.
     COUNTERS = (
@@ -31,34 +50,59 @@ class StreamMetrics:
     #: Timer names, in reporting order.
     TIMERS = ("ingest_seconds", "classify_seconds", "drift_seconds")
 
-    def __init__(self) -> None:
-        self._counters: Dict[str, int] = {name: 0 for name in self.COUNTERS}
-        self._timers: Dict[str, float] = {name: 0.0 for name in self.TIMERS}
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(
+                f"repro_stream_{name}_total",
+                f"Ingestion counter: {name.replace('_', ' ')}",
+            )
+            for name in self.COUNTERS
+        }
+        self._timers = {
+            name: self.registry.counter(
+                f"repro_stream_{name}_total",
+                f"Accumulated wall-clock: {name.replace('_', ' ')}",
+            )
+            for name in self.TIMERS
+        }
+        self.registry.gauge(
+            "repro_stream_rows_per_second",
+            "Ingestion throughput in antenna-hours per second",
+        ).set_function(self.rows_per_second)
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Increment one counter."""
-        if name not in self._counters:
+        counter = self._counters.get(name)
+        if counter is None:
             raise KeyError(f"unknown counter {name!r}")
-        self._counters[name] += int(amount)
+        counter.inc(int(amount))
 
     def count(self, name: str) -> int:
         """Current value of one counter."""
-        return self._counters[name]
+        counter = self._counters.get(name)
+        if counter is None:
+            raise KeyError(f"unknown counter {name!r}")
+        return int(counter.value)
 
     def seconds(self, name: str) -> float:
         """Accumulated wall-clock of one timer."""
-        return self._timers[name]
+        timer = self._timers.get(name)
+        if timer is None:
+            raise KeyError(f"unknown timer {name!r}")
+        return timer.value
 
     @contextmanager
     def timer(self, name: str):
         """Context manager adding the enclosed wall-clock to a timer."""
-        if name not in self._timers:
+        timer = self._timers.get(name)
+        if timer is None:
             raise KeyError(f"unknown timer {name!r}")
         start = time.perf_counter()
         try:
             yield
         finally:
-            self._timers[name] += time.perf_counter() - start
+            timer.inc(time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # Derived rates
@@ -66,32 +110,32 @@ class StreamMetrics:
 
     def rows_per_second(self) -> float:
         """Ingestion throughput in antenna-hours (rows) per second."""
-        elapsed = self._timers["ingest_seconds"]
-        return self._counters["rows_ingested"] / elapsed if elapsed > 0 else 0.0
+        elapsed = self.seconds("ingest_seconds")
+        return self.count("rows_ingested") / elapsed if elapsed > 0 else 0.0
 
     def classification_latency(self) -> float:
         """Mean wall-clock seconds per classification pass."""
-        calls = self._counters["classify_calls"]
-        return self._timers["classify_seconds"] / calls if calls else 0.0
+        calls = self.count("classify_calls")
+        return self.seconds("classify_seconds") / calls if calls else 0.0
 
     def summary(self) -> str:
         """Human-readable metrics block."""
         # Before any classification pass there is no latency to report;
         # "0.0 ms/batch" would read as a (suspiciously great) measurement.
-        if self._counters["classify_calls"]:
+        if self.count("classify_calls"):
             latency = f"{self.classification_latency() * 1e3:.1f} ms/batch"
         else:
             latency = "n/a"
         lines = [
-            f"batches ingested:       {self._counters['batches_ingested']}",
-            f"antenna-hours ingested: {self._counters['rows_ingested']}",
-            f"antennas discovered:    {self._counters['antennas_discovered']}",
+            f"batches ingested:       {self.count('batches_ingested')}",
+            f"antenna-hours ingested: {self.count('rows_ingested')}",
+            f"antennas discovered:    {self.count('antennas_discovered')}",
             f"ingest throughput:      {self.rows_per_second():,.0f} "
             f"antenna-hours/s",
-            f"classification passes:  {self._counters['classify_calls']} "
+            f"classification passes:  {self.count('classify_calls')} "
             f"({latency})",
-            f"drift checks:           {self._counters['drift_checks']}",
-            f"checkpoints written:    {self._counters['checkpoints_written']}",
+            f"drift checks:           {self.count('drift_checks')}",
+            f"checkpoints written:    {self.count('checkpoints_written')}",
         ]
         return "\n".join(lines)
 
@@ -102,10 +146,10 @@ class StreamMetrics:
         first pass — an export consumer must be able to tell "fast" from
         "never ran".
         """
-        calls = self._counters["classify_calls"]
+        calls = self.count("classify_calls")
         return {
-            "counters": dict(self._counters),
-            "timers": dict(self._timers),
+            "counters": {name: self.count(name) for name in self.COUNTERS},
+            "timers": {name: self.seconds(name) for name in self.TIMERS},
             "derived": {
                 "rows_per_second": self.rows_per_second(),
                 "classification_latency_ms": (
@@ -114,13 +158,17 @@ class StreamMetrics:
             },
         }
 
+    def prometheus_text(self) -> str:
+        """This node's registry in the Prometheus text exposition format."""
+        return self.registry.prometheus_text()
+
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
 
     def state_dict(self) -> Dict[str, object]:
         """Counters only — wall-clock does not survive a restart."""
-        return {name: int(value) for name, value in self._counters.items()}
+        return {name: self.count(name) for name in self.COUNTERS}
 
     @classmethod
     def from_state(cls, state: Dict[str, object]) -> "StreamMetrics":
@@ -128,5 +176,5 @@ class StreamMetrics:
         metrics = cls()
         for name in metrics.COUNTERS:
             if name in state:
-                metrics._counters[name] = int(state[name])
+                metrics._counters[name].inc(int(state[name]))
         return metrics

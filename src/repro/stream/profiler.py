@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.analysis.drift import DriftReport, compare_partitions
+from repro.obs import get_logger, span
 from repro.stream.accumulators import IncrementalRSCA, SlidingWindowTensor
 from repro.stream.batch import HourlyBatch
 from repro.stream.checkpoint import (
@@ -37,6 +38,8 @@ from repro.stream.metrics import StreamMetrics
 
 #: Default sliding-window span: one week of hours.
 DEFAULT_WINDOW_HOURS = 168
+
+_log = get_logger("repro.stream")
 
 
 @dataclass(frozen=True)
@@ -137,9 +140,11 @@ class StreamingProfiler:
 
     def ingest(self, batch: HourlyBatch) -> BatchResult:
         """Fold one batch in; classify / drift-check on schedule."""
-        with self.metrics.timer("ingest_seconds"):
-            new_ids = self.totals.update(batch)
-            self.window.update(batch)
+        with span("stream.ingest", hour=str(batch.hour),
+                  n_rows=int(batch.n_rows)):
+            with self.metrics.timer("ingest_seconds"):
+                new_ids = self.totals.update(batch)
+                self.window.update(batch)
         self.metrics.incr("batches_ingested")
         self.metrics.incr("rows_ingested", batch.n_rows)
         self.metrics.incr("antennas_discovered", len(new_ids))
@@ -147,9 +152,10 @@ class StreamingProfiler:
         count = self.metrics.count("batches_ingested")
         occupancy: Optional[Dict[int, int]] = None
         if self.classify_every and count % self.classify_every == 0:
-            with self.metrics.timer("classify_seconds"):
-                _, labels = self.classify_current()
-                occupancy = self._occupancy_of(labels)
+            with span("stream.classify", hour=str(batch.hour)):
+                with self.metrics.timer("classify_seconds"):
+                    _, labels = self.classify_current()
+                    occupancy = self._occupancy_of(labels)
             self.metrics.incr("classify_calls")
 
         drift: Optional[DriftSignal] = None
@@ -203,7 +209,7 @@ class StreamingProfiler:
         training rows that have reported traffic on the stream) and runs
         the longitudinal drift analysis on that common population.
         """
-        with self.metrics.timer("drift_seconds"):
+        with span("stream.drift"), self.metrics.timer("drift_seconds"):
             ids, features = self.totals.rsca_nonzero()
             labels = self.frozen.vote(features)
             frozen_pos = {
@@ -234,13 +240,24 @@ class StreamingProfiler:
                 or bool(report.vanished)
             )
         self.metrics.incr("drift_checks")
-        return DriftSignal(
+        signal = DriftSignal(
             hour=hour if hour is not None else self.totals.last_hour,
             report=report,
             mean_centroid_drift=report.mean_centroid_drift,
             n_common_antennas=len(common),
             refit_recommended=drifted,
         )
+        _log.log(
+            "warning" if drifted else "info",
+            "drift_check",
+            hour=str(signal.hour),
+            mean_centroid_drift=float(report.mean_centroid_drift),
+            n_common_antennas=signal.n_common_antennas,
+            emerging=len(report.emerging),
+            vanished=len(report.vanished),
+            refit_recommended=drifted,
+        )
+        return signal
 
     # ------------------------------------------------------------------
     # Checkpointing

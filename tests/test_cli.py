@@ -192,6 +192,47 @@ class TestNewCommands:
         out = capsys.readouterr().out
         assert "micro-batching speedup" in out
 
+    def test_obs_trace_export(self, dataset_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["obs", "trace-export", "--dataset", dataset_file,
+                     "--align", "--shap-samples", "3",
+                     "--output", str(trace_path),
+                     "--metrics-output", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "spans over" in out
+
+        trace = json.loads(trace_path.read_text())
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert {"pipeline.rca", "pipeline.cluster", "pipeline.surrogate",
+                "pipeline.shap"} <= names
+        for event in trace["traceEvents"]:
+            assert event["ph"] == "X"
+
+        metrics = json.loads(metrics_path.read_text())
+        stages = {series["labels"]["stage"]
+                  for series in metrics["repro_stage_seconds"]["series"]}
+        assert "pipeline.rca" in stages
+
+    def test_obs_dump_prometheus(self, dataset_file, capsys):
+        assert main(["obs", "dump", "--dataset", dataset_file,
+                     "--shap-samples", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_stage_seconds histogram" in out
+        assert 'repro_stage_seconds_bucket{stage="pipeline.rca"' in out
+
+    def test_obs_dump_json_to_file(self, dataset_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        assert main(["obs", "dump", "--dataset", dataset_file,
+                     "--shap-samples", "0", "--format", "json",
+                     "--output", str(out_path)]) == 0
+        snapshot = json.loads(out_path.read_text())
+        assert snapshot["repro_stage_seconds"]["type"] == "histogram"
+
     def test_stream(self, dataset_file, tmp_path, capsys):
         checkpoint = tmp_path / "stream.npz"
         assert main(["stream", "--dataset", dataset_file, "--align",

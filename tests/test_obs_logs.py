@@ -1,0 +1,91 @@
+"""Tests for structured JSON-lines logging and trace correlation."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.logs import get_logger, set_log_level, set_log_stream
+from repro.obs.trace import disable_tracing, enable_tracing, span
+
+
+@pytest.fixture()
+def captured():
+    """Route log lines into a StringIO at debug level; restore afterwards."""
+    stream = io.StringIO()
+    previous_stream = set_log_stream(stream)
+    previous_level = set_log_level("debug")
+    try:
+        yield stream
+    finally:
+        set_log_stream(previous_stream)
+        set_log_level(previous_level)
+
+
+def _lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestEmission:
+    def test_line_is_json_with_core_fields(self, captured):
+        get_logger("repro.test").info("ingested", rows=42, hour="2023-01-16")
+        [record] = _lines(captured)
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.test"
+        assert record["event"] == "ingested"
+        assert record["rows"] == 42
+        assert record["hour"] == "2023-01-16"
+        assert "ts" in record
+
+    def test_one_line_per_event(self, captured):
+        logger = get_logger("repro.test")
+        logger.info("a")
+        logger.error("b")
+        records = _lines(captured)
+        assert [r["event"] for r in records] == ["a", "b"]
+        assert [r["level"] for r in records] == ["info", "error"]
+
+    def test_non_serializable_fields_are_stringified(self, captured):
+        get_logger("repro.test").info("obj", thing=object())
+        [record] = _lines(captured)
+        assert "object object at" in record["thing"]
+
+    def test_get_logger_caches_by_name(self):
+        assert get_logger("same") is get_logger("same")
+
+
+class TestLevels:
+    def test_below_threshold_is_dropped(self, captured):
+        set_log_level("warning")
+        logger = get_logger("repro.test")
+        logger.debug("hidden")
+        logger.info("hidden-too")
+        logger.warning("visible")
+        records = _lines(captured)
+        assert [r["event"] for r in records] == ["visible"]
+
+    def test_unknown_level_rejected(self, captured):
+        with pytest.raises(ValueError):
+            set_log_level("loud")
+        with pytest.raises(ValueError):
+            get_logger("repro.test").log("loud", "nope")
+
+
+class TestTraceCorrelation:
+    def test_line_inside_span_carries_ids(self, captured):
+        store = enable_tracing(capacity=16)
+        try:
+            with span("stage") as record:
+                get_logger("repro.test").info("inside")
+        finally:
+            disable_tracing()
+            store.clear()
+        [line] = _lines(captured)
+        assert line["trace_id"] == record.trace_id
+        assert line["span_id"] == record.span_id
+
+    def test_line_outside_span_has_no_ids(self, captured):
+        get_logger("repro.test").info("outside")
+        [line] = _lines(captured)
+        assert "trace_id" not in line
+        assert "span_id" not in line

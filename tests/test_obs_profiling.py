@@ -1,0 +1,131 @@
+"""Tests for the per-stage profiling hooks and timed_stage wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, profile_stage, timed_stage
+from repro.obs.trace import disable_tracing, enable_tracing
+
+
+@pytest.fixture()
+def traced():
+    store = enable_tracing(capacity=64)
+    try:
+        yield store
+    finally:
+        disable_tracing()
+        store.clear()
+
+
+class TestProfileStage:
+    def test_fills_wall_and_cpu_time(self):
+        registry = MetricsRegistry()
+        with profile_stage("work", registry=registry) as stats:
+            total = 0
+            for index in range(200_000):
+                total += index
+        assert stats.name == "work"
+        assert stats.wall_seconds > 0.0
+        assert stats.cpu_seconds > 0.0
+        assert stats.peak_rss_bytes is None or stats.peak_rss_bytes > 0
+
+    def test_records_stage_histogram(self):
+        registry = MetricsRegistry()
+        with profile_stage("work", registry=registry):
+            pass
+        family = registry.get("repro_stage_seconds")
+        assert family is not None
+        assert family.labels(stage="work").count == 1
+
+    def test_trace_memory_measures_allocation(self):
+        registry = MetricsRegistry()
+        with profile_stage("alloc", registry=registry,
+                           trace_memory=True) as stats:
+            buffer = np.ones(512 * 1024, dtype=np.float64)  # 4 MiB
+            del buffer
+        assert stats.peak_traced_bytes is not None
+        assert stats.peak_traced_bytes >= 4 * 2**20
+
+    def test_summary_mentions_stage_and_units(self):
+        registry = MetricsRegistry()
+        with profile_stage("named", registry=registry) as stats:
+            pass
+        text = stats.summary()
+        assert text.startswith("named:")
+        assert "ms wall" in text
+
+    def test_exception_still_records(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with profile_stage("fails", registry=registry) as stats:
+                raise RuntimeError("boom")
+        assert stats.wall_seconds > 0.0
+        assert registry.get("repro_stage_seconds").labels(
+            stage="fails").count == 1
+
+    def test_opens_a_span(self, traced):
+        registry = MetricsRegistry()
+        with profile_stage("spanning", registry=registry):
+            pass
+        assert [s.name for s in traced.spans()] == ["spanning"]
+
+
+class TestTimedStage:
+    def test_records_histogram_and_span(self, traced):
+        registry = MetricsRegistry()
+        with timed_stage("stage.x", registry=registry, rows=5):
+            pass
+        assert registry.get("repro_stage_seconds").labels(
+            stage="stage.x").count == 1
+        [record] = traced.spans()
+        assert record.name == "stage.x"
+        assert record.attributes["rows"] == 5
+
+    def test_works_with_tracing_disabled(self):
+        registry = MetricsRegistry()
+        with timed_stage("quiet", registry=registry):
+            pass
+        assert registry.get("repro_stage_seconds").labels(
+            stage="quiet").count == 1
+
+    def test_exception_propagates_and_still_observes(self, traced):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with timed_stage("bad", registry=registry):
+                raise ValueError("x")
+        assert registry.get("repro_stage_seconds").labels(
+            stage="bad").count == 1
+        [record] = traced.spans()
+        assert record.error is True
+
+
+class TestPipelineIntegration:
+    def test_pipeline_fit_emits_stage_spans(self, traced):
+        from repro.core.pipeline import ICNProfiler
+
+        rng = np.random.default_rng(0)
+        totals = rng.lognormal(0.0, 1.0, size=(60, 8))
+        profiler = ICNProfiler(n_clusters=3, surrogate_trees=5)
+        profile = profiler.fit(totals)
+        profile.explain(samples_per_cluster=3)
+        names = {s.name for s in traced.spans()}
+        assert {"pipeline.rca", "pipeline.cluster", "pipeline.surrogate",
+                "pipeline.shap"} <= names
+
+    def test_streaming_profiler_emits_spans(self, traced):
+        from repro.stream import StreamingProfiler, replay_tensor
+        from tests.conftest import build_frozen_profile
+
+        frozen, totals = build_frozen_profile(n_antennas=40, n_services=6,
+                                              n_clusters=3)
+        tensor = np.repeat(totals[:, :, None] / 4.0, 4, axis=2)
+        hours = np.arange(
+            np.datetime64("2023-01-16T00", "h"),
+            np.datetime64("2023-01-16T04", "h"),
+        )
+        streamer = StreamingProfiler(frozen, window_hours=4)
+        for batch in replay_tensor(tensor, hours, frozen.antenna_ids,
+                                   frozen.service_names):
+            streamer.ingest(batch)
+        names = {s.name for s in traced.spans()}
+        assert {"stream.ingest", "stream.classify"} <= names

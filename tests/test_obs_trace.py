@@ -1,0 +1,195 @@
+"""Tests for tracing: nesting, exception safety, ring buffer, export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    TraceStore,
+    current_span,
+    current_span_id,
+    current_trace_id,
+    disable_tracing,
+    enable_tracing,
+    get_trace_store,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture()
+def traced():
+    """Enable tracing with a fresh store; always disable afterwards."""
+    store = enable_tracing(capacity=256)
+    try:
+        yield store
+    finally:
+        disable_tracing()
+        store.clear()
+
+
+class TestSpanBasics:
+    def test_disabled_span_is_noop(self):
+        disable_tracing()
+        before = len(get_trace_store())
+        with span("nothing") as record:
+            assert record is None
+        assert len(get_trace_store()) == before
+        assert not tracing_enabled()
+
+    def test_span_records_name_duration_attributes(self, traced):
+        with span("stage.one", rows=7):
+            pass
+        [record] = traced.spans()
+        assert record.name == "stage.one"
+        assert record.attributes == {"rows": 7}
+        assert record.duration_s >= 0.0
+        assert record.error is False
+
+    def test_nesting_builds_parent_links(self, traced):
+        with span("root") as root:
+            with span("child") as child:
+                with span("grandchild") as grandchild:
+                    assert grandchild.parent_id == child.span_id
+                assert current_span() is child
+            assert child.parent_id == root.span_id
+        assert root.parent_id is None
+        # All three share one trace id.
+        trace_ids = {s.trace_id for s in traced.spans()}
+        assert trace_ids == {root.trace_id}
+
+    def test_siblings_get_distinct_span_ids(self, traced):
+        with span("root"):
+            with span("a") as a:
+                pass
+            with span("b") as b:
+                pass
+        assert a.span_id != b.span_id
+        assert a.parent_id == b.parent_id
+
+    def test_correlation_helpers(self, traced):
+        assert current_trace_id() is None
+        assert current_span_id() is None
+        with span("outer") as outer:
+            assert current_trace_id() == outer.trace_id
+            assert current_span_id() == outer.span_id
+        assert current_trace_id() is None
+
+
+class TestExceptionSafety:
+    def test_raising_span_still_closes_with_error_attribute(self, traced):
+        with pytest.raises(ValueError, match="boom"):
+            with span("fails"):
+                raise ValueError("boom")
+        [record] = traced.spans()
+        assert record.error is True
+        assert record.attributes["error"] is True
+        assert record.attributes["error_type"] == "ValueError"
+        assert record.duration_s >= 0.0
+        # The stack unwound: a new span is a root again.
+        with span("after") as after:
+            assert after.parent_id is None
+
+    def test_exception_in_nested_span_unwinds_both(self, traced):
+        with pytest.raises(RuntimeError):
+            with span("outer"):
+                with span("inner"):
+                    raise RuntimeError("nested boom")
+        by_name = {s.name: s for s in traced.spans()}
+        assert by_name["inner"].error is True
+        assert by_name["outer"].error is True
+        assert current_span() is None
+
+
+class TestTraceStore:
+    def test_ring_buffer_drops_oldest(self):
+        store = TraceStore(capacity=3)
+        enable_tracing()
+        try:
+            old_store = get_trace_store()
+            for index in range(5):
+                with span(f"s{index}"):
+                    pass
+            # Use a private store directly to test the ring semantics.
+            for index in range(5):
+                record = old_store.spans()[-1]
+                store.add(record)
+        finally:
+            disable_tracing()
+            old_store.clear()
+        assert len(store) == 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+
+    def test_enable_with_capacity_replaces_store(self):
+        first = enable_tracing(capacity=16)
+        second = enable_tracing(capacity=16)
+        try:
+            assert second is get_trace_store()
+            assert second is not first
+        finally:
+            disable_tracing()
+            second.clear()
+
+    def test_clear_empties_store(self, traced):
+        with span("x"):
+            pass
+        assert len(traced) == 1
+        traced.clear()
+        assert traced.spans() == []
+
+
+class TestChromeExport:
+    def test_export_is_chrome_loadable_json(self, traced, tmp_path):
+        with span("root", rows=3):
+            with span("child"):
+                pass
+        path = tmp_path / "trace.json"
+        n_events = traced.export_chrome(path)
+        assert n_events == 2
+        trace = json.loads(path.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "ts", "dur", "pid", "tid", "args"}
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+        child = next(e for e in events if e["name"] == "child")
+        root = next(e for e in events if e["name"] == "root")
+        assert child["args"]["parent_id"] == root["args"]["span_id"]
+        assert root["args"]["rows"] == 3
+
+    def test_error_span_exported_with_error_category(self, traced, tmp_path):
+        with pytest.raises(ValueError):
+            with span("bad"):
+                raise ValueError("x")
+        event = traced.to_chrome()["traceEvents"][0]
+        assert "error" in event["cat"]
+        assert event["args"]["error_type"] == "ValueError"
+
+
+class TestThreading:
+    def test_spans_on_different_threads_are_independent_roots(self, traced):
+        results = {}
+
+        def worker(key):
+            with span(f"thread.{key}") as record:
+                results[key] = record
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in ("a", "b")
+        ]
+        with span("main.root"):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        # Worker spans never see the main thread's stack.
+        assert results["a"].parent_id is None
+        assert results["b"].parent_id is None
+        assert results["a"].trace_id != results["b"].trace_id

@@ -155,3 +155,64 @@ class TestErrorMapping:
         client = HttpServeClient(base_url)
         with pytest.raises(RuntimeError, match="HTTP 400"):
             client.classify([[0.0, 0.1]])
+
+
+class TestObservability:
+    def test_metrics_is_prometheus_text(self, live_server):
+        base_url, frozen = live_server
+        client = HttpServeClient(base_url)
+        client.classify(frozen.features[:3])
+        with urllib.request.urlopen(f"{base_url}/metrics",
+                                    timeout=10.0) as response:
+            assert response.status == 200
+            content_type = response.headers["Content-Type"]
+            text = response.read().decode("utf-8")
+        assert content_type.startswith("text/plain")
+        # Required series: qps, latency, cache, shed.
+        assert "# TYPE repro_serve_qps gauge" in text
+        assert "repro_serve_request_latency_seconds_bucket" in text
+        assert 'repro_serve_latency_ms{quantile="p95"}' in text
+        assert "repro_serve_cache_hits_total" in text
+        assert "repro_serve_shed_requests_total" in text
+        assert "repro_serve_requests_total" in text
+        # Every exposition line parses as `name[{labels}] value`.
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            float(line.rsplit(" ", 1)[1])
+
+    def test_metrics_text_via_client(self, live_server):
+        base_url, _ = live_server
+        text = HttpServeClient(base_url).metrics_text()
+        assert "repro_serve_requests_total" in text
+
+    def test_unexpected_exception_returns_structured_500(self, live_server,
+                                                         monkeypatch):
+        base_url, _ = live_server
+
+        def explode(self):
+            raise ZeroDivisionError("instrumented failure")
+
+        monkeypatch.setattr(ProfileService, "cluster_summaries", explode)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base_url}/clusters", timeout=10.0)
+        assert excinfo.value.code == 500
+        body = json.loads(excinfo.value.read().decode("utf-8"))
+        assert body["error"] == "internal server error"
+        assert body["error_type"] == "ZeroDivisionError"
+        assert "instrumented failure" in body["detail"]
+        assert body["request_id"].startswith("req-")
+
+    def test_500_increments_error_counter(self, live_server, monkeypatch):
+        base_url, _ = live_server
+
+        def explode(self):
+            raise KeyError("boom")
+
+        monkeypatch.setattr(ProfileService, "metrics_snapshot", explode)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base_url}/metrics.json", timeout=10.0)
+        assert excinfo.value.code == 500
+        monkeypatch.undo()
+        snapshot = HttpServeClient(base_url).metrics()
+        assert snapshot["counters"]["errors"] >= 1
