@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Bench-regression guard: diff a fresh ``BENCH_serve.json`` vs the baseline.
+
+The committed baseline was measured at paper scale (4,762 reference
+antennas) on developer hardware, while CI re-benches a reduced-scale
+profile on shared runners — absolute qps numbers are not comparable
+across those worlds.  The guard therefore compares *scale-free* shape
+metrics that hold on any hardware at any scale:
+
+* ``speedup`` — best micro-batched qps over unbatched qps;
+* ``batched_w{N}_vs_unbatched`` — per-worker-count batched qps
+  normalized by the same report's own unbatched qps (numerator and
+  denominator both scale with the reference-antenna count, so the
+  ratio survives rescaling).
+
+Absolute qps values — and ``cached_vs_unbatched``, whose numerator is
+a dictionary lookup that does *not* scale with profile size — are
+compared only when both reports declare an identical benchmark config
+(same reference scale, query count, batch limit), i.e. when a
+baseline refresh is being validated on the same class of machine.
+
+A metric regresses when ``fresh < baseline * (1 - max_regression)``;
+any regression fails the run (exit 1).  Improvements and new metrics
+never fail.
+
+Usage::
+
+    python scripts/bench_compare.py --baseline BENCH_serve.json \
+        --fresh BENCH_fresh.json --max-regression 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+#: Config keys that must all match before absolute qps is comparable.
+CONFIG_KEYS = (
+    "n_reference_antennas",
+    "n_services",
+    "n_queries",
+    "n_clusters",
+    "max_batch",
+    "max_wait_ms",
+)
+
+
+def load_report(path: str) -> dict:
+    with open(path) as handle:
+        report = json.load(handle)
+    if not isinstance(report, dict):
+        raise SystemExit(f"{path}: not a benchmark report object")
+    return report
+
+
+def ratio_metrics(report: dict) -> Dict[str, float]:
+    """Scale-free shape metrics of one benchmark report."""
+    metrics: Dict[str, float] = {}
+    unbatched_qps = (report.get("unbatched") or {}).get("qps")
+    if not unbatched_qps:
+        return metrics
+    speedup = report.get("speedup")
+    if isinstance(speedup, (int, float)):
+        metrics["speedup"] = float(speedup)
+    for entry in report.get("batched") or []:
+        workers = entry.get("workers")
+        qps = entry.get("qps")
+        if workers is not None and qps:
+            metrics[f"batched_w{workers}_vs_unbatched"] = (
+                float(qps) / float(unbatched_qps)
+            )
+    return metrics
+
+
+def absolute_metrics(report: dict) -> Dict[str, float]:
+    """Raw qps values — only meaningful between identical configs."""
+    metrics: Dict[str, float] = {}
+    unbatched_qps = (report.get("unbatched") or {}).get("qps")
+    if unbatched_qps:
+        metrics["unbatched_qps"] = float(unbatched_qps)
+        cached = (report.get("cached") or {}).get("qps")
+        if cached:
+            metrics["cached_vs_unbatched"] = (
+                float(cached) / float(unbatched_qps)
+            )
+    for entry in report.get("batched") or []:
+        workers = entry.get("workers")
+        qps = entry.get("qps")
+        if workers is not None and qps:
+            metrics[f"batched_w{workers}_qps"] = float(qps)
+    cached_qps = (report.get("cached") or {}).get("qps")
+    if cached_qps:
+        metrics["cached_qps"] = float(cached_qps)
+    return metrics
+
+
+def configs_comparable(baseline: dict, fresh: dict) -> bool:
+    base_cfg = baseline.get("config") or {}
+    fresh_cfg = fresh.get("config") or {}
+    return all(
+        base_cfg.get(key) == fresh_cfg.get(key) for key in CONFIG_KEYS
+    )
+
+
+def compare(baseline: dict, fresh: dict, max_regression: float):
+    """Returns ``(rows, failures)`` for the metric comparison table."""
+    base_metrics = ratio_metrics(baseline)
+    fresh_metrics = ratio_metrics(fresh)
+    if configs_comparable(baseline, fresh):
+        base_metrics.update(absolute_metrics(baseline))
+        fresh_metrics.update(absolute_metrics(fresh))
+    rows = []
+    failures = []
+    compared = 0
+    for name in sorted(base_metrics):
+        if name not in fresh_metrics:
+            # Not measured this run (e.g. CI benches fewer worker
+            # counts than the committed baseline) — skip, don't fail.
+            rows.append((name, base_metrics[name], None, None, "skipped"))
+            continue
+        compared += 1
+        base_value = base_metrics[name]
+        fresh_value = fresh_metrics[name]
+        if base_value <= 0:
+            continue
+        change = (fresh_value - base_value) / base_value
+        regressed = change < -max_regression
+        rows.append((
+            name, base_value, fresh_value, change,
+            "REGRESSED" if regressed else "ok",
+        ))
+        if regressed:
+            failures.append(name)
+    if compared == 0:
+        rows = []
+    return rows, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when the fresh serving benchmark regresses "
+                    "past the allowed fraction versus the baseline"
+    )
+    parser.add_argument("--baseline", default="BENCH_serve.json",
+                        help="committed baseline report")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly measured report")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional drop per metric "
+                             "(default 0.30 = 30%%)")
+    args = parser.parse_args(argv)
+    if not 0 < args.max_regression < 1:
+        parser.error(
+            f"--max-regression must be in (0, 1), got {args.max_regression}"
+        )
+
+    baseline = load_report(args.baseline)
+    fresh = load_report(args.fresh)
+    rows, failures = compare(baseline, fresh, args.max_regression)
+    if not rows:
+        print("no comparable metrics found between the two reports")
+        return 1
+
+    scope = (
+        "ratios + absolute qps (identical configs)"
+        if configs_comparable(baseline, fresh)
+        else "scale-free ratios only (configs differ)"
+    )
+    print(f"bench comparison: {scope}; "
+          f"allowed regression {args.max_regression:.0%}")
+    header = f"{'metric':<28} {'baseline':>12} {'fresh':>12} {'change':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, base_value, fresh_value, change, verdict in rows:
+        if fresh_value is None:
+            print(f"{name:<28} {base_value:>12.3f} {'—':>12} {'—':>9}  "
+                  f"{verdict}")
+        else:
+            print(f"{name:<28} {base_value:>12.3f} {fresh_value:>12.3f} "
+                  f"{change:>+8.1%}  {verdict}")
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed more than "
+              f"{args.max_regression:.0%}: {', '.join(failures)}")
+        return 1
+    print("\nOK: no metric regressed past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

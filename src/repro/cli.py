@@ -21,12 +21,17 @@ Subcommands:
   tracing on and writes Chrome ``trace_event`` JSON for flamegraph
   viewing; ``obs dump`` runs it and dumps the metrics registry as
   Prometheus text or JSON.
+* ``chaos``      — run the scripted fault-injection scenario end-to-end
+  (``repro.relia``): I/O-error burst, poisoned hour, duplicate/late
+  hours, truncated checkpoint, worker crashes; exits nonzero unless
+  every resilience check passes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -350,6 +355,41 @@ def _cmd_obs_dump(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import json as json_module
+
+    from repro.obs import get_registry, set_log_stream
+    from repro.relia.chaos import run_chaos_scenario
+
+    out_dir = Path(args.out) if args.out else None
+    log_handle = None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        log_handle = open(out_dir / "chaos_log.jsonl", "w")
+        set_log_stream(log_handle)
+    try:
+        report = run_chaos_scenario(
+            seed=args.seed,
+            work_dir=str(out_dir) if out_dir else None,
+            scale=args.scale,
+        )
+    finally:
+        if log_handle is not None:
+            set_log_stream(None)
+            log_handle.close()
+    if out_dir is not None:
+        with open(out_dir / "chaos_report.json", "w") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2,
+                             sort_keys=True)
+            handle.write("\n")
+        with open(out_dir / "chaos_metrics.prom", "w") as handle:
+            handle.write(get_registry().prometheus_text())
+        print(f"wrote {out_dir}/chaos_log.jsonl, chaos_report.json, "
+              f"chaos_metrics.prom")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -660,6 +700,19 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--outdoor", type=int, default=2000,
                      help="outdoor antenna count for fig9")
     fig.set_defaults(func=_cmd_figure)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the scripted fault-injection scenario end-to-end",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seeds dataset, fault plan, and jitter RNGs")
+    chaos.add_argument("--out",
+                       help="directory for chaos_log.jsonl, "
+                            "chaos_report.json, chaos_metrics.prom")
+    chaos.add_argument("--scale", type=float, default=0.05,
+                       help="deployment scale vs the paper's Table 1")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -1,0 +1,76 @@
+"""repro.relia — fault injection, retry/breakers, and graceful degradation.
+
+The resilience layer for the streaming and serving subsystems:
+
+* :mod:`repro.relia.faults` — deterministic, seedable fault injection at
+  named sites (:class:`FaultPlan` / :func:`inject`);
+* :mod:`repro.relia.retry` — exponential-backoff retry with jitter and
+  deadlines (:func:`retry_call`), plus a closed/open/half-open
+  :class:`CircuitBreaker`;
+* :mod:`repro.relia.degrade` — skip-and-log quarantine, reorder windows,
+  and duplicate/gap absorption for stream ingestion
+  (:class:`ResilientStreamingProfiler`), and the serving-side
+  nearest-centroid fallback contract (:class:`ServeDegradePolicy`);
+* :mod:`repro.relia.errors` — the typed failure vocabulary.
+
+The scripted end-to-end chaos scenario lives in
+:mod:`repro.relia.chaos`, imported lazily by the CLI so that importing
+this package never drags in ``repro.stream``/``repro.serve``.
+
+See ``docs/RESILIENCE.md`` for fault-site names, tuning guidance, and
+degradation semantics.
+"""
+
+from repro.relia.degrade import (
+    QuarantinedBatch,
+    ResilientStreamingProfiler,
+    ServeDegradePolicy,
+    StreamDegradePolicy,
+)
+from repro.relia.errors import (
+    CheckpointCorrupt,
+    CircuitOpen,
+    FaultError,
+    RetryExhausted,
+    WorkerCrash,
+)
+from repro.relia.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    fault_point,
+    inject,
+    maybe_truncate_file,
+    perturb_hourly_stream,
+)
+from repro.relia.retry import (
+    BREAKER_STATES,
+    CircuitBreaker,
+    RetryPolicy,
+    retry_call,
+)
+
+__all__ = [
+    "BREAKER_STATES",
+    "CheckpointCorrupt",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "FAULT_KINDS",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "QuarantinedBatch",
+    "ResilientStreamingProfiler",
+    "RetryExhausted",
+    "RetryPolicy",
+    "ServeDegradePolicy",
+    "StreamDegradePolicy",
+    "WorkerCrash",
+    "active_plan",
+    "fault_point",
+    "inject",
+    "maybe_truncate_file",
+    "perturb_hourly_stream",
+    "retry_call",
+]

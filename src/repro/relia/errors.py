@@ -1,0 +1,89 @@
+"""Typed failure vocabulary of the resilience layer.
+
+Every failure mode the resilience layer injects, detects, or surfaces
+has a dedicated exception type here, so callers can write precise
+``except`` clauses instead of fishing strings out of ``RuntimeError``:
+
+* :class:`FaultError` — an *injected* I/O failure (subclasses
+  ``OSError`` so the default retry policies treat it as transient);
+* :class:`WorkerCrash` — an injected worker-thread death;
+* :class:`CheckpointCorrupt` — a checkpoint archive that fails CRC or
+  structural validation (truncated zip, flipped bits, missing keys);
+* :class:`CircuitOpen` — a call rejected because its circuit breaker is
+  open (fail-fast instead of hammering an unhealthy dependency);
+* :class:`RetryExhausted` — a retried call that failed on every allowed
+  attempt; chains the last underlying error via ``__cause__``.
+
+This module is a leaf — it imports nothing from the rest of the
+package — so ``repro.stream`` and ``repro.serve`` can raise/catch these
+types without import cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CheckpointCorrupt",
+    "CircuitOpen",
+    "FaultError",
+    "RetryExhausted",
+    "WorkerCrash",
+]
+
+
+class FaultError(OSError):
+    """An I/O error injected by the fault harness at a named site."""
+
+
+class WorkerCrash(RuntimeError):
+    """A worker-thread death injected by the fault harness."""
+
+
+class CheckpointCorrupt(RuntimeError):
+    """A checkpoint failed validation (truncation, CRC mismatch, missing keys).
+
+    Attributes:
+        path: the offending checkpoint file.
+        reason: short machine-greppable slug of what failed.
+    """
+
+    def __init__(self, path, reason: str) -> None:
+        super().__init__(f"corrupt checkpoint {path}: {reason}")
+        self.path = str(path)
+        self.reason = reason
+
+
+class CircuitOpen(RuntimeError):
+    """A call rejected because its circuit breaker is open.
+
+    Attributes:
+        breaker: name of the rejecting breaker.
+        retry_after: seconds until the breaker will admit a probe.
+    """
+
+    def __init__(self, breaker: str, retry_after: float) -> None:
+        super().__init__(
+            f"circuit breaker {breaker!r} is open; retry after "
+            f"{retry_after:.3f}s"
+        )
+        self.breaker = breaker
+        self.retry_after = float(retry_after)
+
+
+class RetryExhausted(RuntimeError):
+    """A retried call failed on every allowed attempt.
+
+    The last underlying exception is chained as ``__cause__``.
+
+    Attributes:
+        site: the retry site name.
+        attempts: how many attempts were made.
+    """
+
+    def __init__(self, site: str, attempts: int,
+                 last_error: BaseException) -> None:
+        super().__init__(
+            f"retry site {site!r} exhausted after {attempts} attempts: "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+        self.site = site
+        self.attempts = int(attempts)

@@ -1,0 +1,351 @@
+"""Deterministic, seedable fault injection at named sites.
+
+The harness has three moving parts:
+
+* a :class:`FaultPlan` — an ordered list of :class:`FaultRule` entries,
+  each naming a *site* (a string like ``"stream.ingest"``), a fault
+  *kind*, an optional attribute match (e.g. only a specific hour), a
+  firing budget (``times``), a number of matching calls to let pass
+  first (``skip``), and a firing probability drawn from the plan's own
+  seeded RNG — so a given ``(plan, seed)`` replays the exact same fault
+  sequence every run;
+* :func:`inject` — a context manager installing the plan process-wide
+  (fault sites live in worker threads, so the active plan is global,
+  not thread-local);
+* the *sites* — cheap calls compiled into production code paths:
+  :func:`fault_point` (raises :class:`FaultError` / :class:`WorkerCrash`
+  when a matching rule fires and is a no-op otherwise),
+  :func:`maybe_truncate_file` (post-write checkpoint corruption), and
+  :func:`perturb_hourly_stream` (duplicate / delayed-out-of-order /
+  dropped hourly batches).
+
+With no plan installed every site is a few-nanosecond attribute check,
+so the hooks stay in production builds — the same property that makes
+them trustworthy: chaos tests exercise the *real* code paths, not
+instrumented copies.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.obs import get_logger, get_registry
+from repro.relia.errors import FaultError, WorkerCrash
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "fault_point",
+    "inject",
+    "maybe_truncate_file",
+    "perturb_hourly_stream",
+]
+
+#: Every fault kind the harness knows how to deliver.
+FAULT_KINDS = (
+    "io_error",   # fault_point raises FaultError (an OSError)
+    "crash",      # fault_point raises WorkerCrash
+    "truncate",   # maybe_truncate_file cuts the file short
+    "duplicate",  # perturb_hourly_stream yields the batch twice
+    "delay",      # perturb_hourly_stream holds the batch one step (reorder)
+    "drop",       # perturb_hourly_stream swallows the batch
+)
+
+_log = get_logger("repro.relia.faults")
+
+
+@dataclass
+class FaultRule:
+    """One scheduled fault: where, what, when, and how often.
+
+    Attributes:
+        site: the fault site this rule arms (exact string match).
+        kind: one of :data:`FAULT_KINDS`.
+        times: firing budget; ``None`` fires on every matching call.
+        probability: chance a matching call fires, drawn from the plan's
+            seeded RNG (1.0 = always).
+        skip: matching calls to let pass before the rule may fire.
+        match: attribute equality filters; every key must equal the
+            string form of the site call's attribute of the same name.
+        fraction: for ``truncate`` — fraction of the file to *keep*.
+    """
+
+    site: str
+    kind: str
+    times: Optional[int] = 1
+    probability: float = 1.0
+    skip: int = 0
+    match: Dict[str, str] = field(default_factory=dict)
+    fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1], got {self.probability}"
+            )
+        if self.skip < 0:
+            raise ValueError(f"skip must be >= 0, got {self.skip}")
+        if not 0.0 <= self.fraction < 1.0:
+            raise ValueError(
+                f"fraction must be in [0, 1), got {self.fraction}"
+            )
+        self.match = {str(k): str(v) for k, v in self.match.items()}
+
+    def matches(self, site: str, attrs: Dict[str, str]) -> bool:
+        """Site equality plus every ``match`` key equal in ``attrs``."""
+        if site != self.site:
+            return False
+        return all(attrs.get(key) == value
+                   for key, value in self.match.items())
+
+
+@dataclass(frozen=True)
+class Injection:
+    """Record of one delivered fault (for reports and assertions)."""
+
+    site: str
+    kind: str
+    attrs: Tuple[Tuple[str, str], ...]
+
+
+class FaultPlan:
+    """An ordered, seeded schedule of faults to deliver at named sites.
+
+    Args:
+        seed: seeds the probability RNG — identical plans with identical
+            seeds deliver identical fault sequences.
+
+    Thread-safe: sites fire from ingestion loops, worker threads, and
+    HTTP handler threads concurrently.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+        self._rules: List[FaultRule] = []
+        self._fired: List[Injection] = []
+        self._passes: Dict[int, int] = {}  # rule index -> matching calls seen
+        self._lock = threading.Lock()
+
+    def add(
+        self,
+        site: str,
+        kind: str,
+        times: Optional[int] = 1,
+        probability: float = 1.0,
+        skip: int = 0,
+        fraction: float = 0.5,
+        **match,
+    ) -> "FaultPlan":
+        """Append one rule; returns self for chaining."""
+        rule = FaultRule(
+            site=str(site),
+            kind=str(kind),
+            times=times,
+            probability=float(probability),
+            skip=int(skip),
+            match={str(k): str(v) for k, v in match.items()},
+            fraction=float(fraction),
+        )
+        with self._lock:
+            self._rules.append(rule)
+        return self
+
+    def fire(self, site: str, kinds: Iterable[str],
+             **attrs) -> Optional[FaultRule]:
+        """The first armed rule matching this site call, if any fires.
+
+        Burns the matched rule's budget, records the injection, and
+        bumps the ``repro_faults_injected_total`` counter on the global
+        registry.  Returns ``None`` when no rule fires.
+        """
+        wanted = tuple(kinds)
+        str_attrs = {str(k): str(v) for k, v in attrs.items()}
+        with self._lock:
+            for index, rule in enumerate(self._rules):
+                if rule.kind not in wanted:
+                    continue
+                if not rule.matches(site, str_attrs):
+                    continue
+                if rule.times is not None and rule.times <= 0:
+                    continue
+                seen = self._passes.get(index, 0)
+                self._passes[index] = seen + 1
+                if seen < rule.skip:
+                    continue
+                if rule.probability < 1.0:
+                    if self._rng.random() >= rule.probability:
+                        continue
+                if rule.times is not None:
+                    rule.times -= 1
+                self._fired.append(
+                    Injection(site, rule.kind, tuple(sorted(str_attrs.items())))
+                )
+                fired = rule
+                break
+            else:
+                return None
+        get_registry().counter(
+            "repro_faults_injected_total",
+            "Faults delivered by the injection harness",
+            labelnames=("site", "kind"),
+        ).labels(site=site, kind=fired.kind).inc()
+        _log.warning("fault_injected", site=site, kind=fired.kind, **attrs)
+        return fired
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def injections(self) -> List[Injection]:
+        """Every fault delivered so far, in firing order."""
+        with self._lock:
+            return list(self._fired)
+
+    def injected_total(self, site: Optional[str] = None,
+                       kind: Optional[str] = None) -> int:
+        """Count delivered faults, optionally filtered by site/kind."""
+        with self._lock:
+            return sum(
+                1
+                for injection in self._fired
+                if (site is None or injection.site == site)
+                and (kind is None or injection.kind == kind)
+            )
+
+
+# ----------------------------------------------------------------------
+# Global installation
+# ----------------------------------------------------------------------
+
+_active: Optional[FaultPlan] = None
+_install_lock = threading.Lock()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, or None."""
+    return _active
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Install ``plan`` process-wide for the duration of the block.
+
+    Nested installation is rejected — overlapping plans would make the
+    delivered fault sequence depend on scheduling, destroying the
+    determinism the harness exists for.
+    """
+    global _active
+    with _install_lock:
+        if _active is not None:
+            raise RuntimeError("a fault plan is already installed")
+        _active = plan
+    try:
+        yield plan
+    finally:
+        with _install_lock:
+            _active = None
+
+
+# ----------------------------------------------------------------------
+# Sites
+# ----------------------------------------------------------------------
+
+
+def fault_point(site: str, **attrs) -> None:
+    """A raising fault site: no-op unless an armed io_error/crash rule fires.
+
+    Raises:
+        FaultError: when an ``io_error`` rule fires here.
+        WorkerCrash: when a ``crash`` rule fires here.
+    """
+    plan = _active
+    if plan is None:
+        return
+    rule = plan.fire(site, ("io_error", "crash"), **attrs)
+    if rule is None:
+        return
+    if rule.kind == "io_error":
+        raise FaultError(f"injected I/O fault at {site}")
+    raise WorkerCrash(f"injected worker crash at {site}")
+
+
+def maybe_truncate_file(path, site: str, **attrs) -> bool:
+    """A corruption site: truncate ``path`` when a ``truncate`` rule fires.
+
+    Keeps the leading ``rule.fraction`` of the file's bytes — the shape
+    of a torn write or a bad sector, which is exactly what the CRC
+    validation in ``repro.stream.checkpoint`` must catch.
+
+    Returns:
+        True when the file was truncated.
+    """
+    plan = _active
+    if plan is None:
+        return False
+    rule = plan.fire(site, ("truncate",), **attrs)
+    if rule is None:
+        return False
+    from pathlib import Path
+
+    target = Path(path)
+    size = target.stat().st_size
+    keep = int(size * rule.fraction)
+    with open(target, "r+b") as handle:
+        handle.truncate(keep)
+    _log.warning("checkpoint_truncated", path=str(target),
+                 kept_bytes=keep, original_bytes=size)
+    return True
+
+
+def perturb_hourly_stream(batches, site: str = "stream.feed") -> Iterator:
+    """Replay ``batches`` with feed-level faults applied.
+
+    Consults the active plan per batch (attribute ``hour``):
+
+    * ``duplicate`` — the batch is yielded twice in a row (a feed that
+      re-delivers an hour after an ack was lost);
+    * ``delay`` — the batch is held back one step, so it arrives *after*
+      its successor (a late hourly file: out-of-order delivery);
+    * ``drop`` — the batch is swallowed (a gap in the feed).
+
+    With no plan installed this is a transparent pass-through.
+    """
+    held = None
+    for batch in batches:
+        plan = _active
+        rule = (
+            plan.fire(site, ("duplicate", "delay", "drop"),
+                      hour=str(batch.hour))
+            if plan is not None
+            else None
+        )
+        if rule is None:
+            yield batch
+        elif rule.kind == "duplicate":
+            yield batch
+            yield batch
+        elif rule.kind == "drop":
+            continue
+        else:  # delay: hold this batch until after its successor
+            if held is not None:
+                yield held
+            held = batch
+            continue
+        if held is not None:
+            late, held = held, None
+            yield late
+    if held is not None:
+        yield held

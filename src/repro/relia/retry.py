@@ -1,0 +1,346 @@
+"""Retry with exponential backoff + jitter, deadlines, and a circuit breaker.
+
+:func:`retry_call` re-attempts transient failures with exponentially
+growing, jittered delays under an optional wall-clock deadline, emitting
+``repro_retries_total{site=...}`` per re-attempt and
+``repro_retry_exhausted_total{site=...}`` when it gives up.  Jitter is
+drawn from a caller-seedable RNG, so replayed scenarios back off
+identically.
+
+:class:`CircuitBreaker` is the classic three-state machine guarding a
+dependency that has started failing:
+
+* **closed** — calls flow; consecutive failures are counted;
+* **open** — after ``failure_threshold`` consecutive failures, calls are
+  rejected outright (:class:`CircuitOpen`) for ``reset_timeout_s``,
+  giving the dependency room to recover instead of hammering it;
+* **half-open** — after the timeout, up to ``half_open_max_calls``
+  probe calls are admitted; one success closes the breaker, one failure
+  re-opens it.
+
+State is exported as ``repro_breaker_state{breaker=...}`` (0 closed,
+1 open, 2 half-open) with transition counts in
+``repro_breaker_transitions_total{breaker=...,to=...}``, and every
+transition emits a structured log line and traces under a
+``relia.breaker`` span — so an operator can see *when* the serving node
+started failing fast and when it recovered.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+from repro.obs import get_logger, get_registry, span
+from repro.obs.registry import MetricsRegistry
+from repro.relia.errors import CircuitOpen, RetryExhausted
+
+__all__ = [
+    "BREAKER_STATES",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "retry_call",
+]
+
+_log = get_logger("repro.relia.retry")
+
+#: Gauge encoding of breaker states.
+BREAKER_STATES = {"closed": 0, "open": 1, "half_open": 2}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a transient failure is re-attempted.
+
+    Attributes:
+        max_attempts: total attempts including the first (>= 1).
+        base_delay_s: delay before the first re-attempt.
+        multiplier: exponential growth factor per re-attempt.
+        max_delay_s: backoff ceiling.
+        jitter: fraction of the delay drawn uniformly at random and
+            added (0 disables jitter; 0.5 means up to +50%).
+        deadline_s: wall-clock budget for the whole call including
+            backoff sleeps; None means unbounded.
+        retry_on: exception types considered transient.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+    jitter: float = 0.5
+    deadline_s: Optional[float] = None
+    retry_on: Tuple[Type[BaseException], ...] = (OSError, TimeoutError)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+
+    def delay_for(self, reattempt: int, rng: random.Random) -> float:
+        """Backoff before re-attempt number ``reattempt`` (1-based)."""
+        raw = self.base_delay_s * (self.multiplier ** (reattempt - 1))
+        capped = min(raw, self.max_delay_s)
+        if self.jitter:
+            capped += capped * self.jitter * rng.random()
+        return capped
+
+
+def retry_call(
+    fn: Callable,
+    *args,
+    policy: Optional[RetryPolicy] = None,
+    site: str = "call",
+    registry: Optional[MetricsRegistry] = None,
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    **kwargs,
+):
+    """Call ``fn`` under ``policy``, retrying transient failures.
+
+    Args:
+        fn: the callable (invoked with ``*args, **kwargs``).
+        policy: retry policy (defaults to :class:`RetryPolicy`'s
+            defaults).
+        site: label for metrics/logs/spans — name the operation, e.g.
+            ``"stream.ingest"``.
+        registry: metrics registry for the retry counters (the global
+            registry by default).
+        rng: jitter RNG; pass a seeded ``random.Random`` for replayable
+            backoff.
+        sleep: the sleeper (tests inject a no-op).
+        on_retry: optional callback ``(attempt_number, error)`` before
+            each backoff sleep.
+
+    Returns:
+        whatever ``fn`` returns.
+
+    Raises:
+        RetryExhausted: after ``max_attempts`` transient failures or a
+            blown deadline; the last error is chained as ``__cause__``.
+        BaseException: non-transient errors propagate immediately.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    registry = registry if registry is not None else get_registry()
+    rng = rng if rng is not None else random.Random()
+    retries = registry.counter(
+        "repro_retries_total",
+        "Transient-failure re-attempts, by retry site",
+        labelnames=("site",),
+    ).labels(site=site)
+    exhausted = registry.counter(
+        "repro_retry_exhausted_total",
+        "Retried calls that failed every allowed attempt, by retry site",
+        labelnames=("site",),
+    ).labels(site=site)
+    started = time.monotonic()
+    with span("relia.retry", site=site) as record:
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                result = fn(*args, **kwargs)
+            except policy.retry_on as exc:
+                last_error = exc
+                if attempt >= policy.max_attempts:
+                    break
+                delay = policy.delay_for(attempt, rng)
+                if (
+                    policy.deadline_s is not None
+                    and time.monotonic() + delay - started > policy.deadline_s
+                ):
+                    break
+                retries.inc()
+                _log.warning(
+                    "retrying", site=site, attempt=attempt,
+                    error_type=type(exc).__name__, error=str(exc),
+                    backoff_s=round(delay, 6),
+                )
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                if delay > 0:
+                    sleep(delay)
+            else:
+                if record is not None:
+                    record.attributes["attempts"] = attempt
+                return result
+        assert last_error is not None
+        if record is not None:
+            record.attributes["error"] = True
+            record.attributes["error_type"] = type(last_error).__name__
+        exhausted.inc()
+        _log.error(
+            "retry_exhausted", site=site,
+            attempts=policy.max_attempts,
+            error_type=type(last_error).__name__, error=str(last_error),
+        )
+        raise RetryExhausted(site, policy.max_attempts,
+                             last_error) from last_error
+
+
+class CircuitBreaker:
+    """Closed / open / half-open failure gate around an unhealthy dependency.
+
+    Args:
+        name: breaker name — the ``breaker`` label of its metric series.
+        failure_threshold: consecutive failures that open the breaker.
+        reset_timeout_s: how long the breaker stays open before probing.
+        half_open_max_calls: probe calls admitted while half-open.
+        registry: metrics registry (global by default).
+        clock: monotonic time source (tests inject a fake).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        half_open_max_calls: int = 1,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ValueError(
+                f"reset_timeout_s must be positive, got {reset_timeout_s}"
+            )
+        if half_open_max_calls < 1:
+            raise ValueError(
+                f"half_open_max_calls must be >= 1, got {half_open_max_calls}"
+            )
+        self.name = str(name)
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.half_open_max_calls = int(half_open_max_calls)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes = 0
+        registry = registry if registry is not None else get_registry()
+        registry.gauge(
+            "repro_breaker_state",
+            "Circuit breaker state (0 closed, 1 open, 2 half-open)",
+            labelnames=("breaker",),
+        ).labels(breaker=self.name).set_function(
+            lambda: BREAKER_STATES[self.state]
+        )
+        self._transitions = registry.counter(
+            "repro_breaker_transitions_total",
+            "Circuit breaker state transitions",
+            labelnames=("breaker", "to"),
+        )
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for open -> half-open timeout."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        # Caller holds the lock.
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._transition("half_open")
+            self._probes = 0
+
+    def _transition(self, to: str) -> None:
+        # Caller holds the lock.
+        if to == self._state:
+            return
+        self._state = to
+        self._transitions.labels(breaker=self.name, to=to).inc()
+        _log.warning("breaker_transition", breaker=self.name, to=to,
+                     consecutive_failures=self._failures)
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (burns a half-open probe)."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return True
+            if self._state == "half_open":
+                if self._probes < self.half_open_max_calls:
+                    self._probes += 1
+                    return True
+                return False
+            return False
+
+    def retry_after(self) -> float:
+        """Seconds until an open breaker will admit a probe (0 when not open)."""
+        with self._lock:
+            if self._state != "open":
+                return 0.0
+            remaining = (
+                self.reset_timeout_s - (self._clock() - self._opened_at)
+            )
+            return max(0.0, remaining)
+
+    def record_success(self) -> None:
+        """A guarded call succeeded: close from half-open, clear failures."""
+        with self._lock:
+            self._failures = 0
+            if self._state in ("half_open", "open"):
+                self._transition("closed")
+
+    def record_failure(self) -> None:
+        """A guarded call failed: count, and open past the threshold."""
+        with self._lock:
+            self._maybe_half_open()
+            self._failures += 1
+            if self._state == "half_open":
+                self._opened_at = self._clock()
+                self._transition("open")
+            elif (
+                self._state == "closed"
+                and self._failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition("open")
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpen` unless a call may proceed."""
+        if not self.allow():
+            raise CircuitOpen(self.name, self.retry_after())
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn`` under the breaker, recording the outcome."""
+        self.check()
+        try:
+            result = fn(*args, **kwargs)
+        except BaseException:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

@@ -34,7 +34,12 @@ from repro.serve.client import HttpServeClient, ServeClient
 from repro.serve.metrics import LatencyReservoir, ServeMetrics
 from repro.serve.registry import ProfileRegistry
 from repro.serve.scheduler import MicroBatcher, ShedRequest
-from repro.serve.service import ClassifyResult, PendingClassify, ProfileService
+from repro.serve.service import (
+    ClassifyResult,
+    PendingClassify,
+    ProfileService,
+    ServeDegradePolicy,
+)
 from repro.serve.bench import format_report, run_serve_benchmark
 from repro.serve.http import ServeHTTPServer, make_server
 
@@ -49,6 +54,7 @@ __all__ = [
     "ProfileService",
     "ResultCache",
     "ServeClient",
+    "ServeDegradePolicy",
     "ServeHTTPServer",
     "ServeMetrics",
     "ShedRequest",

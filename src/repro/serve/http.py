@@ -12,7 +12,7 @@ micro-batcher aggregates them).  JSON in, JSON out, no dependencies:
 * ``GET  /metrics.json`` — :meth:`ProfileService.metrics_snapshot`;
 * ``POST /classify``     — body ``{"vectors": [[...], ...]}`` (RSCA rows)
   or ``{"volumes": [[...], ...]}`` (raw per-service MB); responds
-  ``{"labels": [...], "version": V, "cached": C}``.
+  ``{"labels": [...], "version": V, "cached": C, "degraded": bool}``.
 
 Error mapping: malformed input -> 400; no profile loaded -> 503;
 admission shed -> 429 with a ``Retry-After`` header; unknown path ->
@@ -189,6 +189,7 @@ class ServeHandler(BaseHTTPRequestHandler):
                     "labels": [int(label) for label in result.labels],
                     "version": result.version,
                     "cached": result.n_cached,
+                    "degraded": bool(result.degraded),
                 },
             )
 

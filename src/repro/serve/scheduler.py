@@ -22,12 +22,18 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import get_logger, get_registry
+from repro.relia.errors import WorkerCrash
+from repro.relia.faults import fault_point
+
 #: Sentinel instructing a worker to exit.
 _STOP = object()
+
+_log = get_logger("repro.serve.scheduler")
 
 
 class ShedRequest(RuntimeError):
@@ -54,7 +60,7 @@ class _WorkItem:
     """One submitted request: feature rows in, labels + version out."""
 
     __slots__ = ("features", "done", "labels", "version", "error",
-                 "enqueued_at")
+                 "enqueued_at", "retries")
 
     def __init__(self, features: np.ndarray) -> None:
         self.features = features
@@ -63,6 +69,7 @@ class _WorkItem:
         self.version: Optional[int] = None
         self.error: Optional[BaseException] = None
         self.enqueued_at = time.monotonic()
+        self.retries = 0
 
 
 class MicroBatcher:
@@ -88,6 +95,11 @@ class MicroBatcher:
             metrics hook).
         on_assembly: optional callback ``(seconds)`` per executed batch
             with the gather-window duration spent assembling it.
+        max_item_retries: times a request held by a crashed worker is
+            requeued before it is failed with :class:`WorkerCrash` —
+            a request is never dropped silently either way.
+        on_worker_crash: optional callback ``(worker_index, error)`` per
+            worker death (health hook; called before the respawn).
     """
 
     def __init__(
@@ -101,6 +113,8 @@ class MicroBatcher:
         on_batch: Optional[Callable[[int, int], None]] = None,
         on_queue_wait: Optional[Callable[[float], None]] = None,
         on_assembly: Optional[Callable[[float], None]] = None,
+        max_item_retries: int = 2,
+        on_worker_crash: Optional[Callable[[int, BaseException], None]] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -118,18 +132,40 @@ class MicroBatcher:
         self.n_workers = int(n_workers)
         self.max_queue_depth = int(max_queue_depth)
         self.shed_retry_after_s = float(shed_retry_after_s)
+        if max_item_retries < 0:
+            raise ValueError(
+                f"max_item_retries must be >= 0, got {max_item_retries}"
+            )
         self._on_batch = on_batch
         self._on_queue_wait = on_queue_wait
         self._on_assembly = on_assembly
+        self.max_item_retries = int(max_item_retries)
+        self._on_worker_crash = on_worker_crash
         self._queue: "queue.Queue" = queue.Queue(maxsize=self.max_queue_depth)
         self._threads: List[threading.Thread] = []
         self._started = False
         self._stopped = False
         self._lifecycle = threading.Lock()
+        self._next_worker = 0
+        self._crashes = 0
+        self._inflight: Dict[int, List[_WorkItem]] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        # Caller holds the lifecycle lock.
+        index = self._next_worker
+        self._next_worker += 1
+        thread = threading.Thread(
+            target=self._worker_main,
+            args=(index,),
+            name=f"repro-serve-worker-{index}",
+            daemon=True,
+        )
+        thread.start()
+        self._threads.append(thread)
 
     def start(self) -> None:
         """Spawn the worker pool (idempotent)."""
@@ -137,14 +173,8 @@ class MicroBatcher:
             if self._started:
                 return
             self._started = True
-            for index in range(self.n_workers):
-                thread = threading.Thread(
-                    target=self._worker_loop,
-                    name=f"repro-serve-worker-{index}",
-                    daemon=True,
-                )
-                thread.start()
-                self._threads.append(thread)
+            for _ in range(self.n_workers):
+                self._spawn_worker()
 
     def stop(self, timeout: float = 5.0) -> None:
         """Drain the pool: workers finish gathered batches, then exit.
@@ -266,13 +296,18 @@ class MicroBatcher:
             offset += rows
             item.done.set()
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, index: int) -> None:
         while True:
             item = self._queue.get()
             if item is _STOP:
                 return
+            self._inflight[index] = [item]
             gather_start = time.monotonic()
             batch, saw_stop = self._gather(item)
+            self._inflight[index] = batch
+            # Chaos hook: a crash here kills the worker while it holds a
+            # gathered batch — the supervisor must requeue every member.
+            fault_point("serve.worker", worker=index)
             now = time.monotonic()
             if self._on_assembly is not None:
                 self._on_assembly(now - gather_start)
@@ -280,5 +315,65 @@ class MicroBatcher:
                 for member in batch:
                     self._on_queue_wait(now - member.enqueued_at)
             self._execute(batch)
+            self._inflight.pop(index, None)
             if saw_stop:
                 return
+
+    def _worker_main(self, index: int) -> None:
+        """Worker entry point: run the loop, supervise its death.
+
+        A crash (injected or real) with a gathered batch in hand must
+        never drop requests silently: every in-flight item is either
+        requeued for another worker (up to ``max_item_retries`` times)
+        or failed with :class:`WorkerCrash` so its caller unblocks.  A
+        replacement worker is spawned unless the pool is stopping.
+        """
+        try:
+            self._worker_loop(index)
+        except BaseException as exc:
+            stranded = self._inflight.pop(index, [])
+            with self._lifecycle:
+                self._crashes += 1
+                crashes = self._crashes
+            get_registry().counter(
+                "repro_worker_crashes_total",
+                "Micro-batcher worker threads that died and were respawned",
+            ).inc()
+            _log.error(
+                "worker_crashed", worker=index,
+                error_type=type(exc).__name__, error=str(exc),
+                stranded_requests=len(stranded), total_crashes=crashes,
+            )
+            for item in stranded:
+                item.retries += 1
+                if item.retries > self.max_item_retries:
+                    item.error = WorkerCrash(
+                        f"request abandoned after {item.retries} worker "
+                        f"crashes"
+                    )
+                    item.done.set()
+                    continue
+                try:
+                    self._queue.put_nowait(item)
+                except queue.Full:
+                    item.error = exc
+                    item.done.set()
+            if self._on_worker_crash is not None:
+                self._on_worker_crash(index, exc)
+            with self._lifecycle:
+                if self._started and not self._stopped:
+                    self._spawn_worker()
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+
+    def alive_workers(self) -> int:
+        """Worker threads currently alive."""
+        with self._lifecycle:
+            return sum(1 for t in self._threads if t.is_alive())
+
+    def crash_count(self) -> int:
+        """Worker deaths observed (and supervised) so far."""
+        with self._lifecycle:
+            return self._crashes

@@ -29,7 +29,10 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.obs import timed_stage
+from repro.obs import get_logger, span, timed_stage
+from repro.relia.degrade import ServeDegradePolicy
+from repro.relia.errors import RetryExhausted, WorkerCrash
+from repro.relia.retry import CircuitBreaker
 from repro.serve.cache import DEFAULT_DECIMALS, ResultCache, quantize_key
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import ProfileRegistry
@@ -37,7 +40,15 @@ from repro.serve.scheduler import MicroBatcher, ShedRequest
 from repro.stream.frozen import FrozenProfile
 from repro.utils.checks import check_matrix
 
-__all__ = ["ClassifyResult", "PendingClassify", "ProfileService", "ShedRequest"]
+__all__ = [
+    "ClassifyResult",
+    "PendingClassify",
+    "ProfileService",
+    "ServeDegradePolicy",
+    "ShedRequest",
+]
+
+_log = get_logger("repro.serve.service")
 
 
 @dataclass(frozen=True)
@@ -49,11 +60,15 @@ class ClassifyResult:
         version: the single profile version every label came from.
         cached: per-vector flag — True where the label was served from
             the result cache.
+        degraded: True when the answer came from the nearest-centroid
+            fallback path (worker pool unhealthy) instead of the full
+            forest vote — a best-effort label, not full fidelity.
     """
 
     labels: np.ndarray
     version: int
     cached: np.ndarray
+    degraded: bool = False
 
     @property
     def n_vectors(self) -> int:
@@ -85,6 +100,7 @@ class PendingClassify:
         missing: List[int],
         version: Optional[int],
         started_at: float,
+        degrade_now: bool = False,
     ) -> None:
         self._service = service
         self._features = features
@@ -94,10 +110,47 @@ class PendingClassify:
         self._missing = missing
         self._version = version
         self._started_at = started_at
+        self._degrade_now = degrade_now
+
+    def _fallback(self) -> ClassifyResult:
+        """Answer from nearest centroids, marked degraded (never cached)."""
+        service = self._service
+        n = self._features.shape[0]
+        labels = np.empty(n, dtype=int)
+        cached_mask = np.zeros(n, dtype=bool)
+        if self._missing:
+            fresh, version = service._degrade_labels(
+                self._features[self._missing]
+            )
+            for slot, row in enumerate(self._missing):
+                labels[row] = int(fresh[slot])
+        else:
+            version = self._version
+        for row, label in self._cached_labels.items():
+            labels[row] = label
+            cached_mask[row] = True
+        service._degraded_total.inc(len(self._missing))
+        service.metrics.observe_request(
+            time.perf_counter() - self._started_at, n_vectors=n
+        )
+        assert version is not None
+        return ClassifyResult(
+            labels=labels, version=int(version), cached=cached_mask,
+            degraded=True,
+        )
 
     def result(self, timeout: Optional[float] = None) -> ClassifyResult:
-        """Block until classified; returns a version-consistent answer."""
+        """Block until classified; returns a version-consistent answer.
+
+        Under an active :class:`ServeDegradePolicy`, a request whose
+        batch died with the worker pool (crashes, vote failures) is
+        answered from the nearest-centroid path with ``degraded=True``
+        instead of raising — callers always get *an* answer or a typed
+        admission error, never a silent drop.
+        """
         service = self._service
+        if self._degrade_now:
+            return self._fallback()
         n = self._features.shape[0]
         labels = np.empty(n, dtype=int)
         cached_mask = np.zeros(n, dtype=bool)
@@ -127,9 +180,14 @@ class PendingClassify:
                     for row, label in self._cached_labels.items():
                         labels[row] = label
                         cached_mask[row] = True
-        except BaseException:
+        except BaseException as exc:
+            if service._may_degrade(exc):
+                service._note_vote_failure(exc)
+                return self._fallback()
             service.metrics.incr("errors")
             raise
+        if self._item is not None:
+            service._note_vote_success()
         service.metrics.observe_request(
             time.perf_counter() - self._started_at, n_vectors=n
         )
@@ -152,6 +210,14 @@ class ProfileService:
         max_queue_depth: admission watermark (queued requests).
         shed_retry_after_s: back-off suggested to shed clients.
         metrics: share an existing :class:`ServeMetrics` (else create one).
+        degrade: opt-in graceful degradation — a circuit breaker watches
+            worker health (crashes, vote failures) and, while open,
+            queries are answered from the frozen profile's
+            nearest-centroid path marked ``degraded=true`` instead of
+            failing.  None (the default) keeps strict fail-fast
+            behavior.
+        max_item_retries: times a request stranded by a worker crash is
+            requeued before failing (see :class:`MicroBatcher`).
     """
 
     def __init__(
@@ -167,11 +233,14 @@ class ProfileService:
         max_queue_depth: int = 256,
         shed_retry_after_s: float = 0.05,
         metrics: Optional[ServeMetrics] = None,
+        degrade: Optional[ServeDegradePolicy] = None,
+        max_item_retries: int = 2,
     ) -> None:
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self.registry = ProfileRegistry()
         self.cache = ResultCache(maxsize=cache_size, ttl_seconds=cache_ttl_s)
         self.cache_decimals = int(cache_decimals)
+        self.degrade = degrade
         self._batcher = MicroBatcher(
             self._classify_batch,
             max_batch=max_batch,
@@ -184,6 +253,8 @@ class ProfileService:
             ),
             on_queue_wait=self.metrics.observe_queue_wait,
             on_assembly=self.metrics.observe_assembly,
+            max_item_retries=max_item_retries,
+            on_worker_crash=self._note_worker_crash,
         )
         # Scrape-time node gauges on the metrics registry, so one
         # Prometheus text render covers the whole serving node.
@@ -198,6 +269,18 @@ class ProfileService:
         obs_registry.gauge(
             "repro_serve_cache_entries", "Result-cache entries resident"
         ).set_function(lambda: self.cache.stats()["size"])
+        self._degraded_total = obs_registry.counter(
+            "repro_degraded_answers_total",
+            "Queries answered from the nearest-centroid fallback path",
+        )
+        self._breaker: Optional[CircuitBreaker] = None
+        if degrade is not None:
+            self._breaker = CircuitBreaker(
+                "serve.workers",
+                failure_threshold=degrade.failure_threshold,
+                reset_timeout_s=degrade.reset_timeout_s,
+                registry=obs_registry,
+            )
         self._batcher.start()
         if frozen is not None:
             self.reload(frozen)
@@ -257,12 +340,23 @@ class ProfileService:
         self.metrics.incr("cache_hits", len(cached_labels))
         self.metrics.incr("cache_misses", len(missing))
         item = None
+        degrade_now = False
         if missing:
-            try:
-                item = self._batcher.submit(features[missing])
-            except ShedRequest:
-                self.metrics.incr("shed_requests")
-                raise
+            if (
+                self._breaker is not None
+                and self.degrade is not None
+                and self.degrade.fallback_to_centroids
+                and not self._breaker.allow()
+            ):
+                # Worker pool unhealthy: skip the batcher entirely and
+                # answer from centroids while the breaker stays open.
+                degrade_now = True
+            else:
+                try:
+                    item = self._batcher.submit(features[missing])
+                except ShedRequest:
+                    self.metrics.incr("shed_requests")
+                    raise
         return PendingClassify(
             self,
             features,
@@ -272,6 +366,7 @@ class ProfileService:
             missing,
             version,
             started_at,
+            degrade_now=degrade_now,
         )
 
     def classify(self, vectors: np.ndarray,
@@ -313,6 +408,39 @@ class ProfileService:
 
     def _store(self, version: int, key: bytes, label: int) -> None:
         self.cache.put((version, key), int(label))
+
+    def _degrade_labels(self, features: np.ndarray):
+        """Nearest-centroid labels under a single pinned version."""
+        with span("serve.degraded_vote", rows=int(features.shape[0])):
+            with self.registry.acquire() as (version, profile):
+                return profile.nearest_centroids(features), version
+
+    def _may_degrade(self, exc: BaseException) -> bool:
+        """Whether this batch failure should fall back, not raise."""
+        if self.degrade is None or not self.degrade.fallback_to_centroids:
+            return False
+        if isinstance(exc, ShedRequest):
+            return False  # admission control stays fail-fast
+        return isinstance(
+            exc, (WorkerCrash, RetryExhausted, RuntimeError, TimeoutError)
+        )
+
+    def _note_worker_crash(self, index: int, exc: BaseException) -> None:
+        if self._breaker is not None:
+            self._breaker.record_failure()
+
+    def _note_vote_failure(self, exc: BaseException) -> None:
+        self.metrics.incr("errors")
+        if self._breaker is not None:
+            self._breaker.record_failure()
+        _log.warning(
+            "degraded_answer", error_type=type(exc).__name__,
+            error=str(exc),
+        )
+
+    def _note_vote_success(self) -> None:
+        if self._breaker is not None:
+            self._breaker.record_success()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -32,7 +32,10 @@ from repro.stream.accumulators import (
     SlidingWindowTensor,
 )
 from repro.stream.checkpoint import (
+    backup_path,
+    checkpoint_path,
     load_state,
+    load_state_with_rollback,
     merge_namespaces,
     save_state,
     split_namespace,
@@ -64,6 +67,9 @@ __all__ = [
     "DEFAULT_WINDOW_HOURS",
     "save_state",
     "load_state",
+    "load_state_with_rollback",
+    "checkpoint_path",
+    "backup_path",
     "split_namespace",
     "merge_namespaces",
 ]

@@ -1,4 +1,4 @@
-"""Checkpoint/restore of accumulator state to ``.npz``.
+"""Checkpoint/restore of accumulator state to ``.npz``, CRC-validated.
 
 A checkpoint is a flat mapping ``key -> array | scalar | string``; nested
 components namespace their keys with ``"component."`` prefixes (e.g.
@@ -6,34 +6,91 @@ components namespace their keys with ``"component."`` prefixes (e.g.
 so an ingestion process restored from a checkpoint continues bit-for-bit
 identically to one that never stopped.  Scalars and strings are recorded
 in a JSON manifest so their Python types survive the round trip.
+
+Durability is belt-and-braces:
+
+* writes are atomic (assembled in a ``<path>.tmp`` sibling, installed
+  with :func:`os.replace`) so a process killed mid-write can never leave
+  a torn file at the destination;
+* every array's CRC32 (over dtype, shape, and bytes) is recorded in the
+  manifest and re-verified on load, so silent corruption *after* the
+  write — a torn copy, a bad sector, an injected truncation — surfaces
+  as a typed :class:`~repro.relia.errors.CheckpointCorrupt` instead of a
+  raw ``zipfile``/``numpy`` exception deep inside restore;
+* each successful save rotates the previous checkpoint to a ``.bak``
+  sibling, and :func:`load_state_with_rollback` falls back to it when
+  the primary fails validation — preserving the corrupt file as
+  ``<path>.corrupt`` for autopsy.
+
+Checkpoints written before CRC validation existed (manifest format 1)
+still load; they simply skip the CRC pass.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
+import zipfile
+import zlib
 from pathlib import Path
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
+
+from repro.obs import get_logger
+from repro.relia.errors import CheckpointCorrupt
+from repro.relia.faults import fault_point, maybe_truncate_file
 
 #: Reserved key of the JSON manifest inside the archive.
 _MANIFEST_KEY = "__manifest__"
 
+#: Current manifest layout: {"format": 2, "scalars": {...}, "crc": {...}}.
+_MANIFEST_FORMAT = 2
 
-def save_state(path, state: Mapping[str, object]) -> None:
+_log = get_logger("repro.stream.checkpoint")
+
+
+def checkpoint_path(path) -> Path:
+    """Normalize a checkpoint destination (appends ``.npz`` when missing)."""
+    destination = Path(path)
+    if destination.suffix != ".npz":
+        destination = destination.with_name(destination.name + ".npz")
+    return destination
+
+
+def backup_path(path) -> Path:
+    """The ``.bak`` sibling holding the previous good checkpoint."""
+    destination = checkpoint_path(path)
+    return destination.with_name(destination.name + ".bak")
+
+
+def _array_crc(value: np.ndarray) -> int:
+    """CRC32 over an array's dtype, shape, and raw bytes."""
+    crc = zlib.crc32(str(value.dtype).encode("ascii"))
+    crc = zlib.crc32(str(value.shape).encode("ascii"), crc)
+    crc = zlib.crc32(np.ascontiguousarray(value).tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
+def save_state(path, state: Mapping[str, object],
+               keep_backup: bool = True) -> None:
     """Write a flat state mapping to a ``.npz`` checkpoint file.
 
     The write is atomic: the archive is assembled in a ``<path>.tmp``
     sibling and moved into place with :func:`os.replace`, so a process
     killed mid-write can never leave a torn checkpoint — the destination
-    either holds the previous complete checkpoint or the new one.
+    either holds the previous complete checkpoint or the new one.  The
+    manifest records a CRC32 per array, verified by :func:`load_state`.
 
     Args:
         path: destination path (``.npz`` is appended when missing, to
             match :func:`numpy.savez_compressed`).
         state: mapping of string keys to numpy arrays, ints, floats,
             bools, or strings.
+        keep_backup: rotate an existing checkpoint at the destination to
+            a ``.bak`` sibling before installing the new one, enabling
+            :func:`load_state_with_rollback`.
     """
     arrays: Dict[str, np.ndarray] = {}
     scalars: Dict[str, Dict[str, object]] = {}
@@ -56,33 +113,80 @@ def save_state(path, state: Mapping[str, object]) -> None:
                 f"unsupported checkpoint value for {key!r}: "
                 f"{type(value).__name__}"
             )
-    manifest = json.dumps(scalars).encode("utf-8")
+    manifest = json.dumps({
+        "format": _MANIFEST_FORMAT,
+        "scalars": scalars,
+        "crc": {key: _array_crc(value) for key, value in arrays.items()},
+    }).encode("utf-8")
     arrays[_MANIFEST_KEY] = np.frombuffer(manifest, dtype=np.uint8)
-    destination = Path(path)
-    if destination.suffix != ".npz":
-        destination = destination.with_name(destination.name + ".npz")
+    destination = checkpoint_path(path)
+    fault_point("stream.checkpoint.write", file=destination.name)
     staging = destination.with_name(destination.name + ".tmp")
     try:
         # Writing through a file handle keeps numpy from appending a
         # suffix to the staging name.
         with open(staging, "wb") as handle:
             np.savez_compressed(handle, **arrays)
+        if keep_backup and destination.exists():
+            os.replace(destination, backup_path(destination))
         os.replace(staging, destination)
     finally:
         if staging.exists():
             staging.unlink()
+    # Chaos hook: corrupt the installed file *after* a clean write — the
+    # shape of a torn copy or bad sector that CRC validation must catch.
+    maybe_truncate_file(destination, "stream.checkpoint",
+                        file=destination.name)
 
 
 def load_state(path) -> Dict[str, object]:
-    """Read back a checkpoint written by :func:`save_state`."""
+    """Read back and validate a checkpoint written by :func:`save_state`.
+
+    Raises:
+        CheckpointCorrupt: when the file is not a readable archive, the
+            manifest is missing or malformed, an array named by the
+            manifest is absent, or any array fails its CRC check.
+        FileNotFoundError: when the file does not exist (a *missing*
+            checkpoint is a different condition from a corrupt one).
+    """
     path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
     state: Dict[str, object] = {}
-    with np.load(path, allow_pickle=False) as archive:
-        manifest_raw = archive[_MANIFEST_KEY]
-        scalars = json.loads(bytes(manifest_raw.tobytes()).decode("utf-8"))
-        for key in archive.files:
-            if key != _MANIFEST_KEY:
-                state[key] = archive[key]
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if _MANIFEST_KEY not in archive.files:
+                raise CheckpointCorrupt(path, "missing manifest")
+            manifest_raw = archive[_MANIFEST_KEY]
+            manifest = json.loads(
+                bytes(manifest_raw.tobytes()).decode("utf-8")
+            )
+            for key in archive.files:
+                if key != _MANIFEST_KEY:
+                    state[key] = archive[key]
+    except CheckpointCorrupt:
+        raise
+    except (zipfile.BadZipFile, zlib.error, OSError, EOFError, KeyError,
+            ValueError) as exc:
+        raise CheckpointCorrupt(
+            path, f"unreadable archive ({type(exc).__name__}: {exc})"
+        ) from exc
+    if isinstance(manifest, dict) and "format" in manifest:
+        scalars = manifest.get("scalars", {})
+        checksums = manifest.get("crc", {})
+        for key, expected in checksums.items():
+            if key not in state:
+                raise CheckpointCorrupt(path, f"missing array {key!r}")
+            actual = _array_crc(state[key])
+            if actual != int(expected):
+                raise CheckpointCorrupt(
+                    path,
+                    f"crc mismatch for {key!r} "
+                    f"(expected {int(expected)}, got {actual})",
+                )
+    else:
+        # Format-1 manifest: a bare scalars dict, no CRC coverage.
+        scalars = manifest
     for key, entry in scalars.items():
         kind, value = entry["type"], entry["value"]
         if kind == "bool":
@@ -96,6 +200,42 @@ def load_state(path) -> Dict[str, object]:
         else:  # pragma: no cover - forward compatibility guard
             raise ValueError(f"unknown scalar type {kind!r} for {key!r}")
     return state
+
+
+def load_state_with_rollback(path) -> Tuple[Dict[str, object], bool]:
+    """Load a checkpoint, falling back to its ``.bak`` on corruption.
+
+    On a corrupt primary with a valid backup: the corrupt file is
+    preserved as ``<path>.corrupt`` for autopsy, the backup is promoted
+    back to the primary path, and the backup's state is returned.
+
+    Returns:
+        ``(state, rolled_back)`` — ``rolled_back`` is True when the
+        state came from the backup.
+
+    Raises:
+        CheckpointCorrupt: when the primary is corrupt and no valid
+            backup exists (the original corruption error).
+        FileNotFoundError: when neither file exists.
+    """
+    primary = checkpoint_path(path)
+    try:
+        return load_state(primary), False
+    except CheckpointCorrupt as primary_error:
+        backup = backup_path(primary)
+        try:
+            state = load_state(backup)
+        except (CheckpointCorrupt, FileNotFoundError):
+            raise primary_error
+        autopsy = primary.with_name(primary.name + ".corrupt")
+        os.replace(primary, autopsy)
+        shutil.copy2(backup, primary)
+        _log.error(
+            "checkpoint_rollback", path=str(primary),
+            reason=primary_error.reason, backup=str(backup),
+            corrupt_saved_as=str(autopsy),
+        )
+        return state, True
 
 
 def split_namespace(

@@ -27,8 +27,11 @@ from repro.analysis.drift import DriftReport, compare_partitions
 from repro.obs import get_logger, span
 from repro.stream.accumulators import IncrementalRSCA, SlidingWindowTensor
 from repro.stream.batch import HourlyBatch
+from repro.relia.faults import fault_point
 from repro.stream.checkpoint import (
+    checkpoint_path,
     load_state,
+    load_state_with_rollback,
     merge_namespaces,
     save_state,
     split_namespace,
@@ -140,6 +143,9 @@ class StreamingProfiler:
 
     def ingest(self, batch: HourlyBatch) -> BatchResult:
         """Fold one batch in; classify / drift-check on schedule."""
+        # Chaos hook, armed only under an installed FaultPlan.  Placed
+        # before any accumulator mutation so a retried ingest is safe.
+        fault_point("stream.ingest", hour=str(batch.hour))
         with span("stream.ingest", hour=str(batch.hour),
                   n_rows=int(batch.n_rows)):
             with self.metrics.timer("ingest_seconds"):
@@ -283,13 +289,27 @@ class StreamingProfiler:
         classify_every: int = 1,
         drift_check_every: int = 0,
         drift_threshold: float = 1.5,
+        rollback: bool = True,
     ) -> "StreamingProfiler":
         """Rebuild a profiler mid-stream from a checkpoint.
 
         The restored accumulators continue bit-for-bit identically to an
         uninterrupted run; only wall-clock timers restart.
+
+        Args:
+            rollback: on a corrupt checkpoint, fall back to the ``.bak``
+                sibling kept by :func:`repro.stream.checkpoint.save_state`
+                (the corrupt file is preserved as ``<path>.corrupt``).
+                When False — or when no valid backup exists — corruption
+                raises :class:`repro.relia.errors.CheckpointCorrupt`.
         """
-        state = load_state(path)
+        if rollback:
+            state, rolled_back = load_state_with_rollback(path)
+            if rolled_back:
+                _log.warning("checkpoint_restored_from_backup",
+                             path=str(path))
+        else:
+            state = load_state(checkpoint_path(path))
         totals = IncrementalRSCA.from_state(split_namespace(state, "totals"))
         if totals.service_names != tuple(frozen.service_names):
             raise ValueError(

@@ -1,0 +1,190 @@
+"""Degradation wrapper: reordering, dedup, gaps, quarantine, fallthrough."""
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import MetricsRegistry, get_registry, set_registry
+from repro.relia import (
+    ResilientStreamingProfiler,
+    RetryPolicy,
+    StreamDegradePolicy,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = get_registry()
+    registry = MetricsRegistry()
+    set_registry(registry)
+    yield registry
+    set_registry(previous)
+
+
+@dataclass(frozen=True)
+class FakeBatch:
+    hour: np.datetime64
+    n_rows: int = 3
+
+
+@dataclass
+class FakeProfiler:
+    """Strict-order profiler double recording every folded hour."""
+
+    folded: List[str] = field(default_factory=list)
+    fail_hours: dict = field(default_factory=dict)  # hour -> failures left
+
+    def ingest(self, batch):
+        hour = str(batch.hour)
+        remaining = self.fail_hours.get(hour, 0)
+        if remaining:
+            self.fail_hours[hour] = remaining - 1
+            raise OSError(f"feed glitch at {hour}")
+        if self.folded and hour <= self.folded[-1]:
+            raise ValueError(f"hour {hour} not after {self.folded[-1]}")
+        self.folded.append(hour)
+        return hour
+
+    def summary(self):
+        return f"folded {len(self.folded)}"
+
+
+def batch(hour: str) -> FakeBatch:
+    return FakeBatch(hour=np.datetime64(hour, "h"))
+
+
+HOURS = [f"2023-01-09T{h:02d}" for h in range(8)]
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+
+
+def make_wrapper(inner=None, **policy_kwargs):
+    policy_kwargs.setdefault("retry", FAST_RETRY)
+    inner = inner if inner is not None else FakeProfiler()
+    wrapper = ResilientStreamingProfiler(
+        inner, StreamDegradePolicy(**policy_kwargs), rng=random.Random(0)
+    )
+    return wrapper, inner
+
+
+def test_policy_validates_parameters():
+    with pytest.raises(ValueError):
+        StreamDegradePolicy(reorder_window=0)
+    with pytest.raises(ValueError):
+        StreamDegradePolicy(max_quarantine=0)
+
+
+def test_in_order_stream_folds_in_order():
+    wrapper, inner = make_wrapper(reorder_window=3)
+    for hour in HOURS:
+        wrapper.ingest(batch(hour))
+    wrapper.flush()
+    assert inner.folded == HOURS
+
+
+def test_window_one_disables_reordering():
+    wrapper, inner = make_wrapper(reorder_window=1)
+    results = wrapper.ingest(batch(HOURS[0]))
+    assert results == [HOURS[0]]  # released immediately
+    assert wrapper.pending_count == 0
+    assert inner.folded == [HOURS[0]]
+
+
+def test_reorder_window_repairs_one_step_delay():
+    wrapper, inner = make_wrapper(reorder_window=3)
+    arrival = [HOURS[0], HOURS[2], HOURS[1], HOURS[3], HOURS[5],
+               HOURS[4], HOURS[6], HOURS[7]]
+    for hour in arrival:
+        wrapper.ingest(batch(hour))
+    wrapper.flush()
+    assert inner.folded == HOURS
+    counter = get_registry().get("repro_reordered_batches_total")
+    assert counter.value == 2
+
+
+def test_duplicate_hours_are_dropped():
+    wrapper, inner = make_wrapper(reorder_window=1)
+    for hour in [HOURS[0], HOURS[1], HOURS[1], HOURS[2]]:
+        wrapper.ingest(batch(hour))
+    assert inner.folded == HOURS[:3]
+    counter = get_registry().get("repro_duplicate_hours_total")
+    assert counter.value == 1
+
+
+def test_gaps_are_counted_and_survived():
+    wrapper, inner = make_wrapper(reorder_window=1)
+    for hour in [HOURS[0], HOURS[1], HOURS[5], HOURS[6]]:
+        wrapper.ingest(batch(hour))
+    assert inner.folded == [HOURS[0], HOURS[1], HOURS[5], HOURS[6]]
+    counter = get_registry().get("repro_stream_gap_hours_total")
+    assert counter.value == 3  # hours 2, 3, 4 never arrived
+
+
+def test_transient_failure_is_retried_not_quarantined():
+    inner = FakeProfiler(fail_hours={HOURS[1]: 2})
+    wrapper, _ = make_wrapper(inner=inner, reorder_window=1)
+    for hour in HOURS[:3]:
+        wrapper.ingest(batch(hour))
+    assert inner.folded == HOURS[:3]
+    assert wrapper.quarantine == []
+    retries = get_registry().get("repro_retries_total")
+    assert retries.labels(site="stream.ingest").value == 2
+
+
+def test_poisoned_batch_is_quarantined_and_stream_continues():
+    inner = FakeProfiler(fail_hours={HOURS[1]: 99})
+    wrapper, _ = make_wrapper(inner=inner, reorder_window=1)
+    results = []
+    for hour in HOURS[:4]:
+        results.extend(wrapper.ingest(batch(hour)))
+    assert inner.folded == [HOURS[0], HOURS[2], HOURS[3]]
+    assert results == [HOURS[0], None, HOURS[2], HOURS[3]]
+    held = wrapper.quarantine
+    assert len(held) == 1
+    assert held[0].error_type == "OSError"
+    assert held[0].attempts == 3
+    assert wrapper.quarantined_hours() == [np.datetime64(HOURS[1], "h")]
+    counter = get_registry().get("repro_quarantined_batches_total")
+    assert counter.value == 1
+
+
+def test_quarantine_is_bounded():
+    inner = FakeProfiler(fail_hours={hour: 99 for hour in HOURS})
+    wrapper, _ = make_wrapper(inner=inner, reorder_window=1,
+                              max_quarantine=3)
+    for hour in HOURS:
+        wrapper.ingest(batch(hour))
+    assert len(wrapper.quarantine) == 3  # oldest evicted
+    assert wrapper.quarantined_hours() == [
+        np.datetime64(hour, "h") for hour in HOURS[-3:]
+    ]
+    counter = get_registry().get("repro_quarantined_batches_total")
+    assert counter.value == len(HOURS)  # counts persist past eviction
+
+
+def test_attribute_access_falls_through_to_inner():
+    wrapper, inner = make_wrapper(reorder_window=1)
+    wrapper.ingest(batch(HOURS[0]))
+    assert wrapper.summary() == "folded 1"
+    assert wrapper.profiler is inner
+
+
+def test_context_manager_flushes_on_clean_exit():
+    wrapper, inner = make_wrapper(reorder_window=4)
+    with wrapper:
+        for hour in HOURS[:3]:
+            wrapper.ingest(batch(hour))
+        assert inner.folded == []  # window still filling
+    assert inner.folded == HOURS[:3]
+
+
+def test_context_manager_skips_flush_on_error():
+    wrapper, inner = make_wrapper(reorder_window=4)
+    with pytest.raises(KeyError):
+        with wrapper:
+            wrapper.ingest(batch(HOURS[0]))
+            raise KeyError("boom")
+    assert inner.folded == []

@@ -1,0 +1,242 @@
+"""Fault-plan semantics: budgets, matching, determinism, and the sites."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import MetricsRegistry, get_registry, set_registry
+from repro.relia import (
+    FAULT_KINDS,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    WorkerCrash,
+    active_plan,
+    fault_point,
+    inject,
+    maybe_truncate_file,
+    perturb_hourly_stream,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = get_registry()
+    registry = MetricsRegistry()
+    set_registry(registry)
+    yield registry
+    set_registry(previous)
+
+
+def fake_batch(hour: str):
+    return SimpleNamespace(hour=np.datetime64(hour, "h"))
+
+
+# ----------------------------------------------------------------------
+# Rule validation
+# ----------------------------------------------------------------------
+
+
+def test_rule_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultRule(site="x", kind="meteor_strike")
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"times": 0},
+    {"probability": 0.0},
+    {"probability": 1.5},
+    {"skip": -1},
+    {"fraction": 1.0},
+])
+def test_rule_rejects_bad_parameters(kwargs):
+    with pytest.raises(ValueError):
+        FaultRule(site="x", kind="io_error", **kwargs)
+
+
+def test_every_declared_kind_constructs():
+    for kind in FAULT_KINDS:
+        FaultRule(site="x", kind=kind)
+
+
+# ----------------------------------------------------------------------
+# Firing semantics
+# ----------------------------------------------------------------------
+
+
+def test_times_budget_is_burned():
+    plan = FaultPlan().add("s", "io_error", times=2)
+    assert plan.fire("s", ("io_error",)) is not None
+    assert plan.fire("s", ("io_error",)) is not None
+    assert plan.fire("s", ("io_error",)) is None
+    assert plan.injected_total("s", "io_error") == 2
+
+
+def test_times_none_fires_forever():
+    plan = FaultPlan().add("s", "io_error", times=None)
+    for _ in range(10):
+        assert plan.fire("s", ("io_error",)) is not None
+    assert plan.injected_total() == 10
+
+
+def test_skip_lets_leading_calls_pass():
+    plan = FaultPlan().add("s", "io_error", times=1, skip=2)
+    assert plan.fire("s", ("io_error",)) is None
+    assert plan.fire("s", ("io_error",)) is None
+    assert plan.fire("s", ("io_error",)) is not None
+
+
+def test_match_filters_on_attributes():
+    plan = FaultPlan().add("s", "io_error", times=None, hour="2023-01-09T05")
+    assert plan.fire("s", ("io_error",), hour="2023-01-09T04") is None
+    assert plan.fire("s", ("io_error",), hour="2023-01-09T05") is not None
+    # Attribute comparison is on string forms, so datetimes work too.
+    assert plan.fire(
+        "s", ("io_error",), hour=np.datetime64("2023-01-09T05", "h")
+    ) is not None
+
+
+def test_site_and_kind_must_both_match():
+    plan = FaultPlan().add("a", "io_error")
+    assert plan.fire("b", ("io_error",)) is None
+    assert plan.fire("a", ("crash",)) is None
+    assert plan.fire("a", ("io_error", "crash")) is not None
+
+
+def test_probability_sequence_is_seed_deterministic():
+    def firing_pattern(seed):
+        plan = FaultPlan(seed=seed).add(
+            "s", "io_error", times=None, probability=0.5
+        )
+        return [plan.fire("s", ("io_error",)) is not None
+                for _ in range(32)]
+
+    pattern = firing_pattern(seed=123)
+    assert firing_pattern(seed=123) == pattern
+    assert any(pattern) and not all(pattern)
+    assert firing_pattern(seed=124) != pattern
+
+
+def test_fire_increments_injection_counter(fresh_registry):
+    plan = FaultPlan().add("s", "io_error", times=1)
+    plan.fire("s", ("io_error",))
+    family = fresh_registry.get("repro_faults_injected_total")
+    assert family.labels(site="s", kind="io_error").value == 1
+
+
+# ----------------------------------------------------------------------
+# Installation
+# ----------------------------------------------------------------------
+
+
+def test_inject_installs_and_uninstalls():
+    plan = FaultPlan()
+    assert active_plan() is None
+    with inject(plan):
+        assert active_plan() is plan
+    assert active_plan() is None
+
+
+def test_inject_rejects_nesting():
+    with inject(FaultPlan()):
+        with pytest.raises(RuntimeError, match="already installed"):
+            with inject(FaultPlan()):
+                pass
+    assert active_plan() is None
+
+
+def test_inject_uninstalls_on_error():
+    with pytest.raises(KeyError):
+        with inject(FaultPlan()):
+            raise KeyError("boom")
+    assert active_plan() is None
+
+
+# ----------------------------------------------------------------------
+# fault_point
+# ----------------------------------------------------------------------
+
+
+def test_fault_point_is_noop_without_plan():
+    fault_point("anywhere", hour="5")
+
+
+def test_fault_point_raises_typed_errors():
+    plan = FaultPlan().add("s", "io_error", times=1).add("s", "crash", times=1)
+    with inject(plan):
+        with pytest.raises(FaultError):
+            fault_point("s")
+        with pytest.raises(WorkerCrash):
+            fault_point("s")
+        fault_point("s")  # both budgets burned
+
+
+def test_fault_error_is_an_os_error():
+    # Retry policies treat injected I/O faults as transient OSErrors.
+    assert issubclass(FaultError, OSError)
+
+
+# ----------------------------------------------------------------------
+# maybe_truncate_file
+# ----------------------------------------------------------------------
+
+
+def test_truncate_keeps_leading_fraction(tmp_path):
+    target = tmp_path / "blob.bin"
+    target.write_bytes(bytes(range(100)))
+    plan = FaultPlan().add("disk", "truncate", times=1, fraction=0.25)
+    with inject(plan):
+        assert maybe_truncate_file(target, "disk") is True
+        assert maybe_truncate_file(target, "disk") is False  # budget burned
+    assert target.read_bytes() == bytes(range(25))
+
+
+def test_truncate_is_noop_without_plan(tmp_path):
+    target = tmp_path / "blob.bin"
+    target.write_bytes(b"intact")
+    assert maybe_truncate_file(target, "disk") is False
+    assert target.read_bytes() == b"intact"
+
+
+# ----------------------------------------------------------------------
+# perturb_hourly_stream
+# ----------------------------------------------------------------------
+
+HOURS = [f"2023-01-09T{h:02d}" for h in range(6)]
+
+
+def replayed_hours(plan):
+    batches = [fake_batch(h) for h in HOURS]
+    if plan is None:
+        return [str(b.hour) for b in perturb_hourly_stream(iter(batches))]
+    with inject(plan):
+        return [str(b.hour) for b in perturb_hourly_stream(iter(batches))]
+
+
+def test_perturb_passthrough_without_plan():
+    assert replayed_hours(None) == HOURS
+
+
+def test_perturb_duplicate_redelivers_hour():
+    plan = FaultPlan().add("stream.feed", "duplicate", hour=HOURS[2])
+    assert replayed_hours(plan) == (
+        HOURS[:3] + [HOURS[2]] + HOURS[3:]
+    )
+
+
+def test_perturb_drop_swallows_hour():
+    plan = FaultPlan().add("stream.feed", "drop", hour=HOURS[2])
+    assert replayed_hours(plan) == HOURS[:2] + HOURS[3:]
+
+
+def test_perturb_delay_reorders_past_successor():
+    plan = FaultPlan().add("stream.feed", "delay", hour=HOURS[2])
+    assert replayed_hours(plan) == [
+        HOURS[0], HOURS[1], HOURS[3], HOURS[2], HOURS[4], HOURS[5]
+    ]
+
+
+def test_perturb_delayed_final_batch_still_delivered():
+    plan = FaultPlan().add("stream.feed", "delay", hour=HOURS[-1])
+    assert replayed_hours(plan) == HOURS  # nothing after it to swap with

@@ -1,0 +1,254 @@
+"""Retry/backoff semantics and the circuit-breaker state machine."""
+
+import random
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry, get_registry, set_registry
+from repro.relia import (
+    CircuitBreaker,
+    CircuitOpen,
+    RetryExhausted,
+    RetryPolicy,
+    retry_call,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = get_registry()
+    registry = MetricsRegistry()
+    set_registry(registry)
+    yield registry
+    set_registry(previous)
+
+
+class Flaky:
+    """Callable failing the first ``n_failures`` times."""
+
+    def __init__(self, n_failures, error=OSError("transient")):
+        self.n_failures = n_failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.n_failures:
+            raise self.error
+        return "ok"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+
+
+def test_policy_validates_parameters():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(deadline_s=0.0)
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0,
+                         max_delay_s=0.5, jitter=0.0)
+    rng = random.Random(0)
+    delays = [policy.delay_for(k, rng) for k in (1, 2, 3, 4, 5)]
+    assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+def test_jitter_only_adds():
+    policy = RetryPolicy(base_delay_s=0.1, multiplier=1.0,
+                         max_delay_s=0.1, jitter=0.5)
+    rng = random.Random(7)
+    for k in range(1, 20):
+        delay = policy.delay_for(k, rng)
+        assert 0.1 <= delay <= 0.15
+
+
+# ----------------------------------------------------------------------
+# retry_call
+# ----------------------------------------------------------------------
+
+
+def test_retries_transient_failures_then_succeeds(fresh_registry):
+    fn = Flaky(2)
+    slept = []
+    result = retry_call(
+        fn,
+        policy=RetryPolicy(max_attempts=3, base_delay_s=0.01, jitter=0.0),
+        site="unit", sleep=slept.append, rng=random.Random(0),
+    )
+    assert result == "ok"
+    assert fn.calls == 3
+    assert slept == [0.01, 0.02]
+    retries = fresh_registry.get("repro_retries_total")
+    assert retries.labels(site="unit").value == 2
+
+
+def test_exhaustion_raises_typed_error_with_cause(fresh_registry):
+    fn = Flaky(99)
+    with pytest.raises(RetryExhausted) as excinfo:
+        retry_call(
+            fn,
+            policy=RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0),
+            site="unit", sleep=lambda _s: None,
+        )
+    assert fn.calls == 3
+    assert excinfo.value.site == "unit"
+    assert excinfo.value.attempts == 3
+    assert isinstance(excinfo.value.__cause__, OSError)
+    exhausted = fresh_registry.get("repro_retry_exhausted_total")
+    assert exhausted.labels(site="unit").value == 1
+
+
+def test_non_transient_error_propagates_immediately():
+    fn = Flaky(99, error=KeyError("permanent"))
+    with pytest.raises(KeyError):
+        retry_call(fn, policy=RetryPolicy(max_attempts=5),
+                   sleep=lambda _s: None)
+    assert fn.calls == 1
+
+
+def test_deadline_stops_backoff_early():
+    # The first backoff (10s) alone would blow the 1s deadline, so the
+    # call gives up after a single attempt without sleeping.
+    fn = Flaky(99)
+    slept = []
+    with pytest.raises(RetryExhausted):
+        retry_call(
+            fn,
+            policy=RetryPolicy(max_attempts=5, base_delay_s=10.0,
+                               jitter=0.0, max_delay_s=10.0, deadline_s=1.0),
+            sleep=slept.append,
+        )
+    assert fn.calls == 1
+    assert slept == []
+
+
+def test_on_retry_callback_sees_each_attempt():
+    fn = Flaky(2)
+    seen = []
+    retry_call(
+        fn,
+        policy=RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0),
+        sleep=lambda _s: None,
+        on_retry=lambda attempt, exc: seen.append((attempt, type(exc))),
+    )
+    assert seen == [(1, OSError), (2, OSError)]
+
+
+def test_passes_arguments_through():
+    assert retry_call(lambda a, b=0: a + b, 2, b=3) == 5
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+
+
+def make_breaker(registry, clock, **kwargs):
+    defaults = dict(failure_threshold=3, reset_timeout_s=10.0)
+    defaults.update(kwargs)
+    return CircuitBreaker("unit", registry=registry, clock=clock, **defaults)
+
+
+def test_opens_after_consecutive_failures(fresh_registry):
+    clock = FakeClock()
+    breaker = make_breaker(fresh_registry, clock)
+    assert breaker.state == "closed"
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == "closed"
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert not breaker.allow()
+    assert breaker.retry_after() == pytest.approx(10.0)
+
+
+def test_success_resets_the_failure_count(fresh_registry):
+    breaker = make_breaker(fresh_registry, FakeClock())
+    for _ in range(2):
+        breaker.record_failure()
+    breaker.record_success()
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == "closed"
+
+
+def test_half_open_probe_then_close(fresh_registry):
+    clock = FakeClock()
+    breaker = make_breaker(fresh_registry, clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.now = 10.0
+    assert breaker.state == "half_open"
+    assert breaker.allow()       # the single probe
+    assert not breaker.allow()   # probe budget burned
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+
+
+def test_half_open_failure_reopens(fresh_registry):
+    clock = FakeClock()
+    breaker = make_breaker(fresh_registry, clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.now = 10.0
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.retry_after() == pytest.approx(10.0)
+
+
+def test_check_raises_circuit_open(fresh_registry):
+    clock = FakeClock()
+    breaker = make_breaker(fresh_registry, clock)
+    breaker.check()  # closed: fine
+    for _ in range(3):
+        breaker.record_failure()
+    with pytest.raises(CircuitOpen) as excinfo:
+        breaker.check()
+    assert excinfo.value.breaker == "unit"
+    assert excinfo.value.retry_after == pytest.approx(10.0)
+
+
+def test_call_wrapper_records_outcomes(fresh_registry):
+    breaker = make_breaker(fresh_registry, FakeClock(), failure_threshold=1)
+    assert breaker.call(lambda: 42) == 42
+    with pytest.raises(OSError):
+        breaker.call(Flaky(99))
+    assert breaker.state == "open"
+    with pytest.raises(CircuitOpen):
+        breaker.call(lambda: 42)
+
+
+def test_breaker_exports_state_gauge_and_transitions(fresh_registry):
+    clock = FakeClock()
+    breaker = make_breaker(fresh_registry, clock)
+    gauge = fresh_registry.get("repro_breaker_state").labels(breaker="unit")
+    assert gauge.value == 0
+    for _ in range(3):
+        breaker.record_failure()
+    assert gauge.value == 1
+    clock.now = 10.0
+    assert breaker.allow()
+    assert gauge.value == 2
+    breaker.record_success()
+    assert gauge.value == 0
+    transitions = fresh_registry.get("repro_breaker_transitions_total")
+    assert transitions.labels(breaker="unit", to="open").value == 1
+    assert transitions.labels(breaker="unit", to="half_open").value == 1
+    assert transitions.labels(breaker="unit", to="closed").value == 1
