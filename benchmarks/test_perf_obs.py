@@ -179,6 +179,79 @@ class TestInstrumentationOverhead:
         )
 
 
+class TestFullStackOverhead:
+    def test_vote_with_slo_and_exemplars_under_bound(
+        self, benchmark, frozen, tracing
+    ):
+        """The whole telemetry stack on the vote path stays < 5%.
+
+        The instrumented variant carries everything PR 5 adds on top of
+        plain ``timed_stage``: tracing is live so every stage
+        observation retains a histogram exemplar, and an
+        :class:`SLOEngine` + :class:`AlertManager` tick/evaluate once
+        per round — the scrape-cadence cost a serving node pays when
+        ``/metrics`` is polled while it classifies.
+        """
+        from repro.obs.alerts import AlertManager, default_rules
+        from repro.obs.slo import SLOEngine, default_slos
+
+        registry = MetricsRegistry()
+        clock = {"t": 0.0}
+        engine = SLOEngine(
+            default_slos(registry, window_s=60.0), registry=registry,
+            clock=lambda: clock["t"],
+        )
+        manager = AlertManager(
+            engine, default_rules(engine), registry=registry,
+            clock=lambda: clock["t"],
+        )
+        rng = np.random.default_rng(2)
+        batch = frozen.features[
+            rng.integers(0, N_ANTENNAS, size=VOTE_ROWS)
+        ]
+
+        def bare():
+            frozen.vote(batch)
+
+        calls = {"n": 0}
+
+        def instrumented():
+            with timed_stage("serve.vote", registry=registry,
+                             rows=VOTE_ROWS):
+                frozen.vote(batch)
+            calls["n"] += 1
+            if calls["n"] % INNER == 0:  # one scrape per timing round
+                clock["t"] += 1.0
+                engine.tick()
+                manager.evaluate()
+
+        bare()
+        instrumented()
+        bare_s, inst_s = _interleaved_min(bare, instrumented)
+        ratio = _overhead_ratio(bare_s, inst_s)
+
+        # The exemplar machinery actually ran: the stage histogram
+        # retained trace-correlated exemplars.
+        family = registry.get("repro_stage_seconds")
+        assert family is not None
+        exemplars = [
+            e for _, child in family.series() for e in child.exemplars()
+        ]
+        assert exemplars, "no exemplars retained on the stage histogram"
+        assert engine.n_samples("serve-availability") > 0
+
+        benchmark.extra_info["bare_ms"] = bare_s / INNER * 1e3
+        benchmark.extra_info["instrumented_ms"] = inst_s / INNER * 1e3
+        benchmark.extra_info["overhead_ratio"] = ratio
+        benchmark.extra_info["bound"] = MAX_OVERHEAD
+        benchmark(instrumented)
+
+        assert ratio < ASSERT_CEILING, (
+            f"full telemetry stack overhead {ratio:.1%} exceeds "
+            f"{ASSERT_CEILING:.0%} (bound {MAX_OVERHEAD:.0%})"
+        )
+
+
 class TestSpanMicrocost:
     def test_disabled_span_is_nanoseconds(self, benchmark):
         """The disabled fast path must stay sub-microsecond per span."""

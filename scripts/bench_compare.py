@@ -23,18 +23,41 @@ A metric regresses when ``fresh < baseline * (1 - max_regression)``;
 any regression fails the run (exit 1).  Improvements and new metrics
 never fail.
 
+The serve-report shape above is only the *default*.  Any pair of
+``BENCH_*.json`` reports can be guarded by handing ``--spec`` a JSON
+file that names the metrics via dotted paths into the report::
+
+    {
+      "config_keys": ["n_queries", "n_clusters"],
+      "metrics": {"unbatched_qps": "unbatched.qps"},
+      "ratios":  {"w4_vs_unbatched": ["batched[workers=4].qps",
+                                      "unbatched.qps"]}
+    }
+
+``ratios`` (numerator path / denominator path) are scale-free and
+always compared; ``metrics`` are absolute values, compared only when
+every ``config_keys`` entry matches between the two reports' ``config``
+blocks (omit ``config_keys`` to always compare them).  Paths support
+``a.b.c`` nesting, ``list[0]`` integer indexing, and
+``list[key=value]`` selection of the first matching object.  A path
+that resolves to nothing in one report skips that metric rather than
+failing.
+
 Usage::
 
     python scripts/bench_compare.py --baseline BENCH_serve.json \
         --fresh BENCH_fresh.json --max-regression 0.30
+    python scripts/bench_compare.py --baseline BENCH_obs.json \
+        --fresh BENCH_obs_fresh.json --spec specs/obs_bench.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
-from typing import Dict
+from typing import Dict, Optional, Sequence, Tuple
 
 
 #: Config keys that must all match before absolute qps is comparable.
@@ -48,12 +71,93 @@ CONFIG_KEYS = (
 )
 
 
+#: One ``[...]`` selector inside a path token.
+_SELECTOR = re.compile(r"\[([^\]]*)\]")
+
+
 def load_report(path: str) -> dict:
     with open(path) as handle:
         report = json.load(handle)
     if not isinstance(report, dict):
         raise SystemExit(f"{path}: not a benchmark report object")
     return report
+
+
+def extract_path(report: object, path: str):
+    """Resolve a dotted metric path inside a report, or ``None``.
+
+    Grammar per ``.``-separated token: a dict key, optionally followed
+    by selectors — ``[3]`` indexes a list, ``[workers=4]`` picks the
+    first list element whose field stringifies to the given value.
+    Every miss (wrong type, absent key, no match, index out of range)
+    returns ``None`` so callers can skip instead of crash.
+    """
+    current = report
+    for token in path.split("."):
+        name = token.split("[", 1)[0]
+        if name:
+            if not isinstance(current, dict) or name not in current:
+                return None
+            current = current[name]
+        for selector in _SELECTOR.findall(token):
+            if not isinstance(current, list):
+                return None
+            if "=" in selector:
+                key, _, want = selector.partition("=")
+                matches = [
+                    entry for entry in current
+                    if isinstance(entry, dict) and str(entry.get(key)) == want
+                ]
+                if not matches:
+                    return None
+                current = matches[0]
+            else:
+                try:
+                    index = int(selector)
+                except ValueError:
+                    return None
+                if not -len(current) <= index < len(current):
+                    return None
+                current = current[index]
+    return current
+
+
+def load_spec(path: str) -> dict:
+    """Load and validate a ``--spec`` metric-path file."""
+    with open(path) as handle:
+        spec = json.load(handle)
+    if not isinstance(spec, dict):
+        raise SystemExit(f"{path}: spec must be a JSON object")
+    for name, entry in (spec.get("ratios") or {}).items():
+        if not (isinstance(entry, list) and len(entry) == 2
+                and all(isinstance(p, str) for p in entry)):
+            raise SystemExit(
+                f"{path}: ratio {name!r} must be [numerator_path, "
+                f"denominator_path]"
+            )
+    for name, entry in (spec.get("metrics") or {}).items():
+        if not isinstance(entry, str):
+            raise SystemExit(f"{path}: metric {name!r} must be a path string")
+    return spec
+
+
+def spec_metrics(
+    report: dict, spec: dict
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """``(ratios, absolutes)`` a spec extracts from one report."""
+    ratios: Dict[str, float] = {}
+    for name, (num_path, den_path) in (spec.get("ratios") or {}).items():
+        numerator = extract_path(report, num_path)
+        denominator = extract_path(report, den_path)
+        if (isinstance(numerator, (int, float))
+                and isinstance(denominator, (int, float)) and denominator):
+            ratios[name] = float(numerator) / float(denominator)
+    absolutes: Dict[str, float] = {}
+    for name, path in (spec.get("metrics") or {}).items():
+        value = extract_path(report, path)
+        if isinstance(value, (int, float)):
+            absolutes[name] = float(value)
+    return ratios, absolutes
 
 
 def ratio_metrics(report: dict) -> Dict[str, float]:
@@ -97,21 +201,33 @@ def absolute_metrics(report: dict) -> Dict[str, float]:
     return metrics
 
 
-def configs_comparable(baseline: dict, fresh: dict) -> bool:
+def configs_comparable(
+    baseline: dict, fresh: dict,
+    keys: Sequence[str] = CONFIG_KEYS,
+) -> bool:
     base_cfg = baseline.get("config") or {}
     fresh_cfg = fresh.get("config") or {}
     return all(
-        base_cfg.get(key) == fresh_cfg.get(key) for key in CONFIG_KEYS
+        base_cfg.get(key) == fresh_cfg.get(key) for key in keys
     )
 
 
-def compare(baseline: dict, fresh: dict, max_regression: float):
+def compare(baseline: dict, fresh: dict, max_regression: float,
+            spec: Optional[dict] = None):
     """Returns ``(rows, failures)`` for the metric comparison table."""
-    base_metrics = ratio_metrics(baseline)
-    fresh_metrics = ratio_metrics(fresh)
-    if configs_comparable(baseline, fresh):
-        base_metrics.update(absolute_metrics(baseline))
-        fresh_metrics.update(absolute_metrics(fresh))
+    if spec is not None:
+        base_metrics, base_abs = spec_metrics(baseline, spec)
+        fresh_metrics, fresh_abs = spec_metrics(fresh, spec)
+        keys = spec.get("config_keys") or ()
+        if configs_comparable(baseline, fresh, keys=keys):
+            base_metrics.update(base_abs)
+            fresh_metrics.update(fresh_abs)
+    else:
+        base_metrics = ratio_metrics(baseline)
+        fresh_metrics = ratio_metrics(fresh)
+        if configs_comparable(baseline, fresh):
+            base_metrics.update(absolute_metrics(baseline))
+            fresh_metrics.update(absolute_metrics(fresh))
     rows = []
     failures = []
     compared = 0
@@ -151,6 +267,10 @@ def main(argv=None) -> int:
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="allowed fractional drop per metric "
                              "(default 0.30 = 30%%)")
+    parser.add_argument("--spec",
+                        help="JSON metric-path spec (metrics/ratios/"
+                             "config_keys) replacing the built-in "
+                             "serve-report metrics")
     args = parser.parse_args(argv)
     if not 0 < args.max_regression < 1:
         parser.error(
@@ -159,14 +279,19 @@ def main(argv=None) -> int:
 
     baseline = load_report(args.baseline)
     fresh = load_report(args.fresh)
-    rows, failures = compare(baseline, fresh, args.max_regression)
+    spec = load_spec(args.spec) if args.spec else None
+    rows, failures = compare(baseline, fresh, args.max_regression, spec=spec)
     if not rows:
         print("no comparable metrics found between the two reports")
         return 1
 
+    comparable = configs_comparable(
+        baseline, fresh,
+        keys=(spec.get("config_keys") or ()) if spec else CONFIG_KEYS,
+    )
     scope = (
-        "ratios + absolute qps (identical configs)"
-        if configs_comparable(baseline, fresh)
+        "ratios + absolute metrics (identical configs)"
+        if comparable
         else "scale-free ratios only (configs differ)"
     )
     print(f"bench comparison: {scope}; "

@@ -13,18 +13,23 @@ Subcommands:
   online profiler: per-day cluster occupancy, drift check, ingestion
   metrics, optional ``.npz`` checkpoint.
 * ``serve``      — start the concurrent profile-serving HTTP endpoint
-  (micro-batching, LRU+TTL cache, admission control; ``repro.serve``).
+  (micro-batching, LRU+TTL cache, admission control; ``repro.serve``)
+  with the SLO engine and burn-rate alerting attached: ``/healthz``
+  readiness, ``/slo`` budget reports, alert gauges on ``/metrics``.
 * ``bench-serve`` — measure serving throughput/latency (unbatched vs
   micro-batched at several worker counts) and write ``BENCH_serve.json``.
 * ``obs``        — observability tooling (``repro.obs``):
   ``obs trace-export`` runs the instrumented pipeline end-to-end with
   tracing on and writes Chrome ``trace_event`` JSON for flamegraph
   viewing; ``obs dump`` runs it and dumps the metrics registry as
-  Prometheus text or JSON.
+  Prometheus text or JSON; ``obs watch`` renders a live ANSI operator
+  dashboard (qps/latency/cache/queue/SLO budgets/alerts) by polling a
+  running serve node.
 * ``chaos``      — run the scripted fault-injection scenario end-to-end
   (``repro.relia``): I/O-error burst, poisoned hour, duplicate/late
-  hours, truncated checkpoint, worker crashes; exits nonzero unless
-  every resilience check passes.
+  hours, truncated checkpoint, worker crashes — with SLO burn-rate
+  alerts asserted to fire and resolve; exits nonzero unless every
+  resilience check passes.
 """
 
 from __future__ import annotations
@@ -231,11 +236,25 @@ def _serve_frozen_profile(args):
 
 
 def _cmd_serve(args) -> int:
-    from repro.serve import ProfileService, make_server
+    from repro.obs import enable_tracing, get_registry, tracing_enabled
+    from repro.obs.alerts import AlertManager, default_rules
+    from repro.obs.slo import SLOEngine, default_slos
+    from repro.serve import ProfileService, ServeMetrics, make_server
 
     frozen, error = _serve_frozen_profile(args)
     if error is not None:
         return error
+    # Back the node's metrics onto the process registry so the SLO
+    # sources, the serve counters, and the alert gauges all share one
+    # exposition surface (ServeMetrics is private-registry by default).
+    registry = get_registry()
+    # Tracing powers the exemplar chain: request spans hand their trace
+    # ids to the latency histogram buckets, and a firing alert surfaces
+    # the worst one.  The store is a bounded ring, so always-on is safe
+    # for the lifetime of the node (restored on the way out so an
+    # in-process caller — the test suite — is left untouched).
+    was_tracing = tracing_enabled()
+    enable_tracing()
     service = ProfileService(
         frozen,
         max_batch=args.max_batch,
@@ -244,9 +263,16 @@ def _cmd_serve(args) -> int:
         cache_size=args.cache_size,
         cache_ttl_s=args.cache_ttl,
         max_queue_depth=args.queue_depth,
+        metrics=ServeMetrics(registry=registry),
     )
+    engine = SLOEngine(
+        default_slos(registry, window_s=args.slo_window), registry=registry
+    )
+    manager = AlertManager(engine, default_rules(engine), registry=registry)
+    engine.tick()
     server = make_server(service, host=args.host, port=args.port,
-                         verbose=args.verbose)
+                         verbose=args.verbose, slo_engine=engine,
+                         alert_manager=manager)
     host, port = server.server_address[:2]
     print(
         f"serving profile version {service.registry.current_version()} "
@@ -259,6 +285,11 @@ def _cmd_serve(args) -> int:
         f"{args.workers} workers, cache {args.cache_size}, "
         f"admission watermark {args.queue_depth}"
     )
+    print(
+        f"  SLOs: {len(engine.slos)} objectives over "
+        f"{args.slo_window:.0f}s windows, {len(manager.alerts)} burn-rate "
+        f"alerts — /healthz /slo /metrics"
+    )
     try:
         if args.max_requests > 0:
             for _ in range(args.max_requests):
@@ -270,6 +301,10 @@ def _cmd_serve(args) -> int:
     finally:
         server.server_close()
         service.close()
+        if not was_tracing:
+            from repro.obs import disable_tracing
+
+            disable_tracing()
         print(service.metrics.summary())
     return 0
 
@@ -355,6 +390,22 @@ def _cmd_obs_dump(args) -> int:
     return 0
 
 
+def _cmd_obs_watch(args) -> int:
+    from repro.obs.dashboard import fetch_json, watch
+
+    if fetch_json(args.url + "/metrics.json") is None:
+        print(f"no serve node answering at {args.url}/metrics.json")
+        return 1
+    frames = watch(
+        args.url,
+        interval_s=args.interval,
+        iterations=args.iterations if args.iterations > 0 else None,
+        color=not args.no_color,
+        clear=not args.no_clear,
+    )
+    return 0 if frames > 0 else 1
+
+
 def _cmd_chaos(args) -> int:
     import json as json_module
 
@@ -385,7 +436,7 @@ def _cmd_chaos(args) -> int:
         with open(out_dir / "chaos_metrics.prom", "w") as handle:
             handle.write(get_registry().prometheus_text())
         print(f"wrote {out_dir}/chaos_log.jsonl, chaos_report.json, "
-              f"chaos_metrics.prom")
+              f"chaos_metrics.prom, chaos_slo_report.json")
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -627,6 +678,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission watermark: queued requests before shedding")
     serve.add_argument("--max-requests", type=int, default=0,
                        help="serve N requests then exit (0 = run forever)")
+    serve.add_argument("--slo-window", type=float, default=3600.0,
+                       help="rolling SLO window in seconds")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request")
     serve.set_defaults(func=_cmd_serve)
@@ -655,7 +708,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     obs = sub.add_parser(
         "obs",
-        help="observability tooling: trace export and metrics dumps",
+        help="observability tooling: trace export, metrics dumps, "
+             "live dashboard",
     )
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
 
@@ -691,6 +745,22 @@ def build_parser() -> argparse.ArgumentParser:
     dump.add_argument("--output", help="write to this path (else stdout)")
     dump.set_defaults(func=_cmd_obs_dump)
 
+    watch = obs_sub.add_parser(
+        "watch",
+        help="live ANSI dashboard polling a running serve node",
+    )
+    watch.add_argument("--url", default="http://127.0.0.1:8080",
+                       help="base URL of the serve node to poll")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between dashboard refreshes")
+    watch.add_argument("--iterations", type=int, default=0,
+                       help="render N frames then exit (0 = until Ctrl-C)")
+    watch.add_argument("--no-color", action="store_true",
+                       help="plain-text output (no ANSI colors)")
+    watch.add_argument("--no-clear", action="store_true",
+                       help="append frames instead of repainting the screen")
+    watch.set_defaults(func=_cmd_obs_watch)
+
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("figure", choices=FIGURES)
     fig.add_argument("--dataset", help="existing .npz dataset (else generate)")
@@ -709,7 +779,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seeds dataset, fault plan, and jitter RNGs")
     chaos.add_argument("--out",
                        help="directory for chaos_log.jsonl, "
-                            "chaos_report.json, chaos_metrics.prom")
+                            "chaos_report.json, chaos_metrics.prom, "
+                            "chaos_slo_report.json")
     chaos.add_argument("--scale", type=float, default=0.05,
                        help="deployment scale vs the paper's Table 1")
     chaos.set_defaults(func=_cmd_chaos)

@@ -14,7 +14,12 @@ zero-dependency layer:
 * :func:`get_logger` — structured JSON-lines logging carrying the
   active trace/span ids;
 * :func:`timed_stage` / :func:`profile_stage` — stage instrumentation
-  (span + stage-seconds histogram) and on-demand wall/CPU/RSS profiles.
+  (span + stage-seconds histogram) and on-demand wall/CPU/RSS profiles;
+* :class:`SLOEngine` / :class:`AlertManager` — declarative SLOs with
+  rolling-window error-budget accounting and multi-window burn-rate
+  alerting (the judging layer over the emitted signals);
+* :func:`run_checks` / :func:`service_health_checks` — liveness and
+  readiness probes behind the serve endpoint's ``GET /healthz``.
 
 Quickstart::
 
@@ -33,6 +38,7 @@ Quickstart::
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     Counter,
+    Exemplar,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -55,33 +61,72 @@ from repro.obs.trace import (
 from repro.obs.logs import (
     LEVELS,
     StructLogger,
+    TokenBucket,
     get_logger,
     set_log_level,
     set_log_stream,
 )
 from repro.obs.profiling import StageStats, profile_stage, timed_stage
+from repro.obs.slo import (
+    SLO,
+    SLOEngine,
+    counter_source,
+    default_slos,
+    histogram_count_source,
+    histogram_under_source,
+)
+from repro.obs.alerts import (
+    ALERT_STATES,
+    Alert,
+    AlertManager,
+    BurnRateRule,
+    default_rules,
+)
+from repro.obs.health import (
+    HealthCheck,
+    HealthReport,
+    run_checks,
+    service_health_checks,
+)
 
 __all__ = [
+    "ALERT_STATES",
+    "Alert",
+    "AlertManager",
+    "BurnRateRule",
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_TRACE_CAPACITY",
+    "Exemplar",
     "Gauge",
+    "HealthCheck",
+    "HealthReport",
     "Histogram",
     "LEVELS",
     "MetricsRegistry",
+    "SLO",
+    "SLOEngine",
     "SpanRecord",
     "StageStats",
     "StructLogger",
+    "TokenBucket",
     "TraceStore",
+    "counter_source",
     "current_span",
     "current_span_id",
     "current_trace_id",
+    "default_rules",
+    "default_slos",
     "disable_tracing",
     "enable_tracing",
     "get_logger",
     "get_registry",
     "get_trace_store",
+    "histogram_count_source",
+    "histogram_under_source",
     "profile_stage",
+    "run_checks",
+    "service_health_checks",
     "set_log_level",
     "set_log_stream",
     "set_registry",

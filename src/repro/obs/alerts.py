@@ -1,0 +1,361 @@
+"""Multi-window, multi-burn-rate alerting over the SLO engine.
+
+Implements the Google-SRE-workbook alerting recipe: an alert on an SLO
+pairs a **long** window (significance — enough budget actually burned)
+with a **short** window (recency — the burn is still happening), and
+fires only when *both* exceed the same burn-rate threshold.  Two such
+rules per SLO cover the spectrum:
+
+* the **fast** pair (1 h / 5 m at burn 14.4) pages on incidents that
+  would exhaust a 30-day budget in about two days — it fires within
+  minutes of a hard outage and resolves within minutes of recovery;
+* the **slow** pair (3 d / 6 h at burn 1.0) tickets on slow leaks that
+  would exactly exhaust the budget — too gentle to page on, too
+  expensive to ignore.
+
+Each :class:`Alert` runs a small state machine —
+
+    inactive → pending → firing → resolved → (pending … )
+
+— where *pending* means the condition was just met (rising edge),
+*firing* means it held for the rule's ``for_s`` grace on a subsequent
+evaluation, and *resolved* is the sticky post-firing state until the
+condition returns.  Every transition is exported three ways: the
+``repro_alert_state{alert=...}`` gauge (0/1/2/3 per
+:data:`ALERT_STATES`), the ``repro_alert_transitions_total{alert,to}``
+counter, and a structured log event (``alert_pending`` /
+``alert_firing`` / ``alert_resolved``).  When an alert fires on an SLO
+that declares an ``exemplar_metric``, the manager captures the worst
+retained exemplar of that histogram — so the alert carries the trace id
+of a recent worst-case request, resolvable in the
+:class:`~repro.obs.trace.TraceStore`.
+
+Like the engine, evaluation takes explicit ``now`` timestamps, so chaos
+scenarios and tests drive the full pending → firing → resolved cycle on
+a synthetic clock with bit-identical transitions every run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.obs.logs import get_logger
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SLOEngine
+
+__all__ = [
+    "ALERT_STATES",
+    "Alert",
+    "AlertManager",
+    "BurnRateRule",
+    "default_rules",
+]
+
+#: Alert state machine states, encoded for the state gauge.
+ALERT_STATES: Dict[str, int] = {
+    "inactive": 0,
+    "pending": 1,
+    "firing": 2,
+    "resolved": 3,
+}
+
+_log = get_logger("repro.obs.alerts")
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """One multi-window burn-rate alerting rule on one SLO.
+
+    The condition is ``burn(long) > threshold AND burn(short) >
+    threshold``: the long window proves enough budget burned to matter,
+    the short window proves the burn is still in progress (and clears
+    the alert quickly after recovery).
+
+    Attributes:
+        name: stable alert identifier (the ``alert`` label).
+        slo: name of the SLO this rule judges.
+        long_window_s / short_window_s: the window pair, seconds.
+        burn_threshold: burn rate both windows must exceed.
+        for_s: grace period — the condition must hold this long (across
+            evaluations) before pending escalates to firing.  0 still
+            requires one further evaluation, so *pending* is always an
+            observable state.
+        severity: ``page`` (fast pairs) or ``ticket`` (slow pairs),
+            carried into logs and reports.
+    """
+
+    name: str
+    slo: str
+    long_window_s: float
+    short_window_s: float
+    burn_threshold: float
+    for_s: float = 0.0
+    severity: str = "page"
+
+    def __post_init__(self) -> None:
+        if self.short_window_s >= self.long_window_s:
+            raise ValueError(
+                f"rule {self.name!r}: short window "
+                f"({self.short_window_s}s) must be shorter than long "
+                f"({self.long_window_s}s)"
+            )
+        if self.burn_threshold <= 0:
+            raise ValueError(
+                f"rule {self.name!r}: burn_threshold must be positive"
+            )
+
+
+@dataclass
+class Alert:
+    """Mutable runtime state of one rule (owned by the manager).
+
+    Attributes:
+        rule: the rule being evaluated.
+        state: one of :data:`ALERT_STATES`.
+        since: timestamp the condition first held (pending onset), or
+            None while inactive/resolved.
+        last_change: timestamp of the latest state transition.
+        burn_long / burn_short: burn rates at the latest evaluation.
+        exemplar_trace_id / exemplar_value: worst-case trace correlation
+            captured when the alert fired (None otherwise).
+        fired_count: lifetime number of pending→firing escalations.
+    """
+
+    rule: BurnRateRule
+    state: str = "inactive"
+    since: Optional[float] = None
+    last_change: float = 0.0
+    burn_long: float = 0.0
+    burn_short: float = 0.0
+    exemplar_trace_id: Optional[str] = None
+    exemplar_value: Optional[float] = None
+    fired_count: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (for reports and ``GET /slo``)."""
+        return {
+            "name": self.rule.name,
+            "slo": self.rule.slo,
+            "severity": self.rule.severity,
+            "state": self.state,
+            "burn_threshold": self.rule.burn_threshold,
+            "long_window_s": self.rule.long_window_s,
+            "short_window_s": self.rule.short_window_s,
+            "burn_long": self.burn_long,
+            "burn_short": self.burn_short,
+            "since": self.since,
+            "last_change": self.last_change,
+            "fired_count": self.fired_count,
+            "exemplar_trace_id": self.exemplar_trace_id,
+            "exemplar_value": self.exemplar_value,
+        }
+
+
+class AlertManager:
+    """Evaluates burn-rate rules and runs each alert's state machine.
+
+    Call :meth:`evaluate` after each engine :meth:`~SLOEngine.tick`
+    (the serve HTTP layer does both per scrape).  Rules referencing
+    unknown SLOs are rejected at construction, not at evaluation.
+
+    Args:
+        engine: the :class:`SLOEngine` providing burn rates.
+        rules: rules to run (alert names must be unique).
+        registry: registry for ``repro_alert_*`` / ``repro_slo_burn_rate``
+            series (defaults to the engine's registry).
+        clock: fallback time source when ``evaluate()`` gets no ``now``.
+    """
+
+    def __init__(
+        self,
+        engine: SLOEngine,
+        rules: Sequence[BurnRateRule],
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate alert names in {names}")
+        known = {slo.name for slo in engine.slos}
+        for rule in rules:
+            if rule.slo not in known:
+                raise ValueError(
+                    f"rule {rule.name!r} references unknown SLO "
+                    f"{rule.slo!r} (have {sorted(known)})"
+                )
+        self.engine = engine
+        self.registry = registry if registry is not None else engine.registry
+        self._clock = clock
+        self._alerts: Dict[str, Alert] = {
+            rule.name: Alert(rule=rule) for rule in rules
+        }
+        self._state_gauge = self.registry.gauge(
+            "repro_alert_state",
+            "Alert state (0=inactive 1=pending 2=firing 3=resolved)",
+            labelnames=("alert",),
+        )
+        self._transitions = self.registry.counter(
+            "repro_alert_transitions_total",
+            "Alert state-machine transitions by destination state",
+            labelnames=("alert", "to"),
+        )
+        self._burn_gauge = self.registry.gauge(
+            "repro_slo_burn_rate",
+            "Error-budget burn rate per SLO and rule window",
+            labelnames=("slo", "window"),
+        )
+        for alert in self._alerts.values():
+            self._state_gauge.labels(alert=alert.rule.name).set(
+                ALERT_STATES[alert.state]
+            )
+
+    @property
+    def alerts(self) -> List[Alert]:
+        """All alerts in rule-declaration order."""
+        return list(self._alerts.values())
+
+    def get(self, name: str) -> Alert:
+        """The alert for rule ``name`` (KeyError when unknown)."""
+        return self._alerts[name]
+
+    def active(self) -> List[Alert]:
+        """Alerts currently pending or firing."""
+        return [
+            a for a in self._alerts.values()
+            if a.state in ("pending", "firing")
+        ]
+
+    def _transition(self, alert: Alert, to: str, t: float,
+                    **log_fields) -> None:
+        alert.state = to
+        alert.last_change = t
+        self._state_gauge.labels(alert=alert.rule.name).set(ALERT_STATES[to])
+        self._transitions.labels(alert=alert.rule.name, to=to).inc()
+        _log.warning(
+            f"alert_{to}",
+            alert=alert.rule.name,
+            slo=alert.rule.slo,
+            severity=alert.rule.severity,
+            burn_long=round(alert.burn_long, 4),
+            burn_short=round(alert.burn_short, 4),
+            burn_threshold=alert.rule.burn_threshold,
+            **log_fields,
+        )
+
+    def _capture_exemplar(self, alert: Alert) -> None:
+        slo = self.engine.get(alert.rule.slo)
+        if slo.exemplar_metric is None:
+            return
+        family = self.registry.get(slo.exemplar_metric)
+        if family is None or family.kind != "histogram":
+            return
+        worst = None
+        for _, child in family.series():
+            for hit in child.worst_exemplars(1):
+                if worst is None or hit.bucket_le > worst.bucket_le or (
+                    hit.bucket_le == worst.bucket_le
+                    and hit.value > worst.value
+                ):
+                    worst = hit
+        if worst is not None:
+            alert.exemplar_trace_id = worst.trace_id
+            alert.exemplar_value = worst.value
+
+    def evaluate(self, now: Optional[float] = None) -> List[Alert]:
+        """Re-judge every rule at ``now``; returns alerts that changed state.
+
+        One evaluation advances each alert's state machine at most one
+        step, so the pending → firing escalation always happens on a
+        *later* evaluation than the rising edge — both states are
+        observable regardless of ``for_s``.
+        """
+        t = float(now) if now is not None else self._clock()
+        changed: List[Alert] = []
+        for alert in self._alerts.values():
+            rule = alert.rule
+            alert.burn_long = self.engine.burn_rate(
+                rule.slo, rule.long_window_s, now=t
+            )
+            alert.burn_short = self.engine.burn_rate(
+                rule.slo, rule.short_window_s, now=t
+            )
+            self._burn_gauge.labels(
+                slo=rule.slo, window=f"{int(rule.long_window_s)}s"
+            ).set(alert.burn_long)
+            self._burn_gauge.labels(
+                slo=rule.slo, window=f"{int(rule.short_window_s)}s"
+            ).set(alert.burn_short)
+            condition = (
+                alert.burn_long > rule.burn_threshold
+                and alert.burn_short > rule.burn_threshold
+            )
+            previous = alert.state
+            if condition:
+                if alert.state in ("inactive", "resolved"):
+                    alert.since = t
+                    self._transition(alert, "pending", t)
+                elif alert.state == "pending":
+                    held = t - (alert.since if alert.since is not None else t)
+                    if held >= rule.for_s:
+                        alert.fired_count += 1
+                        self._capture_exemplar(alert)
+                        self._transition(
+                            alert, "firing", t,
+                            exemplar_trace_id=alert.exemplar_trace_id,
+                            exemplar_value=alert.exemplar_value,
+                        )
+                # firing stays firing while the condition holds.
+            else:
+                if alert.state in ("pending", "firing"):
+                    was_firing = alert.state == "firing"
+                    alert.since = None
+                    if was_firing:
+                        self._transition(alert, "resolved", t)
+                    else:
+                        # A pending alert whose condition lapses never
+                        # mattered; return to inactive quietly.
+                        self._transition(alert, "inactive", t)
+            if alert.state != previous:
+                changed.append(alert)
+        return changed
+
+    def report(self) -> List[Dict[str, object]]:
+        """JSON-serializable snapshot of every alert."""
+        return [alert.to_dict() for alert in self._alerts.values()]
+
+
+def default_rules(engine: SLOEngine,
+                  time_scale: float = 1.0) -> List[BurnRateRule]:
+    """Fast + slow burn-rate pairs for every SLO the engine tracks.
+
+    ``time_scale`` shrinks the canonical production windows (1h/5m fast,
+    3d/6h slow) for replay scenarios: the chaos scenario runs at
+    ``time_scale=1/60`` so a sixty-second synthetic storm exercises the
+    same machinery as an hour-long production incident.
+    """
+    scale = float(time_scale)
+    if scale <= 0:
+        raise ValueError(f"time_scale must be positive, got {scale}")
+    rules: List[BurnRateRule] = []
+    for slo in engine.slos:
+        rules.append(BurnRateRule(
+            name=f"{slo.name}-fast-burn",
+            slo=slo.name,
+            long_window_s=3600.0 * scale,
+            short_window_s=300.0 * scale,
+            burn_threshold=14.4,
+            for_s=0.0,
+            severity="page",
+        ))
+        rules.append(BurnRateRule(
+            name=f"{slo.name}-slow-burn",
+            slo=slo.name,
+            long_window_s=259200.0 * scale,
+            short_window_s=21600.0 * scale,
+            burn_threshold=1.0,
+            for_s=0.0,
+            severity="ticket",
+        ))
+    return rules

@@ -1,0 +1,162 @@
+"""Liveness/readiness checks composed from the serving and SLO state.
+
+A :class:`HealthCheck` is a named probe returning ``(ok, detail)``; a
+:class:`HealthReport` aggregates a batch of probe results into one
+verdict: the report is healthy when every **critical** check passes
+(non-critical checks appear in the report but cannot flip the verdict —
+they are warnings, not outages).  The serve HTTP layer maps the verdict
+onto status codes: ``GET /healthz`` answers 200 while healthy and 503
+otherwise, which is what load balancers, the chaos CI job, and
+``kubectl``-style probes key off.
+
+:func:`service_health_checks` builds the standard probe set for a
+:class:`~repro.serve.service.ProfileService`:
+
+* ``profile_loaded`` (critical) — a profile version is installed;
+* ``queue_headroom`` (critical) — the admission queue is below its shed
+  watermark;
+* ``breaker`` (critical) — the worker-health circuit breaker is not
+  open (half-open counts as recovering, hence ready);
+* ``error_budget`` (warning) — no tracked SLO has overspent its error
+  budget.  Budget exhaustion means objectives are being missed, not
+  that the process should be pulled from rotation, so it degrades the
+  report without failing it.
+
+Probes never raise out of :func:`run_checks`: a probe that throws is
+recorded as a failed check with the exception text as its detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+__all__ = [
+    "HealthCheck",
+    "HealthReport",
+    "run_checks",
+    "service_health_checks",
+]
+
+
+@dataclass(frozen=True)
+class HealthCheck:
+    """One named health probe.
+
+    Attributes:
+        name: stable check identifier.
+        probe: callable returning ``(ok, detail)``; ``detail`` is a
+            short human-readable status string either way.
+        critical: whether a failure makes the whole report unhealthy.
+    """
+
+    name: str
+    probe: Callable[[], Tuple[bool, str]]
+    critical: bool = True
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one executed probe."""
+
+    name: str
+    ok: bool
+    critical: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Aggregated verdict over one batch of executed checks."""
+
+    ok: bool
+    checks: Tuple[CheckResult, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable body (the ``GET /healthz`` payload)."""
+        return {
+            "status": "ok" if self.ok else "unhealthy",
+            "checks": [
+                {
+                    "name": check.name,
+                    "ok": check.ok,
+                    "critical": check.critical,
+                    "detail": check.detail,
+                }
+                for check in self.checks
+            ],
+        }
+
+
+def run_checks(checks: Sequence[HealthCheck]) -> HealthReport:
+    """Execute every probe; unhealthy iff any critical check fails.
+
+    A probe that raises is treated as a failed check (with the
+    exception text as detail) rather than propagating — health
+    endpoints must answer, not crash.
+    """
+    results: List[CheckResult] = []
+    ok = True
+    for check in checks:
+        try:
+            passed, detail = check.probe()
+        except Exception as exc:  # noqa: BLE001 - probe faults are results
+            passed, detail = False, f"probe raised {type(exc).__name__}: {exc}"
+        passed = bool(passed)
+        results.append(CheckResult(
+            name=check.name, ok=passed, critical=check.critical,
+            detail=str(detail),
+        ))
+        if check.critical and not passed:
+            ok = False
+    return HealthReport(ok=ok, checks=tuple(results))
+
+
+def service_health_checks(service, engine=None) -> List[HealthCheck]:
+    """The standard probe set for a :class:`ProfileService`.
+
+    Args:
+        service: the :class:`~repro.serve.service.ProfileService` to
+            probe (duck-typed; tests pass lightweight stands-ins).
+        engine: optional :class:`~repro.obs.slo.SLOEngine` — when given,
+            adds the (non-critical) error-budget check.
+    """
+    def profile_loaded() -> Tuple[bool, str]:
+        version = service.registry.current_version()
+        if version is None:
+            return False, "no profile loaded"
+        return True, f"serving profile version {version}"
+
+    def queue_headroom() -> Tuple[bool, str]:
+        depth = service._batcher.queue_depth()
+        limit = service._batcher.max_queue_depth
+        if depth >= limit:
+            return False, f"queue saturated ({depth}/{limit})"
+        return True, f"queue {depth}/{limit}"
+
+    def breaker_closed() -> Tuple[bool, str]:
+        breaker = getattr(service, "_breaker", None)
+        if breaker is None:
+            return True, "no breaker configured"
+        state = breaker.state
+        if state == "open":
+            return False, "worker breaker open (degraded answers only)"
+        return True, f"worker breaker {state}"
+
+    checks = [
+        HealthCheck("profile_loaded", profile_loaded, critical=True),
+        HealthCheck("queue_headroom", queue_headroom, critical=True),
+        HealthCheck("breaker", breaker_closed, critical=True),
+    ]
+    if engine is not None:
+        def budget_ok() -> Tuple[bool, str]:
+            overspent = [
+                slo.name for slo in engine.slos
+                if engine.budget_remaining(slo.name) < 0.0
+            ]
+            if overspent:
+                return False, f"error budget overspent: {overspent}"
+            return True, "all error budgets within bounds"
+
+        checks.append(HealthCheck("error_budget", budget_ok, critical=False))
+    return checks

@@ -18,6 +18,15 @@ filtering is global and process-wide (:func:`set_log_level`); the
 default level is ``"info"``.  No stdlib-``logging`` handlers, no
 formatter classes, no configuration files — the JSON line *is* the
 format.
+
+Hot-path loggers can be **rate-limited**: ``get_logger("repro.relia.retry",
+sample=100.0)`` attaches a token bucket (100 lines/s sustained, equal
+burst) so a fault storm emitting thousands of retry/quarantine/shed
+events per second cannot flood the JSON-lines sink or slow the path
+that logs.  Suppressed lines are counted in
+``repro_logs_suppressed_total{logger=...}`` on the process registry, so
+the exposition still shows *that* (and how hard) a logger was throttled
+even when the lines themselves are gone.
 """
 
 from __future__ import annotations
@@ -26,13 +35,15 @@ import datetime as _dt
 import json
 import sys
 import threading
-from typing import Dict, Optional, TextIO
+import time
+from typing import Dict, Optional, TextIO, Union
 
 from repro.obs.trace import current_span_id, current_trace_id
 
 __all__ = [
     "LEVELS",
     "StructLogger",
+    "TokenBucket",
     "get_logger",
     "set_log_level",
     "set_log_stream",
@@ -68,13 +79,80 @@ def set_log_level(level: str) -> str:
     return previous
 
 
+class TokenBucket:
+    """Thread-safe token bucket: ``rate_per_s`` sustained, ``burst`` peak.
+
+    ``allow()`` costs one token and returns False when the bucket is
+    empty.  Refill is continuous (fractional tokens accrue between
+    calls), so a steady stream just under the rate is never throttled.
+    The clock is injectable for deterministic tests.
+    """
+
+    __slots__ = ("rate_per_s", "burst", "_tokens", "_last", "_clock",
+                 "_lock")
+
+    def __init__(self, rate_per_s: float, burst: Optional[float] = None,
+                 clock=time.monotonic) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(
+                f"rate_per_s must be positive, got {rate_per_s}"
+            )
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst) if burst is not None else self.rate_per_s
+        if self.burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        self._tokens = self.burst
+        self._clock = clock
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def allow(self) -> bool:
+        """Take one token if available; False means "suppress this"."""
+        now = self._clock()
+        with self._lock:
+            elapsed = now - self._last
+            if elapsed > 0:
+                self._tokens = min(
+                    self.burst, self._tokens + elapsed * self.rate_per_s
+                )
+                self._last = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+
+def _suppressed_counter(logger_name: str):
+    # Imported lazily: registry -> (nothing), logs -> registry is fine,
+    # but doing it at call time keeps module import order irrelevant.
+    from repro.obs.registry import get_registry
+
+    return get_registry().counter(
+        "repro_logs_suppressed_total",
+        "Log lines dropped by per-logger rate limiting",
+        labelnames=("logger",),
+    ).labels(logger=logger_name)
+
+
 class StructLogger:
-    """Named emitter of structured JSON log lines."""
+    """Named emitter of structured JSON log lines.
 
-    __slots__ = ("name",)
+    An attached :class:`TokenBucket` (see :func:`get_logger`'s
+    ``sample=``) gates every line regardless of severity; suppressed
+    lines bump ``repro_logs_suppressed_total{logger=...}`` instead of
+    reaching the sink.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "_bucket")
+
+    def __init__(self, name: str,
+                 bucket: Optional[TokenBucket] = None) -> None:
         self.name = name
+        self._bucket = bucket
+
+    def set_sampler(self, bucket: Optional[TokenBucket]) -> None:
+        """Attach (or with None, detach) the rate-limiting bucket."""
+        self._bucket = bucket
 
     def log(self, level: str, event: str, **fields) -> None:
         """Emit one line at ``level`` (dropped when below the threshold)."""
@@ -84,6 +162,10 @@ class StructLogger:
                 f"unknown log level {level!r}; choose from {LEVELS}"
             )
         if rank < _threshold:
+            return
+        bucket = self._bucket
+        if bucket is not None and not bucket.allow():
+            _suppressed_counter(self.name).inc()
             return
         record: Dict[str, object] = {
             "ts": _dt.datetime.now(_dt.timezone.utc).isoformat(),
@@ -124,11 +206,29 @@ class StructLogger:
         self.log("error", event, **fields)
 
 
-def get_logger(name: str) -> StructLogger:
-    """The process-wide :class:`StructLogger` registered under ``name``."""
+def get_logger(
+    name: str,
+    sample: Optional[Union[float, TokenBucket]] = None,
+) -> StructLogger:
+    """The process-wide :class:`StructLogger` registered under ``name``.
+
+    Args:
+        name: logger name (one shared instance per name).
+        sample: optional rate limit for this logger's lines — a float is
+            shorthand for ``TokenBucket(rate_per_s=sample)`` (sustained
+            rate with an equal burst); pass a :class:`TokenBucket` for
+            full control.  Re-calling with ``sample`` replaces the
+            existing bucket; calling without leaves it untouched.
+    """
     with _lock:
         logger = _loggers.get(name)
         if logger is None:
             logger = StructLogger(name)
             _loggers[name] = logger
-        return logger
+    if sample is not None:
+        bucket = (
+            sample if isinstance(sample, TokenBucket)
+            else TokenBucket(float(sample))
+        )
+        logger.set_sampler(bucket)
+    return logger

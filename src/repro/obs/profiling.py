@@ -114,8 +114,9 @@ def profile_stage(name: str, registry: Optional[MetricsRegistry] = None,
         tracemalloc.reset_peak()
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
+    stage_span = span(name, profiled=True)
     try:
-        with span(name, profiled=True):
+        with stage_span:
             yield stats
     finally:
         stats.wall_seconds = time.perf_counter() - wall0
@@ -126,12 +127,16 @@ def profile_stage(name: str, registry: Optional[MetricsRegistry] = None,
             if started_tracemalloc:
                 tracemalloc.stop()
         reg = registry if registry is not None else get_registry()
+        record = stage_span.record
         reg.histogram(
             "repro_stage_seconds",
             "Wall-clock seconds per instrumented stage",
             labelnames=("stage",),
             buckets=STAGE_BUCKETS,
-        ).labels(stage=name).observe(stats.wall_seconds)
+        ).labels(stage=name).observe(
+            stats.wall_seconds,
+            exemplar=record.trace_id if record is not None else None,
+        )
 
 
 class timed_stage:
@@ -165,10 +170,15 @@ class timed_stage:
         elapsed = time.perf_counter() - self._start
         self._span.__exit__(exc_type, exc, tb)
         reg = self._registry if self._registry is not None else get_registry()
+        # When tracing is on, the closed span's trace id rides along as
+        # the histogram exemplar — a slow stage points at its own trace.
+        record = self._span.record
         reg.histogram(
             "repro_stage_seconds",
             "Wall-clock seconds per instrumented stage",
             labelnames=("stage",),
             buckets=STAGE_BUCKETS,
-        ).labels(stage=self._name).observe(elapsed)
+        ).labels(stage=self._name).observe(
+            elapsed, exemplar=record.trace_id if record is not None else None
+        )
         return False

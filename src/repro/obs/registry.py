@@ -18,6 +18,13 @@ Exposition comes in two shapes:
 * :meth:`MetricsRegistry.to_dict` — a JSON-serializable snapshot for
   dashboards, tests, and the ``repro-icn obs dump`` CLI.
 
+Histograms additionally retain **exemplars**: ``observe(value,
+exemplar=trace_id)`` keeps the trace id of the latest observation per
+bucket, so a latency spike visible in the exposition links straight to a
+replayable trace in the :class:`~repro.obs.trace.TraceStore` (rendered
+in the OpenMetrics ``# {trace_id="..."} value`` suffix of bucket lines
+and as an ``exemplars`` list in the JSON snapshot).
+
 Every mutation takes the owning family's lock, so the registry is safe
 under the serving layer's worker/handler thread mix.
 """
@@ -27,11 +34,12 @@ from __future__ import annotations
 import math
 import re
 import threading
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "Exemplar",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -137,10 +145,35 @@ class Gauge(_Child):
         return float(fn())
 
 
-class Histogram(_Child):
-    """Bucketed distribution with sum and count."""
+class Exemplar(NamedTuple):
+    """One retained worst-case observation with its trace correlation.
 
-    __slots__ = ("buckets", "_counts", "_sum", "_count")
+    Attributes:
+        value: the observed value (e.g. request latency in seconds).
+        trace_id: trace id active when the observation was made — the
+            join key into the :class:`~repro.obs.trace.TraceStore`.
+        bucket_le: upper bound of the histogram bucket the observation
+            fell into (``math.inf`` for the overflow bucket).
+    """
+
+    value: float
+    trace_id: str
+    bucket_le: float
+
+
+class Histogram(_Child):
+    """Bucketed distribution with sum, count, and per-bucket exemplars.
+
+    Passing ``exemplar=<trace_id>`` to :meth:`observe` retains that
+    trace id in the slot of the bucket the value fell into (latest
+    observation wins per bucket).  Because high-latency observations
+    land in high buckets, the retained exemplars of the top non-empty
+    buckets *are* the recent worst-case observations —
+    :meth:`worst_exemplars` walks them bound-descending so a p99 spike
+    on a dashboard points at a replayable trace.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_exemplars")
 
     def __init__(self, lock: threading.Lock,
                  buckets: Sequence[float]) -> None:
@@ -149,9 +182,18 @@ class Histogram(_Child):
         self._counts = [0] * (len(self.buckets) + 1)  # last slot = +Inf
         self._sum = 0.0
         self._count = 0
+        self._exemplars: List[Optional[Exemplar]] = (
+            [None] * (len(self.buckets) + 1)
+        )
 
-    def observe(self, value: float) -> None:
-        """Fold one observation into the distribution."""
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        """Fold one observation into the distribution.
+
+        Args:
+            value: the observed value.
+            exemplar: optional trace id to retain for this observation's
+                bucket (the hot-path cost when None is a single branch).
+        """
         value = float(value)
         slot = len(self.buckets)
         for index, bound in enumerate(self.buckets):
@@ -162,6 +204,28 @@ class Histogram(_Child):
             self._counts[slot] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None:
+                bound = (
+                    self.buckets[slot] if slot < len(self.buckets)
+                    else math.inf
+                )
+                self._exemplars[slot] = Exemplar(value, str(exemplar), bound)
+
+    def exemplars(self) -> List[Exemplar]:
+        """Retained exemplars in bucket order (empty slots skipped)."""
+        with self._lock:
+            return [e for e in self._exemplars if e is not None]
+
+    def worst_exemplars(self, k: int = 1) -> List[Exemplar]:
+        """Up to ``k`` retained exemplars, highest bucket first.
+
+        The first entry is the most recent observation in the worst
+        non-empty bucket — the trace to open when a latency quantile
+        spikes.
+        """
+        with self._lock:
+            worst = [e for e in reversed(self._exemplars) if e is not None]
+        return worst[:max(0, int(k))]
 
     @property
     def count(self) -> int:
@@ -272,8 +336,14 @@ class _Family:
     def set_function(self, fn: Callable[[], float]) -> None:
         self._default_child().set_function(fn)
 
-    def observe(self, value: float) -> None:
-        self._default_child().observe(value)
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        self._default_child().observe(value, exemplar=exemplar)
+
+    def exemplars(self) -> List["Exemplar"]:
+        return self._default_child().exemplars()
+
+    def worst_exemplars(self, k: int = 1) -> List["Exemplar"]:
+        return self._default_child().worst_exemplars(k)
 
     @property
     def value(self) -> float:
@@ -393,14 +463,23 @@ class MetricsRegistry:
                 if family.kind == "histogram":
                     assert isinstance(child, Histogram)
                     _, total, count = child.snapshot()
+                    by_bound = {e.bucket_le: e for e in child.exemplars()}
                     for bound, cumulative in child.cumulative_buckets():
                         le = _label_string(
                             family.labelnames + ("le",),
                             label_values + (_format_value(bound),),
                         )
-                        lines.append(
-                            f"{family.name}_bucket{le} {cumulative}"
-                        )
+                        line = f"{family.name}_bucket{le} {cumulative}"
+                        hit = by_bound.get(bound)
+                        if hit is not None:
+                            # OpenMetrics exemplar syntax; scrapers that
+                            # speak only the classic text format should
+                            # strip everything after " # ".
+                            line += (
+                                f' # {{trace_id="{hit.trace_id}"}}'
+                                f" {_format_value(hit.value)}"
+                            )
+                        lines.append(line)
                     lines.append(
                         f"{family.name}_sum{base} {_format_value(total)}"
                     )
@@ -434,6 +513,14 @@ class MetricsRegistry:
                         },
                         "sum": total,
                         "count": count,
+                        "exemplars": [
+                            {
+                                "bucket": _format_value(e.bucket_le),
+                                "value": e.value,
+                                "trace_id": e.trace_id,
+                            }
+                            for e in child.exemplars()
+                        ],
                     })
                 else:
                     series.append({"labels": labels, "value": child.value})

@@ -1,0 +1,497 @@
+"""Declarative SLIs/SLOs with rolling windows and error-budget accounting.
+
+The metrics registry *emits* signals; this module *judges* them.  An
+:class:`SLO` declares a service-level objective — "99.9% of requests
+succeed", "99% of requests finish under 250 ms" — as a pair of
+cumulative event sources (``good`` and ``total``) read from the
+existing counter/histogram families, a target fraction, and a budget
+window.  The :class:`SLOEngine` samples those sources over time
+(``tick()``), and from the sample ring derives the three quantities an
+operator actually acts on:
+
+* **compliance** — the good/total ratio over a rolling window;
+* **burn rate** — how many times faster than "exactly on target" the
+  error budget is being consumed over a window (burn 1.0 spends the
+  whole budget in exactly the budget window; burn 14.4 spends a 30-day
+  budget in ~2 days — the classic fast-page threshold);
+* **error-budget remaining** — the fraction of the window's allowed
+  bad events still unspent (negative when overspent).
+
+Event sources are plain callables returning cumulative counts, so any
+family combination works; the helpers below cover the common shapes:
+
+* :func:`counter_source` — sum of one counter family across its label
+  series;
+* :func:`difference_source` — ``total - bad`` (for error-rate SLIs);
+* :func:`histogram_count_source` / :func:`histogram_under_source` — a
+  histogram's total observation count, and the cumulative count at or
+  under a latency threshold (bucket-aligned), which together form a
+  latency SLI.
+
+:func:`default_slos` wires the standard set over the live serving /
+streaming / resilience families — availability, p99 latency,
+degraded-answer rate, shed rate, stream quarantine rate, and
+checkpoint-failure rate — which is what ``repro-icn serve`` exposes at
+``GET /slo`` and what the chaos scenario asserts against.
+
+Everything takes explicit ``now`` timestamps (seconds on any monotonic
+timeline), so scripted scenarios and tests drive the engine through a
+synthetic clock and get bit-identical verdicts on every run.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = [
+    "SLO",
+    "SLOEngine",
+    "SLOSample",
+    "counter_source",
+    "default_slos",
+    "difference_source",
+    "histogram_count_source",
+    "histogram_under_source",
+]
+
+#: An event source: returns a cumulative (non-decreasing) event count.
+EventSource = Callable[[], float]
+
+
+def counter_source(name: str,
+                   registry: Optional[MetricsRegistry] = None) -> EventSource:
+    """Cumulative sum of one counter family across all its label series.
+
+    Missing families read as 0.0, so SLOs can be declared before the
+    component that owns the family has started.
+    """
+    def read() -> float:
+        reg = registry if registry is not None else get_registry()
+        family = reg.get(name)
+        if family is None:
+            return 0.0
+        return float(sum(child.value for _, child in family.series()))
+
+    return read
+
+
+def difference_source(total: EventSource, bad: EventSource) -> EventSource:
+    """``good = total - bad`` for error-rate SLIs (clamped at zero)."""
+    def read() -> float:
+        return max(0.0, float(total()) - float(bad()))
+
+    return read
+
+
+def histogram_count_source(
+    name: str, registry: Optional[MetricsRegistry] = None
+) -> EventSource:
+    """Total observation count of one histogram family (all series)."""
+    def read() -> float:
+        reg = registry if registry is not None else get_registry()
+        family = reg.get(name)
+        if family is None or family.kind != "histogram":
+            return 0.0
+        return float(sum(child.count for _, child in family.series()))
+
+    return read
+
+
+def histogram_under_source(
+    name: str,
+    threshold: float,
+    registry: Optional[MetricsRegistry] = None,
+) -> EventSource:
+    """Cumulative observations at or under ``threshold`` seconds.
+
+    The threshold is aligned to the smallest histogram bucket bound that
+    is >= ``threshold`` (cumulative bucket counts only exist at bucket
+    bounds); declare latency SLOs on bucket boundaries to avoid
+    surprise.  Missing families read as 0.0.
+    """
+    threshold = float(threshold)
+
+    def read() -> float:
+        reg = registry if registry is not None else get_registry()
+        family = reg.get(name)
+        if family is None or family.kind != "histogram":
+            return 0.0
+        good = 0.0
+        for _, child in family.series():
+            for bound, cumulative in child.cumulative_buckets():
+                if bound >= threshold:
+                    good += cumulative
+                    break
+        return good
+
+    return read
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative service-level objective.
+
+    Attributes:
+        name: stable identifier (the ``slo`` label of every exported
+            series).
+        objective: target good/total fraction in (0, 1), e.g. 0.999.
+        window_s: error-budget window in seconds (the period the budget
+            is spread over).
+        good: cumulative count of good events.
+        total: cumulative count of all events.
+        kind: informational category (``availability`` / ``latency`` /
+            ``quality``) carried into reports.
+        description: human-readable one-liner.
+        exemplar_metric: histogram family whose worst exemplars explain
+            violations of this SLO (e.g. the request-latency histogram)
+            — alerts attach its trace ids when they fire.
+    """
+
+    name: str
+    objective: float
+    window_s: float
+    good: EventSource
+    total: EventSource
+    kind: str = "availability"
+    description: str = ""
+    exemplar_metric: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.window_s <= 0:
+            raise ValueError(
+                f"window_s must be positive, got {self.window_s}"
+            )
+
+
+@dataclass(frozen=True)
+class SLOSample:
+    """One (time, good, total) reading of an SLO's event sources."""
+
+    t: float
+    good: float
+    total: float
+
+
+@dataclass
+class _Track:
+    """Sample history of one SLO (engine-internal)."""
+
+    slo: SLO
+    samples: Deque[SLOSample] = field(default_factory=deque)
+    times: List[float] = field(default_factory=list)
+
+
+class SLOEngine:
+    """Samples SLO event sources and derives compliance / burn / budget.
+
+    Call :meth:`tick` periodically (the serve HTTP layer ticks on every
+    ``/metrics`` and ``/slo`` scrape; scripted scenarios tick with
+    explicit synthetic timestamps).  Between two samples the engine
+    interpolates nothing — window queries anchor on the latest sample at
+    or before the window start (or the oldest sample available), which
+    makes every derived value a pure function of the recorded samples.
+
+    Args:
+        slos: objectives to track.
+        registry: registry for the exported ``repro_slo_*`` gauges
+            (process-wide by default).
+        clock: time source used when ``tick()``/queries get no explicit
+            ``now`` (monotonic by default).
+        max_samples: per-SLO ring capacity; at one scrape per 15 s the
+            default holds ~3.5 days — enough for a 3-day burn window.
+    """
+
+    def __init__(
+        self,
+        slos: Sequence[SLO],
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+        max_samples: int = 20000,
+    ) -> None:
+        names = [slo.name for slo in slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names in {names}")
+        self.registry = registry if registry is not None else get_registry()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.max_samples = int(max_samples)
+        self._tracks: Dict[str, _Track] = {
+            slo.name: _Track(slo) for slo in slos
+        }
+        objective_gauge = self.registry.gauge(
+            "repro_slo_objective", "Declared SLO target fraction",
+            labelnames=("slo",),
+        )
+        self._compliance_gauge = self.registry.gauge(
+            "repro_slo_compliance",
+            "Good-event fraction over the SLO's budget window",
+            labelnames=("slo",),
+        )
+        self._budget_gauge = self.registry.gauge(
+            "repro_slo_error_budget_remaining",
+            "Unspent fraction of the SLO's error budget "
+            "(negative when overspent)",
+            labelnames=("slo",),
+        )
+        for slo in slos:
+            objective_gauge.labels(slo=slo.name).set(slo.objective)
+
+    @property
+    def slos(self) -> List[SLO]:
+        """The tracked objectives, in declaration order."""
+        return [track.slo for track in self._tracks.values()]
+
+    def get(self, name: str) -> SLO:
+        """The SLO registered under ``name`` (KeyError when unknown)."""
+        return self._tracks[name].slo
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def tick(self, now: Optional[float] = None) -> Dict[str, SLOSample]:
+        """Read every SLO's sources once; returns the new samples.
+
+        Also refreshes the exported compliance / budget gauges, so any
+        scrape that triggers a tick sees self-consistent SLO series.
+        """
+        t = float(now) if now is not None else self._clock()
+        fresh: Dict[str, SLOSample] = {}
+        for name, track in self._tracks.items():
+            sample = SLOSample(
+                t=t, good=float(track.slo.good()),
+                total=float(track.slo.total()),
+            )
+            with self._lock:
+                # Monotonic timeline: drop nothing, but refuse to append
+                # out-of-order samples (a second tick in the same
+                # instant just replaces nothing and reads fine).
+                if track.times and t < track.times[-1]:
+                    raise ValueError(
+                        f"tick time {t} precedes last sample "
+                        f"{track.times[-1]} for SLO {name!r}"
+                    )
+                track.samples.append(sample)
+                track.times.append(t)
+                while len(track.samples) > self.max_samples:
+                    track.samples.popleft()
+                    track.times.pop(0)
+            fresh[name] = sample
+            self._compliance_gauge.labels(slo=name).set(
+                self.compliance(name, track.slo.window_s, now=t)
+            )
+            self._budget_gauge.labels(slo=name).set(
+                self.budget_remaining(name, now=t)
+            )
+        return fresh
+
+    def _window_delta(self, name: str, window_s: float,
+                      now: Optional[float]) -> Tuple[float, float]:
+        """``(good, total)`` event deltas over the trailing window."""
+        track = self._tracks[name]
+        t = float(now) if now is not None else self._clock()
+        with self._lock:
+            if not track.samples:
+                return 0.0, 0.0
+            # Latest sample at or before the window start; the oldest
+            # sample anchors short histories so early storms still burn.
+            index = bisect.bisect_right(track.times, t - float(window_s)) - 1
+            anchor = track.samples[max(0, index)]
+            # Latest sample at or before `now` is the window end.
+            end_index = bisect.bisect_right(track.times, t) - 1
+            if end_index < 0:
+                return 0.0, 0.0
+            end = track.samples[end_index]
+        d_good = max(0.0, end.good - anchor.good)
+        d_total = max(0.0, end.total - anchor.total)
+        return d_good, d_total
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    def compliance(self, name: str, window_s: Optional[float] = None,
+                   now: Optional[float] = None) -> float:
+        """Good fraction over the trailing window (1.0 with no events)."""
+        slo = self._tracks[name].slo
+        d_good, d_total = self._window_delta(
+            name, window_s if window_s is not None else slo.window_s, now
+        )
+        if d_total <= 0:
+            return 1.0
+        return min(1.0, d_good / d_total)
+
+    def burn_rate(self, name: str, window_s: float,
+                  now: Optional[float] = None) -> float:
+        """Budget consumption speed over the window, in budgets-per-window.
+
+        1.0 means "errors arriving exactly at the rate the objective
+        allows"; N means the budget is being spent N times too fast.
+        """
+        slo = self._tracks[name].slo
+        error_fraction = 1.0 - self.compliance(name, window_s, now)
+        allowed = 1.0 - slo.objective
+        if allowed <= 0:
+            return math.inf if error_fraction > 0 else 0.0
+        return error_fraction / allowed
+
+    def budget_remaining(self, name: str,
+                         now: Optional[float] = None) -> float:
+        """Unspent error-budget fraction over the SLO's own window.
+
+        1.0 with no bad events, 0.0 exactly at the objective, negative
+        when overspent.  With no traffic in the window the budget is
+        untouched (1.0).
+        """
+        slo = self._tracks[name].slo
+        d_good, d_total = self._window_delta(name, slo.window_s, now)
+        if d_total <= 0:
+            return 1.0
+        bad = d_total - d_good
+        allowed = (1.0 - slo.objective) * d_total
+        if allowed <= 0:
+            return 1.0 if bad <= 0 else -math.inf
+        return 1.0 - bad / allowed
+
+    def n_samples(self, name: str) -> int:
+        """Recorded samples for one SLO."""
+        with self._lock:
+            return len(self._tracks[name].samples)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(self, now: Optional[float] = None,
+               burn_windows: Sequence[float] = ()) -> Dict[str, object]:
+        """JSON-serializable budget report (the ``GET /slo`` body)."""
+        t = float(now) if now is not None else self._clock()
+        slos = []
+        for name, track in self._tracks.items():
+            slo = track.slo
+            entry: Dict[str, object] = {
+                "name": name,
+                "kind": slo.kind,
+                "description": slo.description,
+                "objective": slo.objective,
+                "window_s": slo.window_s,
+                "compliance": self.compliance(name, slo.window_s, now=t),
+                "error_budget_remaining": self.budget_remaining(name, now=t),
+                "n_samples": self.n_samples(name),
+            }
+            if burn_windows:
+                entry["burn_rates"] = {
+                    f"{int(w)}s": self.burn_rate(name, w, now=t)
+                    for w in burn_windows
+                }
+            slos.append(entry)
+        return {"slos": slos}
+
+
+def default_slos(
+    registry: Optional[MetricsRegistry] = None,
+    latency_threshold_s: float = 0.25,
+    window_s: float = 3600.0,
+) -> List[SLO]:
+    """The standard objective set over the live metric families.
+
+    Covers the serving path (availability, p99-style latency, degraded
+    answers, shed rate), the streaming path (quarantine rate), and the
+    checkpoint path (corruption rate).  ``window_s`` defaults to one
+    hour — long enough to smooth scrape noise, short enough that a
+    replay scenario exercises a full budget cycle.
+    """
+    reg = registry if registry is not None else get_registry()
+    requests = counter_source("repro_serve_requests_total", reg)
+    errors = counter_source("repro_serve_errors_total", reg)
+    shed = counter_source("repro_serve_shed_requests_total", reg)
+    degraded = counter_source("repro_degraded_answers_total", reg)
+    quarantined = counter_source("repro_quarantined_batches_total", reg)
+    folded = counter_source("repro_stream_batches_folded_total", reg)
+    ckpt_saves = counter_source("repro_checkpoint_saves_total", reg)
+    ckpt_corrupt = counter_source("repro_checkpoint_corruptions_total", reg)
+
+    def _sum(a: EventSource, b: EventSource) -> EventSource:
+        return lambda: float(a()) + float(b())
+
+    latency_total = histogram_count_source(
+        "repro_serve_request_latency_seconds", reg
+    )
+    latency_good = histogram_under_source(
+        "repro_serve_request_latency_seconds", latency_threshold_s, reg
+    )
+    return [
+        SLO(
+            name="serve-availability",
+            objective=0.999,
+            window_s=window_s,
+            good=difference_source(requests, errors),
+            total=requests,
+            kind="availability",
+            description="Requests answered without server-side error",
+            exemplar_metric="repro_serve_request_latency_seconds",
+        ),
+        SLO(
+            name="serve-latency",
+            objective=0.99,
+            window_s=window_s,
+            good=latency_good,
+            total=latency_total,
+            kind="latency",
+            description=(
+                f"Requests finishing within {latency_threshold_s * 1e3:.0f} ms"
+            ),
+            exemplar_metric="repro_serve_request_latency_seconds",
+        ),
+        SLO(
+            name="serve-degraded",
+            objective=0.95,
+            window_s=window_s,
+            good=difference_source(requests, degraded),
+            total=requests,
+            kind="quality",
+            description="Requests answered at full fidelity (not the "
+                        "nearest-centroid fallback)",
+            exemplar_metric="repro_serve_request_latency_seconds",
+        ),
+        SLO(
+            name="serve-shed",
+            objective=0.99,
+            window_s=window_s,
+            good=_sum(requests, lambda: 0.0),
+            total=_sum(requests, shed),
+            kind="availability",
+            description="Requests admitted past load shedding",
+        ),
+        SLO(
+            name="stream-quarantine",
+            objective=0.99,
+            window_s=window_s,
+            good=folded,
+            total=_sum(folded, quarantined),
+            kind="quality",
+            description="Ingested batches folded (not quarantined)",
+        ),
+        SLO(
+            name="checkpoint-integrity",
+            objective=0.95,
+            window_s=window_s,
+            good=difference_source(ckpt_saves, ckpt_corrupt),
+            total=ckpt_saves,
+            kind="quality",
+            description="Checkpoint saves that later load without "
+                        "corruption",
+        ),
+    ]

@@ -23,13 +23,25 @@ real stream/serve stack — no mocks, no instrumented copies:
    with ``degraded=true``; once the breaker's reset timeout passes, a
    probe closes it and full-fidelity answers resume.
 
+5. an :class:`~repro.obs.slo.SLOEngine` and burn-rate
+   :class:`~repro.obs.alerts.AlertManager` judge the whole storm on a
+   **synthetic clock**: availability/degraded fast-burn alerts must go
+   pending → firing while the worker crashes land, the firing alert
+   must carry an exemplar trace id that resolves to a real span in the
+   :class:`~repro.obs.trace.TraceStore`, and after recovery traffic
+   every alert must resolve.  The budget report is written to the work
+   directory as ``chaos_slo_report.json``.
+
 The run ends with a check that the process-wide ``/metrics`` surface
 shows nonzero retry / breaker / degraded / fault counters.  Everything
-is seeded — same seed, same faults, same verdicts.
+is seeded — same seed, same faults, same verdicts (SLO evaluation uses
+explicit synthetic timestamps, so the alert transitions are replayable
+too).
 """
 
 from __future__ import annotations
 
+import json
 import random
 import tempfile
 import time
@@ -39,7 +51,17 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.obs import get_logger, get_registry
+from repro.obs import (
+    disable_tracing,
+    enable_tracing,
+    get_logger,
+    get_registry,
+    get_trace_store,
+    span,
+    tracing_enabled,
+)
+from repro.obs.alerts import AlertManager, default_rules
+from repro.obs.slo import SLOEngine, default_slos
 from repro.relia.degrade import (
     ResilientStreamingProfiler,
     StreamDegradePolicy,
@@ -57,6 +79,8 @@ REQUIRED_SERIES = (
     "repro_breaker_state",
     "repro_degraded_answers_total",
     "repro_faults_injected_total",
+    "repro_slo_error_budget_remaining",
+    "repro_alert_state",
 )
 
 
@@ -77,6 +101,7 @@ class ChaosReport:
     checks: List[ChaosCheck] = field(default_factory=list)
     injections: List[Dict[str, object]] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
+    slo: Dict[str, object] = field(default_factory=dict)
     elapsed_s: float = 0.0
 
     @property
@@ -96,6 +121,7 @@ class ChaosReport:
             ],
             "injections": self.injections,
             "counters": self.counters,
+            "slo": self.slo,
         }
 
     def summary(self) -> str:
@@ -156,12 +182,31 @@ def run_chaos_scenario(
 ) -> ChaosReport:
     """Run the full scripted fault scenario; returns the verdict report.
 
+    Tracing is enabled for the duration of the run (and restored to its
+    prior state afterwards) so latency exemplars captured during the
+    fault storm resolve to real spans in the trace store.
+
     Args:
         seed: seeds the dataset, the fault plan, and every jitter RNG —
             identical seeds replay identical runs.
-        work_dir: directory for checkpoint files (a temp dir by default).
+        work_dir: directory for checkpoint files and the
+            ``chaos_slo_report.json`` budget artifact (a temp dir by
+            default).
         scale: deployment scale factor versus the paper's Table 1.
     """
+    was_tracing = tracing_enabled()
+    if not was_tracing:
+        enable_tracing()
+    try:
+        return _run_scenario(int(seed), work_dir, float(scale))
+    finally:
+        if not was_tracing:
+            disable_tracing()
+
+
+def _run_scenario(
+    seed: int, work_dir: Optional[str], scale: float
+) -> ChaosReport:
     # Imports deferred so that ``import repro.relia`` stays cheap and
     # cycle-free; the scenario is the one place the whole stack meets.
     from repro.core.pipeline import ICNProfiler
@@ -179,6 +224,21 @@ def run_chaos_scenario(
     work.mkdir(parents=True, exist_ok=True)
 
     _log.info("chaos_start", seed=int(seed), work_dir=str(work))
+
+    # SLO judging layer on a synthetic clock: the scenario passes
+    # explicit timestamps to tick()/evaluate(), so alert transitions are
+    # a pure function of the injected faults — replayable like the rest
+    # of the run.  Windows are scaled 60x down from production (1h -> 60s
+    # budget window; fast pair 60s/5s, slow pair 4320s/360s).
+    engine = SLOEngine(
+        default_slos(get_registry(), window_s=60.0),
+        registry=get_registry(),
+    )
+    alerts = AlertManager(
+        engine, default_rules(engine, time_scale=1.0 / 60.0),
+        registry=get_registry(),
+    )
+    engine.tick(now=0.0)  # baseline sample before any fault lands
 
     # ------------------------------------------------------------------
     # Stage 0: dataset, profile, and the fault schedule
@@ -316,6 +376,11 @@ def run_chaos_scenario(
         # --------------------------------------------------------------
         # Stage 4: worker crashes -> degraded answers -> recovery
         # --------------------------------------------------------------
+        # Synthetic-clock sample after the stream/checkpoint stages:
+        # their bad events (quarantine, checkpoint corruption) are now
+        # on the books, the serve storm hasn't started yet.
+        engine.tick(now=5.0)
+        alerts.evaluate(now=5.0)
         service = ProfileService(
             frozen,
             n_workers=2,
@@ -327,10 +392,52 @@ def run_chaos_scenario(
             max_item_retries=1,
         )
         try:
-            first = service.classify(frozen.features[:4], timeout=30.0)
-            second = service.classify(frozen.features[4:8], timeout=30.0)
+            # Each classify runs inside a chaos.classify span, so the
+            # latency histogram's exemplars (captured via
+            # current_trace_id) point at spans that really exist in the
+            # trace store — the linkage the alert check verifies below.
+            with span("chaos.classify", phase="storm", call=1):
+                first = service.classify(frozen.features[:4], timeout=30.0)
+            with span("chaos.classify", phase="storm", call=2):
+                second = service.classify(frozen.features[4:8], timeout=30.0)
+            # The storm is on the books: sample it, see the rising edge
+            # (pending), then confirm it held (firing) one evaluation
+            # later.  Fast pair 60s/5s at burn > 14.4: two all-degraded,
+            # all-error requests against a 99.9% objective burn ~1000x.
+            engine.tick(now=10.0)
+            alerts.evaluate(now=10.0)
+            pending_names = sorted(
+                a.rule.name for a in alerts.alerts if a.state == "pending"
+            )
+            engine.tick(now=12.0)
+            alerts.evaluate(now=12.0)
+            firing = [a for a in alerts.alerts if a.state == "firing"]
+            firing_names = sorted(a.rule.name for a in firing)
+            report.checks.append(ChaosCheck(
+                "slo_alerts_fired_during_faults",
+                "serve-availability-fast-burn" in pending_names
+                and "serve-availability-fast-burn" in firing_names
+                and "serve-degraded-fast-burn" in firing_names,
+                f"fault storm drove fast-burn alerts pending "
+                f"{pending_names} then firing {firing_names}",
+            ))
+            exemplar_ids = [
+                a.exemplar_trace_id for a in firing
+                if a.exemplar_trace_id is not None
+            ]
+            known_traces = {
+                record.trace_id for record in get_trace_store().spans()
+            }
+            report.checks.append(ChaosCheck(
+                "alert_exemplar_links_trace",
+                bool(exemplar_ids)
+                and all(tid in known_traces for tid in exemplar_ids),
+                f"firing alerts carry exemplar trace ids {exemplar_ids}, "
+                f"all resolvable in the trace store",
+            ))
             time.sleep(1.2)  # past the breaker's reset timeout
-            third = service.classify(frozen.features[8:12], timeout=30.0)
+            with span("chaos.classify", phase="recovery", call=3):
+                third = service.classify(frozen.features[8:12], timeout=30.0)
             expected_first = frozen.nearest_centroids(frozen.features[:4])
             expected_third = frozen.vote(frozen.features[8:12])
             report.checks.append(ChaosCheck(
@@ -356,8 +463,43 @@ def run_chaos_scenario(
                 "after the reset timeout a probe closed the breaker and "
                 "full-fidelity answers resumed",
             ))
+            # Recovery traffic: a run of full-fidelity answers rebuilds
+            # short-window compliance so the fast alerts' recency
+            # condition clears on the next evaluation.
+            for call in range(4, 24):
+                with span("chaos.classify", phase="recovery", call=call):
+                    service.classify(frozen.features[:4], timeout=30.0)
         finally:
             service.close()
+
+        # --------------------------------------------------------------
+        # Stage 4b: alerts must resolve once the storm is over
+        # --------------------------------------------------------------
+        # First evaluation after recovery: the fast pairs clear (their
+        # short windows now contain only good traffic).  The far-future
+        # evaluation then clears the slow pairs too, once their long
+        # windows anchor past the storm.
+        engine.tick(now=50.0)
+        alerts.evaluate(now=50.0)
+        engine.tick(now=10000.0)
+        alerts.evaluate(now=10000.0)
+        still_active = sorted(a.rule.name for a in alerts.active())
+        slo_report_path = work / "chaos_slo_report.json"
+        report.slo = {
+            "budget": engine.report(now=10000.0),
+            "alerts": alerts.report(),
+            "fired": firing_names,
+        }
+        slo_report_path.write_text(
+            json.dumps(report.slo, indent=2) + "\n", encoding="utf-8"
+        )
+        report.checks.append(ChaosCheck(
+            "slo_alerts_resolved_after_recovery",
+            not still_active and slo_report_path.exists(),
+            "no alert left pending/firing after recovery "
+            f"(active: {still_active or 'none'}); budget report written "
+            f"to {slo_report_path.name}",
+        ))
 
     # ------------------------------------------------------------------
     # Stage 5: the telemetry surface must show the whole story
@@ -387,8 +529,19 @@ def run_chaos_scenario(
     ))
 
     report.counters = nonzero
+    # The worker attr names whichever pool thread happened to hit the
+    # crash site — pure thread-scheduling noise.  Dropping it keeps the
+    # injection log (a CI artifact, and the seed-determinism test's
+    # comparison key) identical across replays of the same seed.
     report.injections = [
-        {"site": inj.site, "kind": inj.kind, "attrs": dict(inj.attrs)}
+        {
+            "site": inj.site,
+            "kind": inj.kind,
+            "attrs": {
+                key: value for key, value in dict(inj.attrs).items()
+                if key != "worker"
+            },
+        }
         for inj in plan.injections()
     ]
     report.elapsed_s = time.perf_counter() - started

@@ -54,7 +54,10 @@ __all__ = [
     "StreamDegradePolicy",
 ]
 
-_log = get_logger("repro.relia.degrade")
+# Rate-limited: a fault storm can emit thousands of duplicate/gap/
+# quarantine warnings per second; 200 lines/s keeps the JSON sink
+# readable while repro_logs_suppressed_total records the overflow.
+_log = get_logger("repro.relia.degrade", sample=200.0)
 
 
 @dataclass(frozen=True)
@@ -192,6 +195,18 @@ class ResilientStreamingProfiler:
             "repro_stream_gap_hours_total",
             "Missing feed hours detected between folded batches",
         )
+        # Good-event count of the stream-quarantine SLO: batches the
+        # degradation layer actually folded into the strict profiler.
+        self._folded_total = registry.counter(
+            "repro_stream_batches_folded_total",
+            "Batches folded into the wrapped profiler",
+        )
+        # Ingest-lag SLI: arrivals currently parked in the reorder
+        # window waiting for earlier hours (scrape-time read).
+        registry.gauge(
+            "repro_stream_reorder_lag_batches",
+            "Batches held in the reorder window awaiting earlier hours",
+        ).set_function(lambda: float(self.pending_count))
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -283,6 +298,7 @@ class ResilientStreamingProfiler:
                 error=entry.error, attempts=attempts,
             )
             return None
+        self._folded_total.inc()
         return result
 
     # ------------------------------------------------------------------

@@ -45,7 +45,10 @@ __all__ = [
     "retry_call",
 ]
 
-_log = get_logger("repro.relia.retry")
+# Rate-limited: retry storms log one line per attempt across every
+# site; 200 lines/s bounds the sink cost under injected fault storms
+# (suppressed lines land in repro_logs_suppressed_total).
+_log = get_logger("repro.relia.retry", sample=200.0)
 
 #: Gauge encoding of breaker states.
 BREAKER_STATES = {"closed": 0, "open": 1, "half_open": 2}

@@ -4,7 +4,14 @@ A :class:`~http.server.ThreadingHTTPServer` front-end — one handler
 thread per connection, all funnelling into the shared service (whose
 micro-batcher aggregates them).  JSON in, JSON out, no dependencies:
 
-* ``GET  /healthz``      — liveness + current profile version;
+* ``GET  /healthz``      — liveness + readiness: runs the standard
+  :func:`repro.obs.health.service_health_checks` probe set (profile
+  loaded, queue headroom, breaker state, error budgets) and answers
+  200 while healthy, 503 with the failing checks otherwise;
+* ``GET  /slo``          — JSON error-budget report from the attached
+  :class:`~repro.obs.slo.SLOEngine` plus the
+  :class:`~repro.obs.alerts.AlertManager` alert states (404 when the
+  server was built without an engine);
 * ``GET  /clusters``     — per-cluster occupancy/centroid summaries;
 * ``GET  /metrics``      — Prometheus text exposition of the node's
   :class:`~repro.obs.MetricsRegistry` (qps, latency histograms and
@@ -13,6 +20,11 @@ micro-batcher aggregates them).  JSON in, JSON out, no dependencies:
 * ``POST /classify``     — body ``{"vectors": [[...], ...]}`` (RSCA rows)
   or ``{"volumes": [[...], ...]}`` (raw per-service MB); responds
   ``{"labels": [...], "version": V, "cached": C, "degraded": bool}``.
+
+Every scrape of ``/metrics``, ``/metrics.json``, ``/slo``, or
+``/healthz`` first ticks the attached SLO engine and re-evaluates the
+alert rules, so the exported ``repro_slo_*`` / ``repro_alert_*`` series
+are current as of the scrape — no background evaluator thread needed.
 
 Error mapping: malformed input -> 400; no profile loaded -> 503;
 admission shed -> 429 with a ``Retry-After`` header; unknown path ->
@@ -34,6 +46,9 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.obs import current_trace_id, get_logger, span
+from repro.obs.alerts import AlertManager
+from repro.obs.health import run_checks, service_health_checks
+from repro.obs.slo import SLOEngine
 from repro.serve.scheduler import ShedRequest
 from repro.serve.service import ProfileService
 
@@ -127,27 +142,51 @@ class ServeHandler(BaseHTTPRequestHandler):
                     # that remains of this request.
                     pass
 
+    def _refresh_slo(self) -> None:
+        """Tick the SLO engine / alert rules so this scrape sees fresh state."""
+        engine = getattr(self.server, "slo_engine", None)
+        if engine is not None:
+            engine.tick()
+        manager = getattr(self.server, "alert_manager", None)
+        if manager is not None:
+            manager.evaluate()
+
     def _route_get(self) -> None:
         if self.path == "/healthz":
-            self._respond(
-                200,
-                {
-                    "status": "ok",
-                    "profile_version": self.service.registry.current_version(),
-                },
+            self._refresh_slo()
+            engine = getattr(self.server, "slo_engine", None)
+            report = run_checks(
+                service_health_checks(self.service, engine=engine)
             )
+            body = report.to_dict()
+            # Kept from the pre-SLO handler: clients and tests key off
+            # the served profile version in the health body.
+            body["profile_version"] = self.service.registry.current_version()
+            self._respond(200 if report.ok else 503, body)
+        elif self.path == "/slo":
+            self._refresh_slo()
+            engine = getattr(self.server, "slo_engine", None)
+            if engine is None:
+                self._error(404, "no SLO engine attached to this server")
+                return
+            body = engine.report()
+            manager = getattr(self.server, "alert_manager", None)
+            body["alerts"] = manager.report() if manager is not None else []
+            self._respond(200, body)
         elif self.path == "/clusters":
             try:
                 self._respond(200, self.service.cluster_summaries())
             except RuntimeError as exc:
                 self._error(503, str(exc))
         elif self.path == "/metrics":
+            self._refresh_slo()
             self._respond_bytes(
                 200,
                 self.service.metrics_text().encode("utf-8"),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
         elif self.path == "/metrics.json":
+            self._refresh_slo()
             self._respond(200, self.service.metrics_snapshot())
         else:
             self._error(404, f"unknown path {self.path!r}")
@@ -217,15 +256,25 @@ class ServeHandler(BaseHTTPRequestHandler):
 
 
 class ServeHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP server owning a shared :class:`ProfileService`."""
+    """Threaded HTTP server owning a shared :class:`ProfileService`.
+
+    When built with an :class:`SLOEngine` (and optionally an
+    :class:`AlertManager`), the server exposes ``GET /slo`` and folds
+    budget state into ``GET /healthz`` readiness; both are refreshed on
+    every scrape.
+    """
 
     daemon_threads = True
 
     def __init__(self, address, service: ProfileService,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 slo_engine: Optional[SLOEngine] = None,
+                 alert_manager: Optional[AlertManager] = None) -> None:
         super().__init__(address, ServeHandler)
         self.service = service
         self.verbose = verbose
+        self.slo_engine = slo_engine
+        self.alert_manager = alert_manager
 
 
 def make_server(
@@ -233,6 +282,11 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8080,
     verbose: bool = False,
+    slo_engine: Optional[SLOEngine] = None,
+    alert_manager: Optional[AlertManager] = None,
 ) -> ServeHTTPServer:
     """Bind a :class:`ServeHTTPServer` (``port=0`` picks a free port)."""
-    return ServeHTTPServer((host, port), service, verbose=verbose)
+    return ServeHTTPServer(
+        (host, port), service, verbose=verbose,
+        slo_engine=slo_engine, alert_manager=alert_manager,
+    )

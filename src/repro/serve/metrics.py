@@ -36,6 +36,7 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import current_trace_id
 
 #: Default number of latency samples the reservoir retains.
 DEFAULT_RESERVOIR_SIZE = 2048
@@ -232,7 +233,12 @@ class ServeMetrics:
                 self._first_request = now
             self._last_request = now
         self.latency.observe(latency_seconds)
-        self._latency_hist.observe(latency_seconds)
+        # With tracing on, the active trace id rides along as the
+        # histogram exemplar, so a latency-SLO violation names the
+        # exact trace to replay.  One thread-local read per request.
+        self._latency_hist.observe(
+            latency_seconds, exemplar=current_trace_id()
+        )
 
     def observe_batch(self, n_rows: int) -> None:
         """Record one executed micro-batch of ``n_rows`` stacked vectors."""

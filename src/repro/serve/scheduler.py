@@ -33,7 +33,10 @@ from repro.relia.faults import fault_point
 #: Sentinel instructing a worker to exit.
 _STOP = object()
 
-_log = get_logger("repro.serve.scheduler")
+# Rate-limited: shed/crash events arrive per-request under overload;
+# 100 lines/s keeps the hot path and the sink safe (suppressed lines
+# land in repro_logs_suppressed_total).
+_log = get_logger("repro.serve.scheduler", sample=100.0)
 
 
 class ShedRequest(RuntimeError):

@@ -38,7 +38,7 @@ from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
-from repro.obs import get_logger
+from repro.obs import get_logger, get_registry
 from repro.relia.errors import CheckpointCorrupt
 from repro.relia.faults import fault_point, maybe_truncate_file
 
@@ -49,6 +49,25 @@ _MANIFEST_KEY = "__manifest__"
 _MANIFEST_FORMAT = 2
 
 _log = get_logger("repro.stream.checkpoint")
+
+
+def _saves_counter():
+    """``repro_checkpoint_saves_total`` on the process registry.
+
+    Together with :func:`_corruptions_counter` this family feeds the
+    ``checkpoint-integrity`` SLO (see :func:`repro.obs.slo.default_slos`).
+    """
+    return get_registry().counter(
+        "repro_checkpoint_saves_total",
+        "Checkpoint files successfully written",
+    )
+
+
+def _corruptions_counter():
+    return get_registry().counter(
+        "repro_checkpoint_corruptions_total",
+        "Checkpoint loads that failed CRC/manifest validation",
+    )
 
 
 def checkpoint_path(path) -> Path:
@@ -137,10 +156,15 @@ def save_state(path, state: Mapping[str, object],
     # shape of a torn copy or bad sector that CRC validation must catch.
     maybe_truncate_file(destination, "stream.checkpoint",
                         file=destination.name)
+    _saves_counter().inc()
 
 
 def load_state(path) -> Dict[str, object]:
     """Read back and validate a checkpoint written by :func:`save_state`.
+
+    Every validation failure also bumps
+    ``repro_checkpoint_corruptions_total`` on the process registry (the
+    ``checkpoint-integrity`` SLO's bad-event count).
 
     Raises:
         CheckpointCorrupt: when the file is not a readable archive, the
@@ -149,6 +173,14 @@ def load_state(path) -> Dict[str, object]:
         FileNotFoundError: when the file does not exist (a *missing*
             checkpoint is a different condition from a corrupt one).
     """
+    try:
+        return _load_state_validated(path)
+    except CheckpointCorrupt:
+        _corruptions_counter().inc()
+        raise
+
+
+def _load_state_validated(path) -> Dict[str, object]:
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"no checkpoint at {path}")

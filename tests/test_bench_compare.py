@@ -1,0 +1,152 @@
+"""Tests for the bench-regression guard and its metric-path spec mode."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench_compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+bench_compare = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_compare", bench_compare)
+_spec.loader.exec_module(bench_compare)
+
+
+def serve_report(unbatched=100.0, w4=400.0, cached=900.0, n_queries=800):
+    return {
+        "config": {
+            "n_reference_antennas": 120, "n_services": 12,
+            "n_queries": n_queries, "n_clusters": 4,
+            "max_batch": 64, "max_wait_ms": 2.0,
+        },
+        "unbatched": {"qps": unbatched},
+        "cached": {"qps": cached},
+        "batched": [
+            {"workers": 1, "qps": unbatched * 1.5},
+            {"workers": 4, "qps": w4},
+        ],
+        "speedup": w4 / unbatched,
+    }
+
+
+class TestExtractPath:
+    def test_nested_keys(self):
+        report = {"a": {"b": {"c": 3.5}}}
+        assert bench_compare.extract_path(report, "a.b.c") == 3.5
+
+    def test_list_index(self):
+        report = {"runs": [{"qps": 1.0}, {"qps": 2.0}]}
+        assert bench_compare.extract_path(report, "runs[1].qps") == 2.0
+        assert bench_compare.extract_path(report, "runs[-1].qps") == 2.0
+        assert bench_compare.extract_path(report, "runs[9].qps") is None
+
+    def test_key_value_selector(self):
+        report = serve_report()
+        assert bench_compare.extract_path(
+            report, "batched[workers=4].qps"
+        ) == 400.0
+        assert bench_compare.extract_path(
+            report, "batched[workers=8].qps"
+        ) is None
+
+    def test_misses_return_none(self):
+        report = serve_report()
+        assert bench_compare.extract_path(report, "nope.qps") is None
+        assert bench_compare.extract_path(report, "unbatched[0]") is None
+        assert bench_compare.extract_path(report, "batched[bogus].qps") is None
+
+
+class TestSpecMode:
+    SPEC = {
+        "config_keys": ["n_queries"],
+        "metrics": {"unbatched_qps": "unbatched.qps"},
+        "ratios": {
+            "w4_vs_unbatched": ["batched[workers=4].qps", "unbatched.qps"],
+        },
+    }
+
+    def test_regression_detected(self):
+        baseline = serve_report(w4=400.0)
+        fresh = serve_report(w4=100.0)
+        rows, failures = bench_compare.compare(
+            baseline, fresh, 0.30, spec=self.SPEC
+        )
+        assert failures == ["w4_vs_unbatched"]
+
+    def test_improvement_never_fails(self):
+        rows, failures = bench_compare.compare(
+            serve_report(w4=400.0), serve_report(w4=800.0), 0.30,
+            spec=self.SPEC,
+        )
+        assert failures == []
+
+    def test_absolute_metrics_gated_by_config_keys(self):
+        baseline = serve_report(n_queries=800)
+        fresh = serve_report(unbatched=10.0, w4=40.0, n_queries=100)
+        rows, failures = bench_compare.compare(
+            baseline, fresh, 0.30, spec=self.SPEC
+        )
+        # unbatched_qps dropped 10x but configs differ: ratio-only mode.
+        assert failures == []
+        assert [name for name, *_ in rows] == ["w4_vs_unbatched"]
+
+    def test_missing_path_skips_not_fails(self):
+        fresh = serve_report()
+        del fresh["batched"][1]  # no workers=4 entry this run
+        rows, failures = bench_compare.compare(
+            serve_report(), fresh, 0.30, spec=self.SPEC
+        )
+        assert failures == []
+        skipped = [row for row in rows if row[-1] == "skipped"]
+        assert [row[0] for row in skipped] == ["w4_vs_unbatched"]
+
+    def test_spec_validation(self, tmp_path):
+        bad = tmp_path / "spec.json"
+        bad.write_text(json.dumps({"ratios": {"r": ["only-one"]}}))
+        with pytest.raises(SystemExit, match="r"):
+            bench_compare.load_spec(str(bad))
+        bad.write_text(json.dumps({"metrics": {"m": 3}}))
+        with pytest.raises(SystemExit, match="m"):
+            bench_compare.load_spec(str(bad))
+
+
+class TestDefaultMode:
+    def test_identical_reports_pass(self):
+        rows, failures = bench_compare.compare(
+            serve_report(), serve_report(), 0.30
+        )
+        assert failures == []
+        assert rows
+
+    def test_speedup_regression_fails(self):
+        rows, failures = bench_compare.compare(
+            serve_report(w4=400.0), serve_report(w4=100.0), 0.30
+        )
+        assert "speedup" in failures
+
+    def test_main_exit_codes(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        baseline.write_text(json.dumps(serve_report()))
+        fresh.write_text(json.dumps(serve_report()))
+        assert bench_compare.main(
+            ["--baseline", str(baseline), "--fresh", str(fresh)]
+        ) == 0
+        fresh.write_text(json.dumps(serve_report(w4=10.0)))
+        assert bench_compare.main(
+            ["--baseline", str(baseline), "--fresh", str(fresh)]
+        ) == 1
+
+    def test_main_with_spec_file(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        spec = tmp_path / "spec.json"
+        baseline.write_text(json.dumps(serve_report()))
+        fresh.write_text(json.dumps(serve_report(w4=10.0)))
+        spec.write_text(json.dumps(TestSpecMode.SPEC))
+        assert bench_compare.main([
+            "--baseline", str(baseline), "--fresh", str(fresh),
+            "--spec", str(spec),
+        ]) == 1

@@ -1,0 +1,108 @@
+"""Tests for the operator dashboard renderer and poll loop."""
+
+import io
+
+from repro.obs.dashboard import render_dashboard, watch
+
+METRICS = {
+    "profile_version": 3,
+    "queue_depth": 2,
+    "max_queue_depth": 256,
+    "counters": {"requests": 120, "errors": 1, "shed_requests": 0},
+    "derived": {"qps": 51.5, "p50_ms": 4.1, "p95_ms": 9.9, "p99_ms": 12.0,
+                "cache_hit_rate": 0.25, "mean_batch_size": 8.0},
+    "cache": {"size": 40},
+}
+
+SLO_BODY = {
+    "slos": [
+        {"name": "serve-availability", "compliance": 0.999,
+         "error_budget_remaining": 0.62},
+        {"name": "serve-latency", "compliance": 0.8,
+         "error_budget_remaining": -0.5},
+    ],
+    "alerts": [
+        {"name": "serve-availability-fast-burn", "state": "firing",
+         "burn_long": 20.0, "burn_short": 25.0, "burn_threshold": 14.4,
+         "exemplar_trace_id": "deadbeef0001"},
+        {"name": "serve-availability-slow-burn", "state": "inactive",
+         "burn_long": 0.0, "burn_short": 0.0, "burn_threshold": 1.0},
+    ],
+}
+
+HEALTH_OK = {"status": "ok", "checks": []}
+HEALTH_BAD = {
+    "status": "unhealthy",
+    "checks": [
+        {"name": "breaker", "ok": False, "critical": True,
+         "detail": "worker breaker open"},
+        {"name": "error_budget", "ok": False, "critical": False,
+         "detail": "overspent"},
+    ],
+}
+
+
+class TestRenderDashboard:
+    def test_unreachable_banner(self):
+        frame = render_dashboard(None, color=False, url="http://x:1")
+        assert "node unreachable" in frame
+        assert "http://x:1" in frame
+
+    def test_traffic_pane(self):
+        frame = render_dashboard(METRICS, color=False)
+        assert "profile v3" in frame
+        assert "requests        120" in frame
+        assert "p99   12.00" in frame
+        assert "queue    2/256" in frame
+
+    def test_budget_bars_and_alerts(self):
+        frame = render_dashboard(METRICS, slo=SLO_BODY, color=False)
+        assert "serve-availability" in frame
+        assert "62.0%" in frame
+        assert "-50.0%" in frame  # overspent budget keeps its sign
+        assert "FIRING" in frame
+        assert "trace deadbeef0001" in frame
+        # inactive alerts stay out of the pane
+        assert "slow-burn" not in frame
+
+    def test_no_alerts_message(self):
+        frame = render_dashboard(
+            METRICS, slo={"slos": [], "alerts": []}, color=False
+        )
+        assert "none pending or firing" in frame
+
+    def test_health_pane(self):
+        frame = render_dashboard(METRICS, health=HEALTH_OK, color=False)
+        assert "HEALTHY" in frame
+        frame = render_dashboard(METRICS, health=HEALTH_BAD, color=False)
+        assert "UNHEALTHY" in frame
+        assert "breaker: worker breaker open" in frame
+
+    def test_color_mode_emits_ansi(self):
+        plain = render_dashboard(METRICS, slo=SLO_BODY, color=False)
+        colored = render_dashboard(METRICS, slo=SLO_BODY, color=True)
+        assert "\x1b[" not in plain
+        assert "\x1b[31m" in colored  # red for the firing alert
+
+    def test_missing_fields_render_fallback(self):
+        frame = render_dashboard({"counters": {}, "derived": {}}, color=False)
+        assert "n/a" in frame
+
+
+class TestWatchLoop:
+    def test_renders_requested_frames_without_server(self):
+        # No server on this port: every poll fails, every frame paints
+        # the unreachable banner — the loop itself must not raise.
+        stream = io.StringIO()
+        frames = watch(
+            "http://127.0.0.1:1/", interval_s=0.0, iterations=3,
+            stream=stream, color=False, clear=False, sleep=lambda s: None,
+        )
+        assert frames == 3
+        assert stream.getvalue().count("node unreachable") == 3
+
+    def test_clear_mode_repaints_screen(self):
+        stream = io.StringIO()
+        watch("http://127.0.0.1:1", interval_s=0.0, iterations=1,
+              stream=stream, color=False, clear=True, sleep=lambda s: None)
+        assert stream.getvalue().startswith("\x1b[2J")

@@ -5,7 +5,13 @@ import json
 
 import pytest
 
-from repro.obs.logs import get_logger, set_log_level, set_log_stream
+from repro.obs.logs import (
+    TokenBucket,
+    get_logger,
+    set_log_level,
+    set_log_stream,
+)
+from repro.obs.registry import MetricsRegistry, set_registry
 from repro.obs.trace import disable_tracing, enable_tracing, span
 
 
@@ -69,6 +75,133 @@ class TestLevels:
             set_log_level("loud")
         with pytest.raises(ValueError):
             get_logger("repro.test").log("loud", "nope")
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        clock = {"t": 0.0}
+        bucket = TokenBucket(10.0, burst=3.0, clock=lambda: clock["t"])
+        assert [bucket.allow() for _ in range(4)] == [True] * 3 + [False]
+
+    def test_continuous_refill(self):
+        clock = {"t": 0.0}
+        bucket = TokenBucket(10.0, burst=1.0, clock=lambda: clock["t"])
+        assert bucket.allow()
+        assert not bucket.allow()
+        clock["t"] = 0.05  # half a token accrued — still empty
+        assert not bucket.allow()
+        clock["t"] = 0.11
+        assert bucket.allow()
+
+    def test_refill_caps_at_burst(self):
+        clock = {"t": 0.0}
+        bucket = TokenBucket(100.0, burst=2.0, clock=lambda: clock["t"])
+        clock["t"] = 60.0  # an hour of idle never exceeds the burst
+        allowed = sum(bucket.allow() for _ in range(10))
+        assert allowed == 2
+
+    def test_steady_rate_is_never_throttled(self):
+        clock = {"t": 0.0}
+        bucket = TokenBucket(1.0, burst=1.0, clock=lambda: clock["t"])
+        for step in range(50):
+            clock["t"] = float(step)  # exactly the sustained rate
+            assert bucket.allow()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(-5.0)
+        with pytest.raises(ValueError):
+            TokenBucket(10.0, burst=0.5)
+
+
+class TestSampling:
+    @pytest.fixture()
+    def fresh_registry(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            yield registry
+        finally:
+            set_registry(previous)
+
+    def _suppressed(self, registry, logger_name):
+        family = registry.get("repro_logs_suppressed_total")
+        for labels, child in family.series() if family else ():
+            if labels == (logger_name,):
+                return child.value
+        return 0.0
+
+    def test_suppressed_lines_counted_not_emitted(
+        self, captured, fresh_registry
+    ):
+        clock = {"t": 0.0}
+        bucket = TokenBucket(1.0, burst=2.0, clock=lambda: clock["t"])
+        logger = get_logger("repro.test.sampled", sample=bucket)
+        try:
+            for attempt in range(5):
+                logger.info("spam", attempt=attempt)
+            records = _lines(captured)
+            assert [r["attempt"] for r in records] == [0, 1]
+            assert self._suppressed(
+                fresh_registry, "repro.test.sampled"
+            ) == 3.0
+        finally:
+            logger.set_sampler(None)
+
+    def test_refill_reopens_the_logger(self, captured, fresh_registry):
+        clock = {"t": 0.0}
+        bucket = TokenBucket(1.0, burst=1.0, clock=lambda: clock["t"])
+        logger = get_logger("repro.test.reopen", sample=bucket)
+        try:
+            logger.info("first")
+            logger.info("dropped")
+            clock["t"] = 1.5
+            logger.info("second")
+            assert [r["event"] for r in _lines(captured)] == [
+                "first", "second",
+            ]
+            assert self._suppressed(
+                fresh_registry, "repro.test.reopen"
+            ) == 1.0
+        finally:
+            logger.set_sampler(None)
+
+    def test_float_shorthand_attaches_bucket(self, captured):
+        logger = get_logger("repro.test.float", sample=50.0)
+        try:
+            assert isinstance(logger._bucket, TokenBucket)
+            assert logger._bucket.rate_per_s == 50.0
+            assert logger._bucket.burst == 50.0
+        finally:
+            logger.set_sampler(None)
+
+    def test_recall_without_sample_keeps_bucket(self, captured):
+        bucket = TokenBucket(5.0)
+        logger = get_logger("repro.test.keep", sample=bucket)
+        try:
+            assert get_logger("repro.test.keep")._bucket is bucket
+        finally:
+            logger.set_sampler(None)
+
+    def test_below_level_lines_do_not_spend_tokens(
+        self, captured, fresh_registry
+    ):
+        set_log_level("warning")
+        clock = {"t": 0.0}
+        bucket = TokenBucket(1.0, burst=1.0, clock=lambda: clock["t"])
+        logger = get_logger("repro.test.level", sample=bucket)
+        try:
+            for _ in range(10):
+                logger.debug("cheap")  # dropped by level, not the bucket
+            logger.warning("kept")
+            assert [r["event"] for r in _lines(captured)] == ["kept"]
+            assert self._suppressed(
+                fresh_registry, "repro.test.level"
+            ) == 0.0
+        finally:
+            logger.set_sampler(None)
 
 
 class TestTraceCorrelation:

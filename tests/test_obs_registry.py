@@ -174,6 +174,81 @@ class TestPrometheusText:
         assert MetricsRegistry().prometheus_text() == ""
 
 
+class TestExemplars:
+    def _hist(self, buckets=(0.1, 1.0)):
+        return MetricsRegistry().histogram("lat_seconds", buckets=buckets)
+
+    def test_observe_without_exemplar_retains_nothing(self):
+        hist = self._hist()
+        hist.observe(0.05)
+        assert hist.exemplars() == []
+
+    def test_latest_exemplar_per_bucket(self):
+        hist = self._hist()
+        hist.observe(0.04, exemplar="aaa")
+        hist.observe(0.06, exemplar="bbb")  # same bucket: replaces aaa
+        hist.observe(0.5, exemplar="ccc")
+        retained = hist.exemplars()
+        assert [(e.trace_id, e.value) for e in retained] == [
+            ("bbb", 0.06), ("ccc", 0.5),
+        ]
+        assert [e.bucket_le for e in retained] == [0.1, 1.0]
+
+    def test_overflow_bucket_le_is_inf(self):
+        hist = self._hist()
+        hist.observe(30.0, exemplar="slow")
+        [exemplar] = hist.exemplars()
+        assert exemplar.bucket_le == float("inf")
+
+    def test_worst_exemplars_walks_highest_bucket_first(self):
+        hist = self._hist()
+        hist.observe(0.05, exemplar="fast")
+        hist.observe(0.5, exemplar="mid")
+        hist.observe(30.0, exemplar="slow")
+        worst = hist.worst_exemplars(2)
+        assert [e.trace_id for e in worst] == ["slow", "mid"]
+        assert hist.worst_exemplars(0) == []
+        assert [e.trace_id for e in hist.worst_exemplars(10)] == [
+            "slow", "mid", "fast",
+        ]
+
+    def test_prometheus_text_exemplar_suffix(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05, exemplar="deadbeef0001")
+        hist.observe(0.05)  # bare observation keeps the exemplar
+        text = registry.prometheus_text()
+        assert (
+            'lat_seconds_bucket{le="0.1"} 2 '
+            '# {trace_id="deadbeef0001"} 0.05'
+        ) in text
+        # Buckets without a retained exemplar render the classic line.
+        assert 'lat_seconds_bucket{le="1"} 2\n' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2\n' in text
+
+    def test_to_dict_exemplars_list(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(0.1,))
+        hist.observe(7.0, exemplar="cafe")
+        snapshot = json.loads(json.dumps(registry.to_dict()))
+        assert snapshot["lat_seconds"]["series"][0]["exemplars"] == [
+            {"bucket": "+Inf", "value": 7.0, "trace_id": "cafe"}
+        ]
+
+    def test_labeled_series_keep_separate_exemplars(self):
+        registry = MetricsRegistry()
+        family = registry.histogram(
+            "lat_seconds", buckets=(1.0,), labelnames=("route",)
+        )
+        family.labels(route="/a").observe(0.5, exemplar="aaa")
+        family.labels(route="/b").observe(0.5, exemplar="bbb")
+        by_route = {
+            labels: [e.trace_id for e in child.exemplars()]
+            for labels, child in family.series()
+        }
+        assert by_route == {("/a",): ["aaa"], ("/b",): ["bbb"]}
+
+
 class TestJsonExposition:
     def test_to_dict_round_trips_through_json(self):
         registry = MetricsRegistry()

@@ -9,16 +9,21 @@ from repro.relia.chaos import run_chaos_scenario
 
 
 @pytest.fixture(scope="module")
-def report(tmp_path_factory):
+def chaos_run(tmp_path_factory):
     # The scenario drives counters on the process-wide registry; give it
     # a fresh one so assertions see only this run.
     previous = get_registry()
     set_registry(MetricsRegistry())
     try:
         work_dir = tmp_path_factory.mktemp("chaos")
-        yield run_chaos_scenario(seed=0, work_dir=str(work_dir))
+        yield run_chaos_scenario(seed=0, work_dir=str(work_dir)), work_dir
     finally:
         set_registry(previous)
+
+
+@pytest.fixture(scope="module")
+def report(chaos_run):
+    return chaos_run[0]
 
 
 def test_scenario_passes_every_check(report):
@@ -62,6 +67,50 @@ def test_report_serializes_to_json(report):
     assert payload["injections"]
     summary = report.summary()
     assert "PASS" in summary
+
+
+def test_slo_alerts_fired_and_resolved(report):
+    by_name = {c.name: c for c in report.checks}
+    assert by_name["slo_alerts_fired_during_faults"].passed, (
+        by_name["slo_alerts_fired_during_faults"].detail
+    )
+    assert by_name["slo_alerts_resolved_after_recovery"].passed, (
+        by_name["slo_alerts_resolved_after_recovery"].detail
+    )
+    # The storm must have tripped at least one paging fast-burn alert.
+    fired = report.slo["fired"]
+    assert any(name.endswith("-fast-burn") for name in fired), fired
+    # ... and every alert ended the scenario resolved or untouched.
+    for entry in report.slo["alerts"]:
+        assert entry["state"] in ("inactive", "resolved"), entry
+
+
+def test_firing_alert_exemplar_resolves_to_trace(report):
+    by_name = {c.name: c for c in report.checks}
+    assert by_name["alert_exemplar_links_trace"].passed, (
+        by_name["alert_exemplar_links_trace"].detail
+    )
+    fired = {e["name"]: e for e in report.slo["alerts"]
+             if e["fired_count"] > 0}
+    assert fired, "no alert ever fired during the storm"
+    assert any(e["exemplar_trace_id"] for e in fired.values()), fired
+
+
+def test_slo_report_artifact_written(chaos_run):
+    report, work_dir = chaos_run
+    artifact = work_dir / "chaos_slo_report.json"
+    assert artifact.exists()
+    payload = json.loads(artifact.read_text(encoding="utf-8"))
+    assert payload["fired"] == report.slo["fired"]
+    # Budget accounting: every SLO in the artifact has a finite budget
+    # and the storm overspent at least one of them at its peak.
+    budgets = {s["name"]: s for s in payload["budget"]["slos"]}
+    assert budgets, payload["budget"]
+    for entry in budgets.values():
+        assert "error_budget_remaining" in entry
+    # The embedded SLO section round-trips through the main report too.
+    full = json.loads(json.dumps(report.to_dict()))
+    assert full["slo"]["fired"] == payload["fired"]
 
 
 def test_scenario_is_seed_deterministic(report):
