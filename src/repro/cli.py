@@ -338,17 +338,29 @@ def _run_instrumented_pipeline(args):
     """Run the full pipeline (fit + SHAP) with tracing enabled.
 
     Returns ``(trace_store, registry, profile)`` — the observability
-    state the ``obs`` subcommands export.
+    state the ``obs`` subcommands export.  Tracing is restored to its
+    prior state on the way out (retained spans stay exportable), so an
+    in-process caller — the test suite — is left untouched.
     """
-    from repro.obs import enable_tracing, get_registry
+    from repro.obs import (
+        disable_tracing,
+        enable_tracing,
+        get_registry,
+        tracing_enabled,
+    )
 
+    was_tracing = tracing_enabled()
     store = enable_tracing(clear=True)
-    dataset = _load_or_generate(args)
-    profiler = ICNProfiler(n_clusters=args.clusters)
-    align = dataset.archetypes() if args.align else None
-    profile = profiler.fit(dataset, align_to=align)
-    if args.shap_samples > 0:
-        profile.explain(samples_per_cluster=args.shap_samples)
+    try:
+        dataset = _load_or_generate(args)
+        profiler = ICNProfiler(n_clusters=args.clusters)
+        align = dataset.archetypes() if args.align else None
+        profile = profiler.fit(dataset, align_to=align)
+        if args.shap_samples > 0:
+            profile.explain(samples_per_cluster=args.shap_samples)
+    finally:
+        if not was_tracing:
+            disable_tracing()
     return store, get_registry(), profile
 
 

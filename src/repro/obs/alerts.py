@@ -37,13 +37,15 @@ a synthetic clock with bit-identical transitions every run.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.obs.logs import get_logger
 from repro.obs.registry import MetricsRegistry
 from repro.obs.slo import SLOEngine
+from repro.obs.trace import get_trace_store, tracing_enabled
 
 __all__ = [
     "ALERT_STATES",
@@ -188,6 +190,12 @@ class AlertManager:
         self.engine = engine
         self.registry = registry if registry is not None else engine.registry
         self._clock = clock
+        # One evaluation's read-modify-write of every alert's state
+        # machine must be atomic: evaluate() runs on every scrape of a
+        # threaded HTTP server, and two unlocked evaluations can both
+        # see "pending" and both escalate — double-counting fired_count
+        # and the transition counter, and duplicating firing logs.
+        self._lock = threading.Lock()
         self._alerts: Dict[str, Alert] = {
             rule.name: Alert(rule=rule) for rule in rules
         }
@@ -222,10 +230,11 @@ class AlertManager:
 
     def active(self) -> List[Alert]:
         """Alerts currently pending or firing."""
-        return [
-            a for a in self._alerts.values()
-            if a.state in ("pending", "firing")
-        ]
+        with self._lock:
+            return [
+                a for a in self._alerts.values()
+                if a.state in ("pending", "firing")
+            ]
 
     def _transition(self, alert: Alert, to: str, t: float,
                     **log_fields) -> None:
@@ -245,15 +254,39 @@ class AlertManager:
         )
 
     def _capture_exemplar(self, alert: Alert) -> None:
+        """Attach a *fresh, resolvable* worst-case exemplar, or none.
+
+        Histogram exemplar slots keep the latest observation per bucket
+        indefinitely, so a quiet bucket can hold a trace from long
+        before the incident — one the bounded :class:`TraceStore` ring
+        may already have evicted.  Only exemplars observed within the
+        rule's short window (measured on the real monotonic clock the
+        registry stamps, regardless of any synthetic evaluation
+        timeline) are eligible, and when tracing is live the trace id
+        must still resolve in the store.  When nothing qualifies the
+        alert carries no exemplar rather than a stale or dangling one.
+        """
+        alert.exemplar_trace_id = None
+        alert.exemplar_value = None
         slo = self.engine.get(alert.rule.slo)
         if slo.exemplar_metric is None:
             return
         family = self.registry.get(slo.exemplar_metric)
         if family is None or family.kind != "histogram":
             return
+        cutoff = time.monotonic() - max(alert.rule.short_window_s, 1.0)
+        known: Optional[Set[str]] = None
+        if tracing_enabled():
+            known = {
+                record.trace_id for record in get_trace_store().spans()
+            }
         worst = None
         for _, child in family.series():
-            for hit in child.worst_exemplars(1):
+            for hit in child.exemplars():
+                if hit.ts < cutoff:
+                    continue
+                if known is not None and hit.trace_id not in known:
+                    continue
                 if worst is None or hit.bucket_le > worst.bucket_le or (
                     hit.bucket_le == worst.bucket_le
                     and hit.value > worst.value
@@ -270,7 +303,16 @@ class AlertManager:
         step, so the pending → firing escalation always happens on a
         *later* evaluation than the rising edge — both states are
         observable regardless of ``for_s``.
+
+        Evaluations are serialized on a manager-level lock (every
+        scrape of a threaded server triggers one), so each alert's
+        read-modify-write is atomic and a transition is counted and
+        logged exactly once.
         """
+        with self._lock:
+            return self._evaluate_locked(now)
+
+    def _evaluate_locked(self, now: Optional[float]) -> List[Alert]:
         t = float(now) if now is not None else self._clock()
         changed: List[Alert] = []
         for alert in self._alerts.values():
@@ -323,7 +365,8 @@ class AlertManager:
 
     def report(self) -> List[Dict[str, object]]:
         """JSON-serializable snapshot of every alert."""
-        return [alert.to_dict() for alert in self._alerts.values()]
+        with self._lock:
+            return [alert.to_dict() for alert in self._alerts.values()]
 
 
 def default_rules(engine: SLOEngine,

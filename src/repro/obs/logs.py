@@ -98,7 +98,14 @@ class TokenBucket:
                 f"rate_per_s must be positive, got {rate_per_s}"
             )
         self.rate_per_s = float(rate_per_s)
-        self.burst = float(burst) if burst is not None else self.rate_per_s
+        # Fractional sustained rates are legitimate (sample=0.5 means
+        # one line every two seconds), but a bucket that can never hold
+        # a whole token would suppress everything — floor the default
+        # burst at one token so sub-1/s rates still emit.
+        self.burst = (
+            float(burst) if burst is not None
+            else max(1.0, self.rate_per_s)
+        )
         if self.burst < 1.0:
             raise ValueError(f"burst must be >= 1, got {self.burst}")
         self._tokens = self.burst
@@ -216,7 +223,8 @@ def get_logger(
         name: logger name (one shared instance per name).
         sample: optional rate limit for this logger's lines — a float is
             shorthand for ``TokenBucket(rate_per_s=sample)`` (sustained
-            rate with an equal burst); pass a :class:`TokenBucket` for
+            rate with a burst of ``max(1, rate)``, so fractional rates
+            like 0.5 lines/s work); pass a :class:`TokenBucket` for
             full control.  Re-calling with ``sample`` replaces the
             existing bucket; calling without leaves it untouched.
     """

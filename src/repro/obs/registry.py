@@ -34,6 +34,7 @@ from __future__ import annotations
 import math
 import re
 import threading
+import time
 from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 __all__ = [
@@ -154,11 +155,16 @@ class Exemplar(NamedTuple):
             join key into the :class:`~repro.obs.trace.TraceStore`.
         bucket_le: upper bound of the histogram bucket the observation
             fell into (``math.inf`` for the overflow bucket).
+        ts: ``time.monotonic()`` at observation time — exemplar slots
+            keep the latest observation per bucket indefinitely, so
+            consumers that need *recent* worst cases (alert exemplar
+            capture) filter on this instead of trusting slot contents.
     """
 
     value: float
     trace_id: str
     bucket_le: float
+    ts: float = 0.0
 
 
 class Histogram(_Child):
@@ -209,7 +215,9 @@ class Histogram(_Child):
                     self.buckets[slot] if slot < len(self.buckets)
                     else math.inf
                 )
-                self._exemplars[slot] = Exemplar(value, str(exemplar), bound)
+                self._exemplars[slot] = Exemplar(
+                    value, str(exemplar), bound, time.monotonic()
+                )
 
     def exemplars(self) -> List[Exemplar]:
         """Retained exemplars in bucket order (empty slots skipped)."""

@@ -226,6 +226,13 @@ class SLOEngine:
         self.registry = registry if registry is not None else get_registry()
         self._clock = clock
         self._lock = threading.Lock()
+        # Serializes whole ticks (clock read + source reads + appends);
+        # `_lock` alone only protects individual ring operations, which
+        # is not enough when concurrent scrape threads each read the
+        # clock and then race to append (the loser would be out of
+        # order).  Separate from `_lock` because tick() calls
+        # compliance()/budget_remaining(), which take `_lock` themselves.
+        self._tick_lock = threading.Lock()
         self.max_samples = int(max_samples)
         self._tracks: Dict[str, _Track] = {
             slo.name: _Track(slo) for slo in slos
@@ -266,36 +273,52 @@ class SLOEngine:
 
         Also refreshes the exported compliance / budget gauges, so any
         scrape that triggers a tick sees self-consistent SLO series.
+
+        Ticks are serialized on an engine-level lock and the implicit
+        clock is read under it, so concurrent scrape-driven ticks (a
+        threaded HTTP server ticks on every ``/metrics``, ``/slo``, and
+        ``/healthz`` request) always append in timeline order — no
+        scrape can fail another.  An implicit tick that still lands
+        behind the newest sample (the clock racing an explicit-``now``
+        caller) clamps to that sample's time instead of erroring.  An
+        *explicit* out-of-order ``now`` is a caller bug and raises —
+        before any track is touched, so a rejected tick never leaves a
+        partial update behind.
         """
-        t = float(now) if now is not None else self._clock()
-        fresh: Dict[str, SLOSample] = {}
-        for name, track in self._tracks.items():
-            sample = SLOSample(
-                t=t, good=float(track.slo.good()),
-                total=float(track.slo.total()),
-            )
+        with self._tick_lock:
+            t = float(now) if now is not None else self._clock()
             with self._lock:
-                # Monotonic timeline: drop nothing, but refuse to append
-                # out-of-order samples (a second tick in the same
-                # instant just replaces nothing and reads fine).
-                if track.times and t < track.times[-1]:
+                newest = max(
+                    (track.times[-1] for track in self._tracks.values()
+                     if track.times),
+                    default=None,
+                )
+            if newest is not None and t < newest:
+                if now is not None:
                     raise ValueError(
-                        f"tick time {t} precedes last sample "
-                        f"{track.times[-1]} for SLO {name!r}"
+                        f"tick time {t} precedes last sample {newest}"
                     )
-                track.samples.append(sample)
-                track.times.append(t)
-                while len(track.samples) > self.max_samples:
-                    track.samples.popleft()
-                    track.times.pop(0)
-            fresh[name] = sample
-            self._compliance_gauge.labels(slo=name).set(
-                self.compliance(name, track.slo.window_s, now=t)
-            )
-            self._budget_gauge.labels(slo=name).set(
-                self.budget_remaining(name, now=t)
-            )
-        return fresh
+                t = newest
+            fresh: Dict[str, SLOSample] = {}
+            for name, track in self._tracks.items():
+                sample = SLOSample(
+                    t=t, good=float(track.slo.good()),
+                    total=float(track.slo.total()),
+                )
+                with self._lock:
+                    track.samples.append(sample)
+                    track.times.append(t)
+                    while len(track.samples) > self.max_samples:
+                        track.samples.popleft()
+                        track.times.pop(0)
+                fresh[name] = sample
+                self._compliance_gauge.labels(slo=name).set(
+                    self.compliance(name, track.slo.window_s, now=t)
+                )
+                self._budget_gauge.labels(slo=name).set(
+                    self.budget_remaining(name, now=t)
+                )
+            return fresh
 
     def _window_delta(self, name: str, window_s: float,
                       now: Optional[float]) -> Tuple[float, float]:
@@ -420,7 +443,7 @@ def default_slos(
     degraded = counter_source("repro_degraded_answers_total", reg)
     quarantined = counter_source("repro_quarantined_batches_total", reg)
     folded = counter_source("repro_stream_batches_folded_total", reg)
-    ckpt_saves = counter_source("repro_checkpoint_saves_total", reg)
+    ckpt_loads = counter_source("repro_checkpoint_loads_total", reg)
     ckpt_corrupt = counter_source("repro_checkpoint_corruptions_total", reg)
 
     def _sum(a: EventSource, b: EventSource) -> EventSource:
@@ -488,10 +511,16 @@ def default_slos(
             name="checkpoint-integrity",
             objective=0.95,
             window_s=window_s,
-            good=difference_source(ckpt_saves, ckpt_corrupt),
-            total=ckpt_saves,
+            # Per load *attempt*, not per save: corruptions increment on
+            # every failed load, so a retry loop hammering one corrupt
+            # file would otherwise push corruptions past saves and clamp
+            # compliance to 0% off a single bad checkpoint.  Each retry
+            # now adds one attempt and one corruption, so the ratio
+            # stays an honest failure rate.
+            good=difference_source(ckpt_loads, ckpt_corrupt),
+            total=ckpt_loads,
             kind="quality",
-            description="Checkpoint saves that later load without "
+            description="Checkpoint load attempts that validate without "
                         "corruption",
         ),
     ]

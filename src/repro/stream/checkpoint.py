@@ -52,14 +52,24 @@ _log = get_logger("repro.stream.checkpoint")
 
 
 def _saves_counter():
-    """``repro_checkpoint_saves_total`` on the process registry.
-
-    Together with :func:`_corruptions_counter` this family feeds the
-    ``checkpoint-integrity`` SLO (see :func:`repro.obs.slo.default_slos`).
-    """
     return get_registry().counter(
         "repro_checkpoint_saves_total",
         "Checkpoint files successfully written",
+    )
+
+
+def _loads_counter():
+    """``repro_checkpoint_loads_total`` on the process registry.
+
+    Together with :func:`_corruptions_counter` this family feeds the
+    ``checkpoint-integrity`` SLO (see :func:`repro.obs.slo.default_slos`):
+    the SLI is corruptions per load *attempt*, so a retry loop replaying
+    one corrupt file spends budget per attempt instead of multiplying a
+    single bad save into 0% compliance.
+    """
+    return get_registry().counter(
+        "repro_checkpoint_loads_total",
+        "Checkpoint load attempts that reached validation",
     )
 
 
@@ -162,9 +172,12 @@ def save_state(path, state: Mapping[str, object],
 def load_state(path) -> Dict[str, object]:
     """Read back and validate a checkpoint written by :func:`save_state`.
 
-    Every validation failure also bumps
-    ``repro_checkpoint_corruptions_total`` on the process registry (the
-    ``checkpoint-integrity`` SLO's bad-event count).
+    Every attempt that reaches validation bumps
+    ``repro_checkpoint_loads_total``; every validation failure also
+    bumps ``repro_checkpoint_corruptions_total`` (the
+    ``checkpoint-integrity`` SLO's total and bad-event counts).  A
+    missing file counts as neither — absence is a different condition
+    from corruption and should not spend integrity budget.
 
     Raises:
         CheckpointCorrupt: when the file is not a readable archive, the
@@ -174,10 +187,13 @@ def load_state(path) -> Dict[str, object]:
             checkpoint is a different condition from a corrupt one).
     """
     try:
-        return _load_state_validated(path)
+        state = _load_state_validated(path)
     except CheckpointCorrupt:
+        _loads_counter().inc()
         _corruptions_counter().inc()
         raise
+    _loads_counter().inc()
+    return state
 
 
 def _load_state_validated(path) -> Dict[str, object]:

@@ -1,7 +1,12 @@
 """Tests for burn-rate alerting: rules, state machine, exemplars."""
 
+import threading
+import time
+from types import SimpleNamespace
+
 import pytest
 
+import repro.obs.registry as registry_module
 from repro.obs.alerts import (
     ALERT_STATES,
     AlertManager,
@@ -10,6 +15,7 @@ from repro.obs.alerts import (
 )
 from repro.obs.registry import MetricsRegistry
 from repro.obs.slo import SLO, SLOEngine
+from repro.obs.trace import disable_tracing, enable_tracing, span
 
 
 def build_engine(registry=None, objective=0.99):
@@ -141,6 +147,9 @@ class TestStateMachine:
 
 class TestExemplarCapture:
     def test_firing_alert_carries_worst_exemplar(self):
+        # Synthetic trace ids resolve in no store; with tracing off the
+        # capture path judges freshness only, which is what this covers.
+        disable_tracing()
         registry = MetricsRegistry()
         state = {"good": 0.0, "total": 0.0}
         slo = SLO(
@@ -166,6 +175,63 @@ class TestExemplarCapture:
         assert alert.exemplar_value == 5.0
         assert alert.to_dict()["exemplar_trace_id"] == "trace-slow"
 
+    def _fire_with_histogram(self, registry):
+        """Drive the svc-fast alert to firing over a histogram-backed SLO."""
+        state = {"good": 0.0, "total": 0.0}
+        slo = SLO(
+            name="svc", objective=0.99, window_s=60.0,
+            good=lambda: state["good"], total=lambda: state["total"],
+            exemplar_metric="lat_seconds",
+        )
+        engine = SLOEngine([slo], registry=registry)
+        manager = AlertManager(engine, [fast_rule()], registry=registry)
+        engine.tick(now=0.0)
+        manager.evaluate(now=0.0)
+        state.update(good=50.0, total=100.0)
+        engine.tick(now=5.0)
+        manager.evaluate(now=5.0)
+        engine.tick(now=8.0)
+        manager.evaluate(now=8.0)
+        alert = manager.get("svc-fast")
+        assert alert.state == "firing"
+        return alert
+
+    def test_stale_exemplar_never_attached(self, monkeypatch):
+        # Exemplar slots keep the latest observation per bucket forever;
+        # one recorded long before the incident (here: stamped 1000s in
+        # the past) must not be attached to a firing alert.
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        monkeypatch.setattr(
+            registry_module, "time",
+            SimpleNamespace(monotonic=lambda: time.monotonic() - 1000.0),
+        )
+        hist.observe(5.0, exemplar="trace-ancient")
+        monkeypatch.undo()
+        alert = self._fire_with_histogram(registry)
+        assert alert.exemplar_trace_id is None
+        assert alert.exemplar_value is None
+
+    def test_unresolvable_exemplar_skipped_for_resolvable_one(self):
+        # With tracing live, a fresh exemplar whose trace the bounded
+        # store no longer holds is skipped in favour of one that still
+        # resolves — even when the dangling one sits in a worse bucket.
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        store = enable_tracing(capacity=16, clear=True)
+        try:
+            with span("alerts.test"):
+                pass
+            real_trace = store.spans()[-1].trace_id
+            hist.observe(9.0, exemplar="evicted-trace")
+            hist.observe(0.5, exemplar=real_trace)
+            alert = self._fire_with_histogram(registry)
+            assert alert.exemplar_trace_id == real_trace
+            assert alert.exemplar_value == 0.5
+        finally:
+            disable_tracing()
+            store.clear()
+
     def test_no_exemplar_metric_leaves_alert_uncorrelated(self):
         engine, state = build_engine()
         manager = AlertManager(engine, [fast_rule()])
@@ -178,6 +244,38 @@ class TestExemplarCapture:
         alert = manager.get("svc-fast")
         assert alert.state == "firing"
         assert alert.exemplar_trace_id is None
+
+
+class TestEvaluateConcurrency:
+    def test_racing_evaluations_escalate_exactly_once(self):
+        # Many scrape threads re-judging a pending alert at once must
+        # produce exactly one pending -> firing transition: one
+        # fired_count increment, one transition-counter bump.
+        registry = MetricsRegistry()
+        engine, state = build_engine(registry=registry)
+        manager = AlertManager(engine, [fast_rule()], registry=registry)
+        engine.tick(now=0.0)
+        manager.evaluate(now=0.0)
+        state.update(good=50.0, total=100.0)
+        engine.tick(now=5.0)
+        manager.evaluate(now=5.0)  # rising edge: pending
+        assert manager.get("svc-fast").state == "pending"
+        engine.tick(now=8.0)
+        threads = [
+            threading.Thread(target=manager.evaluate, kwargs={"now": 8.0})
+            for _ in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        alert = manager.get("svc-fast")
+        assert alert.state == "firing"
+        assert alert.fired_count == 1
+        transitions = dict(
+            registry.get("repro_alert_transitions_total").series()
+        )
+        assert transitions[("svc-fast", "firing")].value == 1
 
 
 class TestDefaultRules:

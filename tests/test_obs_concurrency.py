@@ -14,7 +14,9 @@ import urllib.request
 
 import pytest
 
+from repro.obs.alerts import AlertManager, default_rules
 from repro.obs.registry import MetricsRegistry, set_registry
+from repro.obs.slo import SLOEngine, default_slos
 from repro.obs.trace import disable_tracing, enable_tracing, span
 from repro.serve import ProfileService, ServeMetrics, make_server
 from tests.conftest import build_frozen_profile
@@ -44,6 +46,43 @@ def traced_server():
     host, port = server.server_address[:2]
     try:
         yield f"http://{host}:{port}", frozen, service, store
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        disable_tracing()
+        store.clear()
+        set_registry(previous)
+
+
+@pytest.fixture()
+def slo_server():
+    """Live server with an SLO engine + alert manager attached.
+
+    Every scrape of /metrics, /metrics.json, /slo, and /healthz ticks
+    the engine and re-evaluates the rules from the handler thread, so
+    this is the fixture that exercises tick()/evaluate() concurrency.
+    """
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    store = enable_tracing(capacity=4096, clear=True)
+    frozen, _ = build_frozen_profile()
+    service = ProfileService(
+        frozen, max_batch=16, n_workers=2,
+        metrics=ServeMetrics(registry=registry),
+    )
+    engine = SLOEngine(default_slos(registry), registry=registry)
+    manager = AlertManager(
+        engine, default_rules(engine), registry=registry
+    )
+    server = make_server(
+        service, port=0, slo_engine=engine, alert_manager=manager
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", frozen, service
     finally:
         server.shutdown()
         server.server_close()
@@ -165,3 +204,57 @@ class TestConcurrentScrape:
                 assert exemplar.trace_id in trace_ids
                 if exemplar.bucket_le != float("inf"):
                     assert exemplar.value <= exemplar.bucket_le
+
+
+class TestConcurrentSLOScrape:
+    """Scrape-triggered tick()/evaluate() racing across handler threads.
+
+    Every /metrics, /metrics.json, /slo, and /healthz request ticks the
+    engine from its own handler thread; interleaved ticks used to lose
+    the append race and turn one scrape into a 500 (and /healthz into a
+    spurious failure).  Hammer all four endpoints at once and require
+    that none of them ever errors.
+    """
+
+    def test_tick_racing_scrapes_never_error(self, slo_server):
+        base_url, frozen, service = slo_server
+        stop = threading.Event()
+        errors = []
+        paths = ("/metrics", "/metrics.json", "/slo", "/healthz")
+        statuses = {path: [] for path in paths}
+
+        def traffic(worker):
+            row = worker % (len(frozen.features) - 4)
+            while not stop.is_set():
+                with span("load.classify", worker=worker):
+                    service.classify(frozen.features[row:row + 4],
+                                     timeout=30.0)
+
+        def scrape(path):
+            while not stop.is_set():
+                try:
+                    status, _ = _get(f"{base_url}{path}")
+                    statuses[path].append(status)
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    errors.append((path, exc))
+                    return
+
+        threads = (
+            [threading.Thread(target=traffic, args=(w,)) for w in range(2)]
+            # Two scrapers per path so each endpoint also races itself.
+            + [threading.Thread(target=scrape, args=(path,))
+               for path in paths for _ in range(2)]
+        )
+        for worker in threads:
+            worker.start()
+        deadline = threading.Event()
+        deadline.wait(1.0)
+        stop.set()
+        for worker in threads:
+            worker.join(10.0)
+        # urlopen raises on any non-2xx status, so an interleaved-tick
+        # ValueError would surface here as an HTTPError 500.
+        assert not errors, errors
+        for path in paths:
+            assert statuses[path], f"no successful scrape of {path}"
+            assert set(statuses[path]) == {200}

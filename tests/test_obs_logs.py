@@ -107,6 +107,18 @@ class TestTokenBucket:
             clock["t"] = float(step)  # exactly the sustained rate
             assert bucket.allow()
 
+    def test_fractional_rate_defaults_to_one_token_burst(self):
+        # sample=0.5 (one line every two seconds) is a legitimate
+        # sustained rate; the default burst floors at one token instead
+        # of rejecting it.
+        clock = {"t": 0.0}
+        bucket = TokenBucket(0.5, clock=lambda: clock["t"])
+        assert bucket.burst == 1.0
+        assert bucket.allow()
+        assert not bucket.allow()
+        clock["t"] = 2.0
+        assert bucket.allow()
+
     def test_validation(self):
         with pytest.raises(ValueError):
             TokenBucket(0.0)
@@ -174,6 +186,14 @@ class TestSampling:
             assert isinstance(logger._bucket, TokenBucket)
             assert logger._bucket.rate_per_s == 50.0
             assert logger._bucket.burst == 50.0
+        finally:
+            logger.set_sampler(None)
+
+    def test_fractional_float_shorthand_works(self, captured):
+        logger = get_logger("repro.test.halfrate", sample=0.5)
+        try:
+            assert logger._bucket.rate_per_s == 0.5
+            assert logger._bucket.burst == 1.0
         finally:
             logger.set_sampler(None)
 

@@ -109,11 +109,48 @@ class TestWindowing:
             0.75
         )
 
-    def test_out_of_order_tick_rejected(self):
+    def test_out_of_order_explicit_tick_rejected(self):
         engine, _ = self._engine({})
         engine.tick(now=10.0)
         with pytest.raises(ValueError, match="precedes"):
             engine.tick(now=5.0)
+
+    def test_implicit_tick_behind_newest_sample_clamps(self):
+        # A scrape-driven tick whose clock reads behind an explicit-now
+        # caller must not fail the scrape — it clamps to the newest
+        # sample's time instead.
+        state = {"good": 0.0, "total": 0.0}
+        slo = make_slo(lambda: state["good"], lambda: state["total"])
+        engine = SLOEngine(
+            [slo], registry=MetricsRegistry(), clock=lambda: 5.0
+        )
+        engine.tick(now=10.0)
+        fresh = engine.tick()  # clock says 5.0 < newest sample 10.0
+        assert fresh["slo"].t == 10.0
+        assert engine.n_samples("slo") == 2
+
+    def test_concurrent_implicit_ticks_never_collide(self):
+        import threading
+
+        state = {"good": 0.0, "total": 0.0}
+        slo = make_slo(lambda: state["good"], lambda: state["total"])
+        engine = SLOEngine([slo], registry=MetricsRegistry())
+        errors = []
+
+        def scrape():
+            try:
+                for _ in range(200):
+                    engine.tick()
+            except Exception as exc:  # noqa: BLE001 - collected below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=scrape) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors, errors
+        assert engine.n_samples("slo") == 8 * 200
 
     def test_burn_rate_scales_with_error_fraction(self):
         engine, state = self._engine({})
@@ -202,10 +239,24 @@ class TestDefaultSLOs:
         availability = slos["serve-availability"]
         assert availability.total() == 100.0
         assert availability.good() == 95.0
-        registry.counter("repro_checkpoint_saves_total").inc(10)
+        registry.counter("repro_checkpoint_loads_total").inc(10)
         registry.counter("repro_checkpoint_corruptions_total").inc(1)
         integrity = slos["checkpoint-integrity"]
+        assert integrity.total() == 10.0
         assert integrity.good() == 9.0
+
+    def test_integrity_counts_per_load_attempt_not_per_save(self):
+        # A retry loop hammering one corrupt file must not clamp the
+        # SLI to 0%: each retry adds one attempt and one corruption,
+        # keeping the ratio an honest per-attempt failure rate.
+        registry = MetricsRegistry()
+        slos = {slo.name: slo for slo in default_slos(registry)}
+        registry.counter("repro_checkpoint_saves_total").inc(1)
+        registry.counter("repro_checkpoint_loads_total").inc(8)
+        registry.counter("repro_checkpoint_corruptions_total").inc(5)
+        integrity = slos["checkpoint-integrity"]
+        assert integrity.total() == 8.0
+        assert integrity.good() == 3.0
 
     def test_infinite_burn_guard(self):
         # An objective of exactly 1.0 is rejected, so the inf branch in
