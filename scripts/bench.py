@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
-"""Run the serving benchmark and write BENCH_serve.json.
+"""Run a repo benchmark and write its ``BENCH_*.json`` report.
 
-Thin wrapper over ``repro-icn bench-serve`` that works from a source
-checkout without installation::
+Thin wrapper over the ``repro-icn`` benchmark subcommands that works
+from a source checkout without installation.  The first argument picks
+the benchmark; anything else is forwarded verbatim::
 
-    python scripts/bench.py --queries 2000 --workers 1,4,8
+    python scripts/bench.py bench-serve --queries 2000 --workers 1,4,8
+    python scripts/bench.py bench-forest --frozen frozen.npz --queries 512
 
-All arguments are forwarded verbatim; see ``repro-icn bench-serve
---help`` for the full list.  The report lands in ``BENCH_serve.json``
-unless ``--output`` says otherwise.
+For backward compatibility with existing CI invocations, omitting the
+subcommand runs ``bench-serve``::
+
+    python scripts/bench.py --queries 800 --workers 1,4
+
+See ``repro-icn bench-serve --help`` / ``repro-icn bench-forest --help``
+for the full argument lists.  Reports land in ``BENCH_serve.json`` /
+``BENCH_forest.json`` unless ``--output`` says otherwise.
 """
 
 import sys
@@ -19,5 +26,16 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.cli import main  # noqa: E402 - after sys.path setup
 
+#: Benchmark subcommands this wrapper fronts.
+BENCHMARKS = ("bench-serve", "bench-forest")
+
+
+def dispatch(argv):
+    """Resolve the wrapper's argv into a full ``repro-icn`` argv."""
+    if argv and argv[0] in BENCHMARKS:
+        return list(argv)
+    return ["bench-serve", *argv]
+
+
 if __name__ == "__main__":
-    sys.exit(main(["bench-serve", *sys.argv[1:]]))
+    sys.exit(main(dispatch(sys.argv[1:])))

@@ -3,6 +3,13 @@
 from repro.ml.tree import DecisionTreeClassifier, TreeStructure, LEAF
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.compiled import (
+    CompiledForest,
+    CompiledTree,
+    FusedProfileKernel,
+    compile_forest,
+    compile_tree,
+)
 from repro.ml.metrics import (
     accuracy,
     confusion_matrix,
@@ -17,6 +24,11 @@ __all__ = [
     "LEAF",
     "RandomForestClassifier",
     "GradientBoostingClassifier",
+    "CompiledForest",
+    "CompiledTree",
+    "FusedProfileKernel",
+    "compile_forest",
+    "compile_tree",
     "accuracy",
     "confusion_matrix",
     "f1_scores",

@@ -1,0 +1,204 @@
+"""Forest-inference benchmark: object-graph trees vs the compiled kernel.
+
+:func:`run_forest_benchmark` measures raw classification throughput of a
+:class:`~repro.stream.frozen.FrozenProfile`'s surrogate on both inference
+paths — the per-row Python tree walk (:meth:`FrozenProfile.vote`) and the
+array-compiled batch kernel (:meth:`FrozenProfile.kernel`) — across a
+sweep of micro-batch sizes, plus the fused raw-volume path when the
+profile carries ``service_totals``.  The CLI's ``bench-forest`` writes
+the report to ``BENCH_forest.json``, the repo's committed kernel-speedup
+baseline that CI guards via ``scripts/bench_compare.py --spec``.
+
+Before timing anything the harness proves the kernel is **bit-identical**
+to the object forest on the benchmark queries (``predict_proba``,
+``predict``, and the full centroid+forest vote) and refuses to record a
+speedup for a kernel that is not exactly the model it replaced.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.compiled import compiled_equivalent
+from repro.stream.frozen import FrozenProfile
+
+__all__ = [
+    "DEFAULT_BATCH_SIZES",
+    "run_forest_benchmark",
+    "format_forest_report",
+]
+
+#: Micro-batch sizes the standard report sweeps.
+DEFAULT_BATCH_SIZES = (1, 64, 256)
+
+
+def _query_pool(frozen: FrozenProfile, n_queries: int,
+                seed: int = 0) -> np.ndarray:
+    """RSCA queries cycled from the profile's own rows (plus tiny jitter)."""
+    rows = np.arange(n_queries) % frozen.features.shape[0]
+    rng = np.random.default_rng(seed)
+    jitter = rng.normal(0.0, 1e-4, size=(n_queries, frozen.features.shape[1]))
+    return np.clip(frozen.features[rows] + jitter, -1.0, 1.0)
+
+
+def _volume_pool(frozen: FrozenProfile, n_queries: int,
+                 seed: int = 0) -> np.ndarray:
+    """Raw per-service volumes shaped like the reference mix."""
+    assert frozen.service_totals is not None
+    rng = np.random.default_rng(seed)
+    shares = frozen.service_totals / frozen.service_totals.sum()
+    scale = rng.lognormal(0.0, 0.5, size=(n_queries, 1))
+    noise = rng.lognormal(0.0, 0.3, size=(n_queries, shares.size))
+    return 1e6 * scale * shares[None, :] * noise
+
+
+def _best_rate(
+    fn: Callable[[np.ndarray], np.ndarray],
+    queries: np.ndarray,
+    batch_size: int,
+    repeats: int,
+) -> float:
+    """Best rows/s over ``repeats`` full passes in ``batch_size`` chunks."""
+    n = queries.shape[0]
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        for lo in range(0, n, batch_size):
+            fn(queries[lo:lo + batch_size])
+        best = min(best, time.perf_counter() - start)
+    return n / best if best > 0 else float("inf")
+
+
+def run_forest_benchmark(
+    frozen: FrozenProfile,
+    n_queries: int = 512,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    repeats: int = 2,
+    seed: int = 0,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Measure object-vs-compiled vote throughput and assemble the report.
+
+    Returns a dict with a ``config`` block, an ``equivalence`` block
+    (the bit-identity proof), one ``batches`` entry per batch size
+    (object and compiled rows/s plus their ratio), an optional
+    ``fused_volume`` block, and the headline ``speedup`` — the
+    compiled/object ratio at the largest batch size.
+
+    Raises:
+        ValueError: on nonsensical parameters.
+        RuntimeError: when the compiled kernel is **not** bit-identical
+            to the object forest on the benchmark queries — a kernel
+            that changes answers must never produce a committed speedup.
+    """
+    if n_queries < 1:
+        raise ValueError(f"n_queries must be >= 1, got {n_queries}")
+    if not batch_sizes or any(int(b) < 1 for b in batch_sizes):
+        raise ValueError(f"batch_sizes must be positive, got {batch_sizes}")
+    batch_sizes = sorted(int(b) for b in batch_sizes)
+    queries = _query_pool(frozen, n_queries, seed=seed)
+    kernel = frozen.kernel()
+
+    ok, detail = compiled_equivalent(frozen.surrogate, kernel.forest, queries)
+    votes_identical = bool(
+        np.array_equal(kernel.vote(queries), frozen.vote(queries))
+    )
+    if not (ok and votes_identical):
+        raise RuntimeError(
+            f"compiled kernel is not bit-identical to the object forest "
+            f"({detail}; votes_identical={votes_identical}) — refusing to "
+            f"record a speedup for a kernel that changes answers"
+        )
+
+    batches: List[Dict[str, float]] = []
+    for batch_size in batch_sizes:
+        object_rate = _best_rate(frozen.vote, queries, batch_size, repeats)
+        compiled_rate = _best_rate(kernel.vote, queries, batch_size, repeats)
+        batches.append({
+            "batch_size": int(batch_size),
+            "object_rows_per_s": object_rate,
+            "compiled_rows_per_s": compiled_rate,
+            "speedup": compiled_rate / object_rate if object_rate else 0.0,
+        })
+
+    fused: Optional[Dict[str, float]] = None
+    if frozen.service_totals is not None:
+        volumes = _volume_pool(frozen, n_queries, seed=seed)
+        largest = batch_sizes[-1]
+        object_chain = lambda v: frozen.vote(frozen.rsca_of_volumes(v))  # noqa: E731
+        object_rate = _best_rate(object_chain, volumes, largest, repeats)
+        compiled_rate = _best_rate(
+            kernel.vote_volumes, volumes, largest, repeats
+        )
+        fused = {
+            "batch_size": int(largest),
+            "object_rows_per_s": object_rate,
+            "compiled_rows_per_s": compiled_rate,
+            "speedup": compiled_rate / object_rate if object_rate else 0.0,
+        }
+
+    forest = kernel.forest
+    report: Dict[str, object] = {
+        "config": {
+            "n_queries": int(n_queries),
+            "batch_sizes": [int(b) for b in batch_sizes],
+            "repeats": int(repeats),
+            "n_reference_antennas": int(frozen.features.shape[0]),
+            "n_services": int(frozen.features.shape[1]),
+            "n_clusters": int(frozen.n_clusters),
+            "n_trees": int(forest.n_trees),
+            "n_nodes": int(forest.n_nodes),
+            "max_tree_depth": int(forest.max_depth),
+        },
+        "equivalence": {
+            "bit_identical": bool(ok),
+            "votes_identical": votes_identical,
+            "detail": detail,
+            "n_rows": int(n_queries),
+        },
+        "batches": batches,
+        "speedup": batches[-1]["speedup"],
+    }
+    if fused is not None:
+        report["fused_volume"] = fused
+    if extra:
+        report.update(extra)
+    return report
+
+
+def _rate_line(label: str, entry: Dict[str, float]) -> str:
+    return (
+        f"{label}: "
+        f"object {entry['object_rows_per_s']:>10,.0f} rows/s | "
+        f"compiled {entry['compiled_rows_per_s']:>12,.0f} rows/s | "
+        f"{entry['speedup']:.1f}x"
+    )
+
+
+def format_forest_report(report: Dict[str, object]) -> str:
+    """Human-readable view of :func:`run_forest_benchmark`'s output."""
+    config = report["config"]
+    batches = report["batches"]
+    assert isinstance(config, dict) and isinstance(batches, list)
+    lines = [
+        f"forest benchmark — {config['n_reference_antennas']} reference "
+        f"antennas, {config['n_trees']} trees "
+        f"({config['n_nodes']} nodes, "
+        f"max depth {config['max_tree_depth']}), "
+        f"{config['n_queries']} queries",
+    ]
+    for entry in batches:
+        lines.append(_rate_line(f"batch {int(entry['batch_size']):>4}", entry))
+    fused = report.get("fused_volume")
+    if isinstance(fused, dict):
+        lines.append(
+            _rate_line(f"fused volumes->vote (batch {int(fused['batch_size'])})",
+                       fused)
+        )
+    speedup = report["speedup"]
+    assert isinstance(speedup, (int, float))
+    lines.append(f"compiled-kernel speedup: {speedup:.1f}x")
+    return "\n".join(lines)

@@ -253,7 +253,9 @@ class GradientBoostingClassifier:
 
     def predict(self, x) -> np.ndarray:
         """Most probable class labels."""
-        return self.classes_[np.argmax(self.decision_scores(x), axis=1)]
+        scores = self.decision_scores(x)
+        assert self.classes_ is not None  # decision_scores checked fitted
+        return self.classes_[np.argmax(scores, axis=1)]
 
     def score(self, x, y) -> float:
         """Mean accuracy on (x, y)."""

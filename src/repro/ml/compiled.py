@@ -1,0 +1,434 @@
+"""Array-compiled forests: vectorized, bit-identical inference kernels.
+
+The object-graph trees of :mod:`repro.ml.tree` are walked one row at a
+time in Python — fine for fitting-time diagnostics, hopeless on the
+serving hot path (``BENCH_serve.json`` shows the thread pool saturating
+around ~2,000 qps because every vote is GIL-bound Python).  This module
+compiles a fitted :class:`~repro.ml.forest.RandomForestClassifier` into
+flat numpy arrays and evaluates whole micro-batches with vectorized
+level-order traversal:
+
+* every tree's ``feature`` / ``threshold`` / child-index vectors are
+  stacked forest-wide with per-tree node offsets, leaves marked by a
+  ``feature`` of :data:`~repro.ml.tree.LEAF` and turned into self-loops
+  so the traversal needs no masking;
+* one ``(rows, trees)`` node-index matrix descends all trees over all
+  rows simultaneously, one gather per tree level instead of one Python
+  branch per (row, tree, level);
+* leaf class distributions are pre-expanded into the forest's class
+  space, so the vote accumulates tree-by-tree exactly like the object
+  forest — the compiled probabilities are **bit-identical** to
+  :meth:`RandomForestClassifier.predict_proba` (asserted in tests and
+  by the ``bench-forest`` harness).
+
+:class:`FusedProfileKernel` extends the same idea across the serving
+request: raw per-service volumes -> RSCA features -> forest + centroid
+vote in one pass over contiguous arrays, reproducing
+:meth:`repro.stream.frozen.FrozenProfile.vote` bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.rca import rca_from_components, rsca_from_rca
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import LEAF, DecisionTreeClassifier
+from repro.utils.checks import check_matrix
+
+__all__ = [
+    "CompiledTree",
+    "CompiledForest",
+    "FusedProfileKernel",
+    "compile_tree",
+    "compile_forest",
+]
+
+
+@dataclass(frozen=True)
+class CompiledTree:
+    """One tree's flat arrays, with leaf values in a target class space.
+
+    Attributes:
+        feature: per-node split feature index (:data:`LEAF` at leaves).
+        threshold: per-node split threshold (0.0 at leaves).
+        left: per-node left-child index; leaves self-loop.
+        right: per-node right-child index; leaves self-loop.
+        values: (n_nodes, n_classes) class distributions expanded into
+            the *forest's* class space (zero outside the tree's own
+            classes), so accumulating them reproduces the object
+            forest's column-scattered vote bit-for-bit.
+        max_depth: depth of the deepest leaf (root = 0).
+    """
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    values: np.ndarray
+    max_depth: int
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature.shape[0])
+
+
+def compile_tree(
+    tree: DecisionTreeClassifier, classes: Optional[np.ndarray] = None
+) -> CompiledTree:
+    """Flatten one fitted tree into traversal arrays.
+
+    Args:
+        tree: a fitted :class:`DecisionTreeClassifier`.
+        classes: target class space for the leaf distributions; defaults
+            to the tree's own ``classes_``.  Must be a sorted superset
+            of the tree's classes (as produced by ``np.unique``).
+
+    Raises:
+        RuntimeError: when the tree is not fitted.
+        ValueError: when the tree's classes are not all in ``classes``.
+    """
+    structure = tree.tree_
+    if structure is None or tree.classes_ is None:
+        raise RuntimeError("tree is not fitted; call fit() first")
+    if classes is None:
+        classes = tree.classes_
+    classes = np.asarray(classes)
+    cols = np.searchsorted(classes, tree.classes_)
+    valid = (cols < classes.size) & (classes[np.clip(cols, 0, classes.size - 1)]
+                                     == tree.classes_)
+    if not np.all(valid):
+        missing = tree.classes_[~valid]
+        raise ValueError(
+            f"tree classes {missing.tolist()} are absent from the target "
+            f"class space {classes.tolist()}"
+        )
+    node_ids = np.arange(structure.n_nodes, dtype=np.int64)
+    is_leaf = structure.children_left == LEAF
+    left = np.where(is_leaf, node_ids, structure.children_left).astype(np.int64)
+    right = np.where(is_leaf, node_ids, structure.children_right).astype(np.int64)
+    values = np.zeros((structure.n_nodes, classes.size))
+    values[:, cols] = structure.value
+    return CompiledTree(
+        feature=structure.feature.astype(np.int64),
+        threshold=structure.threshold.astype(float),
+        left=left,
+        right=right,
+        values=values,
+        max_depth=structure.max_depth(),
+    )
+
+
+@dataclass(frozen=True)
+class CompiledForest:
+    """A whole forest as stacked flat arrays, ready for batch traversal.
+
+    All per-node vectors are concatenated tree after tree; ``roots``
+    holds each tree's node offset.  Child indices are absolute (offset
+    already applied) and leaves self-loop, so the level-order descent is
+    a chain of unconditional gathers.
+
+    Attributes:
+        classes: the forest's sorted class labels.
+        n_features: feature count the forest was fitted on.
+        feature: (total_nodes,) split feature per node, ``LEAF`` at leaves.
+        threshold: (total_nodes,) split thresholds.
+        left: (total_nodes,) absolute left-child index (self-loop at leaves).
+        right: (total_nodes,) absolute right-child index (self-loop at leaves).
+        values: (total_nodes, n_classes) class distributions in forest space.
+        roots: (n_trees,) root node index of each tree.
+        max_depth: deepest leaf across all trees.
+    """
+
+    classes: np.ndarray
+    n_features: int
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    values: np.ndarray
+    roots: np.ndarray
+    max_depth: int
+
+    @property
+    def n_trees(self) -> int:
+        return int(self.roots.shape[0])
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.classes.shape[0])
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature.shape[0])
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def _check_features(self, x) -> np.ndarray:
+        x = check_matrix(x, "x")
+        if x.shape[1] != self.n_features:
+            raise ValueError(
+                f"x has {x.shape[1]} features, the forest was fitted on "
+                f"{self.n_features}"
+            )
+        return x
+
+    def leaf_indices(self, x: np.ndarray) -> np.ndarray:
+        """Absolute leaf node reached by every (row, tree) pair.
+
+        Vectorized level-order descent: a ``(rows, trees)`` node matrix
+        starts at the roots and takes one gathered step per tree level.
+        Rows that reached a leaf self-loop, so no masking is needed for
+        correctness — only for the early exit.
+        """
+        x = self._check_features(x)
+        n_rows = x.shape[0]
+        node = np.repeat(self.roots[None, :], n_rows, axis=0)
+        row_index = np.arange(n_rows)[:, None]
+        for _ in range(self.max_depth):
+            feat = self.feature[node]
+            interior = feat >= 0
+            if not interior.any():
+                break
+            queried = x[row_index, np.where(interior, feat, 0)]
+            go_left = queried <= self.threshold[node]
+            node = np.where(go_left, self.left[node], self.right[node])
+        return node
+
+    def predict_proba(self, x) -> np.ndarray:
+        """Mean class-probability estimate, bit-identical to the object forest.
+
+        The per-tree accumulation runs in tree order with leaf values
+        pre-expanded to the forest class space, so every float add
+        matches :meth:`RandomForestClassifier.predict_proba` exactly.
+        """
+        leaves = self.leaf_indices(x)
+        proba = np.zeros((leaves.shape[0], self.n_classes))
+        for t in range(self.n_trees):
+            proba += self.values[leaves[:, t]]
+        return proba / self.n_trees
+
+    def predict(self, x) -> np.ndarray:
+        """Majority-vote class prediction (ties break like the object forest)."""
+        proba = self.predict_proba(x)
+        return self.classes[np.argmax(proba, axis=1)]
+
+    # ------------------------------------------------------------------
+    # Serialization (``.npz`` embedding inside FrozenProfile artifacts)
+    # ------------------------------------------------------------------
+
+    def to_arrays(self, prefix: str = "compiled_") -> Dict[str, np.ndarray]:
+        """Flat-array dict for ``np.savez`` embedding (no pickling)."""
+        return {
+            f"{prefix}classes": self.classes,
+            f"{prefix}feature": self.feature,
+            f"{prefix}threshold": self.threshold,
+            f"{prefix}left": self.left,
+            f"{prefix}right": self.right,
+            f"{prefix}values": self.values,
+            f"{prefix}roots": self.roots,
+            f"{prefix}shape": np.array(
+                [self.n_features, self.max_depth], dtype=np.int64
+            ),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, arrays, prefix: str = "compiled_"
+    ) -> "CompiledForest":
+        """Rebuild a compiled forest from :meth:`to_arrays` output.
+
+        Accepts any mapping supporting ``arrays[key]`` (a dict or an
+        open ``np.load`` archive).
+        """
+        shape = np.asarray(arrays[f"{prefix}shape"], dtype=np.int64)
+        return cls(
+            classes=np.asarray(arrays[f"{prefix}classes"]),
+            n_features=int(shape[0]),
+            feature=np.asarray(arrays[f"{prefix}feature"], dtype=np.int64),
+            threshold=np.asarray(arrays[f"{prefix}threshold"], dtype=float),
+            left=np.asarray(arrays[f"{prefix}left"], dtype=np.int64),
+            right=np.asarray(arrays[f"{prefix}right"], dtype=np.int64),
+            values=np.asarray(arrays[f"{prefix}values"], dtype=float),
+            roots=np.asarray(arrays[f"{prefix}roots"], dtype=np.int64),
+            max_depth=int(shape[1]),
+        )
+
+
+def compile_forest(forest: RandomForestClassifier) -> CompiledForest:
+    """Stack a fitted forest's trees into one :class:`CompiledForest`.
+
+    Raises:
+        RuntimeError: when the forest is not fitted.
+    """
+    if not forest.trees_ or forest.classes_ is None:
+        raise RuntimeError("forest is not fitted; call fit() first")
+    classes = np.asarray(forest.classes_)
+    compiled = [compile_tree(tree, classes) for tree in forest.trees_]
+    roots = np.zeros(len(compiled), dtype=np.int64)
+    offset = 0
+    features = []
+    thresholds = []
+    lefts = []
+    rights = []
+    values = []
+    for index, tree in enumerate(compiled):
+        roots[index] = offset
+        features.append(tree.feature)
+        thresholds.append(tree.threshold)
+        lefts.append(tree.left + offset)
+        rights.append(tree.right + offset)
+        values.append(tree.values)
+        offset += tree.n_nodes
+    n_features = forest.n_features_
+    assert n_features is not None
+    return CompiledForest(
+        classes=classes,
+        n_features=int(n_features),
+        feature=np.concatenate(features),
+        threshold=np.concatenate(thresholds),
+        left=np.concatenate(lefts),
+        right=np.concatenate(rights),
+        values=np.ascontiguousarray(np.vstack(values)),
+        roots=roots,
+        max_depth=max(tree.max_depth for tree in compiled),
+    )
+
+
+class FusedProfileKernel:
+    """One-pass serving kernel: volumes -> RSCA -> forest + centroid vote.
+
+    Bundles everything a serve batch needs — the compiled forest, the
+    reference centroids/clusters, the column mapping from forest classes
+    into cluster space, and the frozen service totals — so a raw-volume
+    request is answered with one chain of contiguous-array operations
+    and zero object-graph walks.  Every output is bit-identical to the
+    corresponding :class:`~repro.stream.frozen.FrozenProfile` method
+    (``vote``, ``rsca_of_volumes``), which the equivalence suite and the
+    ``bench-forest`` harness both assert.
+
+    Args:
+        forest: the compiled surrogate forest.
+        clusters: sorted distinct cluster labels of the reference
+            partition (length K).
+        centroids: K x M per-cluster mean RSCA rows.
+        service_totals: optional length-M reference per-service totals;
+            required for the raw-volume entry points.
+    """
+
+    def __init__(
+        self,
+        forest: CompiledForest,
+        clusters: np.ndarray,
+        centroids: np.ndarray,
+        service_totals: Optional[np.ndarray] = None,
+    ) -> None:
+        self.forest = forest
+        self.clusters = np.asarray(clusters)
+        self.centroids = np.ascontiguousarray(centroids, dtype=float)
+        self.service_totals = (
+            None if service_totals is None
+            else np.asarray(service_totals, dtype=float)
+        )
+        if self.centroids.shape[0] != self.clusters.shape[0]:
+            raise ValueError(
+                f"centroids have {self.centroids.shape[0]} rows, "
+                f"clusters have {self.clusters.shape[0]} labels"
+            )
+        self.class_cols = np.searchsorted(self.clusters, self.forest.classes)
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.clusters.shape[0])
+
+    def nearest_centroids(self, features: np.ndarray) -> np.ndarray:
+        """Cluster of the closest centroid per row (same math as the profile)."""
+        x = check_matrix(features, "features")
+        if x.shape[1] != self.centroids.shape[1]:
+            raise ValueError(
+                f"features have {x.shape[1]} columns, centroids have "
+                f"{self.centroids.shape[1]}"
+            )
+        distances = np.linalg.norm(
+            x[:, None, :] - self.centroids[None, :, :], axis=2
+        )
+        return self.clusters[np.argmin(distances, axis=1)]
+
+    def vote(self, features: np.ndarray) -> np.ndarray:
+        """Forest + nearest-centroid vote, bit-identical to ``FrozenProfile.vote``."""
+        x = check_matrix(features, "features")
+        scores = np.zeros((x.shape[0], self.n_clusters))
+        proba = self.forest.predict_proba(x)
+        scores[:, self.class_cols] += proba
+        nearest = self.nearest_centroids(x)
+        nearest_cols = np.searchsorted(self.clusters, nearest)
+        scores[np.arange(x.shape[0]), nearest_cols] += 1.0
+        return self.clusters[np.argmax(scores, axis=1)]
+
+    def rsca_of_volumes(self, volumes: np.ndarray) -> np.ndarray:
+        """RSCA of raw volumes against the frozen reference marginals.
+
+        Identical arithmetic to
+        :meth:`repro.stream.frozen.FrozenProfile.rsca_of_volumes` — the
+        fusion is in the call chain (no object hops), not the math.
+        """
+        if self.service_totals is None:
+            raise ValueError(
+                "kernel was built without service_totals; raw-volume "
+                "queries need a profile frozen with service_totals"
+            )
+        matrix = check_matrix(volumes, "volumes", non_negative=True)
+        if matrix.shape[1] != self.service_totals.shape[0]:
+            raise ValueError(
+                f"volumes have {matrix.shape[1]} columns, profile has "
+                f"{self.service_totals.shape[0]} services"
+            )
+        rca = rca_from_components(
+            matrix,
+            matrix.sum(axis=1),
+            self.service_totals,
+            float(self.service_totals.sum()),
+        )
+        return rsca_from_rca(rca)
+
+    def vote_volumes(self, volumes: np.ndarray) -> np.ndarray:
+        """The fused raw-volume path: transform and vote in one call."""
+        return self.vote(self.rsca_of_volumes(volumes))
+
+    def describe(self) -> Dict[str, Any]:
+        """Shape summary for logs and reports."""
+        return {
+            "n_trees": self.forest.n_trees,
+            "n_nodes": self.forest.n_nodes,
+            "n_classes": self.forest.n_classes,
+            "n_features": self.forest.n_features,
+            "n_clusters": self.n_clusters,
+            "max_depth": self.forest.max_depth,
+            "volume_queries": self.service_totals is not None,
+        }
+
+
+def compiled_equivalent(
+    forest: RandomForestClassifier,
+    compiled: CompiledForest,
+    x: np.ndarray,
+) -> Tuple[bool, str]:
+    """Bit-exact equivalence check between object and compiled forests.
+
+    Returns ``(ok, detail)``; used by the bench harness to refuse to
+    record a speedup for a kernel that is not exactly the model it
+    replaced.
+    """
+    object_proba = forest.predict_proba(x)
+    compiled_proba = compiled.predict_proba(x)
+    if not np.array_equal(object_proba, compiled_proba):
+        delta = float(np.max(np.abs(object_proba - compiled_proba)))
+        return False, f"predict_proba differs (max abs delta {delta:.3e})"
+    if not np.array_equal(forest.predict(x), compiled.predict(x)):
+        return False, "predict labels differ"
+    return True, "bit-identical"

@@ -293,5 +293,20 @@ class DecisionTreeClassifier:
 
     def predict(self, x) -> np.ndarray:
         """Predicted class labels."""
+        self._check_fitted()
+        assert self.classes_ is not None
         proba = self.predict_proba(x)
         return self.classes_[np.argmax(proba, axis=1)]
+
+    def compile(self, classes: Optional[np.ndarray] = None):
+        """Export the fitted tree as a :class:`repro.ml.compiled.CompiledTree`.
+
+        Args:
+            classes: optional target class space (a sorted superset of
+                this tree's classes) for the leaf distributions; used by
+                :func:`repro.ml.compiled.compile_forest` to align every
+                tree to the forest's classes.
+        """
+        from repro.ml.compiled import compile_tree
+
+        return compile_tree(self, classes)

@@ -31,6 +31,13 @@ from repro.stream.frozen import FrozenProfile
 DEFAULT_WORKER_COUNTS = (1, 4, 8)
 
 
+def _derived(snapshot: Dict[str, object]) -> Dict[str, float]:
+    """The snapshot's derived-latency block, shape-checked for typing."""
+    derived = snapshot["derived"]
+    assert isinstance(derived, dict)
+    return derived
+
+
 def _query_pool(frozen: FrozenProfile, n_queries: int,
                 seed: int = 0) -> np.ndarray:
     """Single-vector queries cycled from the profile's own feature rows.
@@ -53,13 +60,13 @@ def _bench_unbatched(frozen: FrozenProfile, queries: np.ndarray) -> Dict[str, fl
         for row in range(queries.shape[0]):
             service.classify(queries[row:row + 1])
         elapsed = time.perf_counter() - start
-        snapshot = service.metrics_snapshot()
+        derived = _derived(service.metrics_snapshot())
     return {
         "qps": queries.shape[0] / elapsed,
         "elapsed_s": elapsed,
-        "p50_ms": snapshot["derived"]["p50_ms"],
-        "p95_ms": snapshot["derived"]["p95_ms"],
-        "mean_batch_size": snapshot["derived"]["mean_batch_size"],
+        "p50_ms": derived["p50_ms"],
+        "p95_ms": derived["p95_ms"],
+        "mean_batch_size": derived["mean_batch_size"],
     }
 
 
@@ -89,14 +96,14 @@ def _bench_batched(
         for handle in pending:
             handle.result(timeout=60.0)
         elapsed = time.perf_counter() - start
-        snapshot = service.metrics_snapshot()
+        derived = _derived(service.metrics_snapshot())
     return {
         "workers": n_workers,
         "qps": n / elapsed,
         "elapsed_s": elapsed,
-        "p50_ms": snapshot["derived"]["p50_ms"],
-        "p95_ms": snapshot["derived"]["p95_ms"],
-        "mean_batch_size": snapshot["derived"]["mean_batch_size"],
+        "p50_ms": derived["p50_ms"],
+        "p95_ms": derived["p95_ms"],
+        "mean_batch_size": derived["mean_batch_size"],
     }
 
 
@@ -117,12 +124,12 @@ def _bench_cached(
         for row in range(n):
             service.classify(hot[row % hot.shape[0]:row % hot.shape[0] + 1])
         elapsed = time.perf_counter() - start
-        snapshot = service.metrics_snapshot()
+        derived = _derived(service.metrics_snapshot())
     return {
         "qps": n / elapsed,
-        "hit_rate": snapshot["derived"]["cache_hit_rate"],
-        "p50_ms": snapshot["derived"]["p50_ms"],
-        "p95_ms": snapshot["derived"]["p95_ms"],
+        "hit_rate": derived["cache_hit_rate"],
+        "p50_ms": derived["p50_ms"],
+        "p95_ms": derived["p95_ms"],
     }
 
 
@@ -176,24 +183,31 @@ def run_serve_benchmark(
 def format_report(report: Dict[str, object]) -> str:
     """Human-readable view of :func:`run_serve_benchmark`'s output."""
     config = report["config"]
+    unbatched = report["unbatched"]
+    batched = report["batched"]
+    cached = report["cached"]
+    speedup = report["speedup"]
+    assert isinstance(config, dict) and isinstance(unbatched, dict)
+    assert isinstance(batched, list) and isinstance(cached, dict)
+    assert isinstance(speedup, (int, float))
     lines = [
         f"serve benchmark — {config['n_reference_antennas']} reference "
         f"antennas, {config['n_services']} services, "
         f"{config['n_queries']} queries",
-        f"unbatched:  {report['unbatched']['qps']:,.0f} qps "
-        f"(p95 {report['unbatched']['p95_ms']:.2f} ms)",
+        f"unbatched:  {unbatched['qps']:,.0f} qps "
+        f"(p95 {unbatched['p95_ms']:.2f} ms)",
     ]
-    for entry in report["batched"]:
+    for entry in batched:
         lines.append(
             f"batched x{entry['workers']}: {entry['qps']:,.0f} qps "
             f"(p95 {entry['p95_ms']:.2f} ms, "
             f"mean batch {entry['mean_batch_size']:.1f})"
         )
-    hit_rate = report["cached"]["hit_rate"]
+    hit_rate = cached["hit_rate"]
     hit_text = f"{hit_rate:.1%}" if hit_rate is not None else "n/a"
     lines.append(
-        f"cached:     {report['cached']['qps']:,.0f} qps "
+        f"cached:     {cached['qps']:,.0f} qps "
         f"(hit rate {hit_text})"
     )
-    lines.append(f"micro-batching speedup: {report['speedup']:.1f}x")
+    lines.append(f"micro-batching speedup: {speedup:.1f}x")
     return "\n".join(lines)

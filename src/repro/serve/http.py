@@ -196,8 +196,8 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._error(404, f"unknown path {self.path!r}")
             return
         payload, failure = self._read_json()
-        if failure is not None:
-            self._error(400, failure)
+        if failure is not None or payload is None:
+            self._error(400, failure or "empty request body")
             return
         vectors = payload.get("vectors")
         volumes = payload.get("volumes")

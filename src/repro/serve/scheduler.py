@@ -277,7 +277,9 @@ class MicroBatcher:
         return batch, saw_stop
 
     def _execute(self, batch: List[_WorkItem]) -> None:
-        stacked = (
+        # Hand the classifier one C-contiguous block: the compiled-forest
+        # kernel's level-order gathers stride row-major through the batch.
+        stacked = np.ascontiguousarray(
             batch[0].features
             if len(batch) == 1
             else np.vstack([item.features for item in batch])

@@ -25,6 +25,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.rca import rca_from_components, rsca_from_rca
+from repro.ml.compiled import CompiledForest, FusedProfileKernel
 from repro.ml.forest import RandomForestClassifier
 from repro.utils.checks import check_matrix
 
@@ -58,6 +59,10 @@ class FrozenProfile:
             transform *raw* per-service volumes into RSCA features
             (:meth:`rsca_of_volumes`) — the serving layer's volume-query
             path — without the caller knowing the reference mix.
+        compiled: optional pre-built array-compiled surrogate (embedded in
+            ``.npz`` artifacts); built lazily from the object forest when
+            absent.  :meth:`kernel` bundles it with the centroids into the
+            fused serving kernel.
     """
 
     features: np.ndarray
@@ -68,11 +73,39 @@ class FrozenProfile:
     service_names: Tuple[str, ...]
     surrogate: RandomForestClassifier
     service_totals: Optional[np.ndarray] = None
+    compiled: Optional[CompiledForest] = None
 
     @property
     def n_clusters(self) -> int:
         """Number of reference clusters K."""
         return int(self.clusters.size)
+
+    def compiled_forest(self) -> CompiledForest:
+        """The array-compiled surrogate, compiling (and caching) on demand."""
+        if self.compiled is None:
+            self.compiled = self.surrogate.compile()
+        return self.compiled
+
+    def kernel(self) -> FusedProfileKernel:
+        """The fused batch serving kernel for this profile.
+
+        Bundles the compiled forest, the reference centroids, and the
+        frozen service totals so serving batches run one pass over
+        contiguous arrays — ``kernel().vote`` is bit-identical to
+        :meth:`vote` and ``kernel().vote_volumes`` to
+        ``vote(rsca_of_volumes(...))``.
+        """
+        if self._kernel is None:
+            self._kernel = FusedProfileKernel(
+                self.compiled_forest(),
+                self.clusters,
+                self.centroids,
+                service_totals=self.service_totals,
+            )
+        return self._kernel
+
+    def __post_init__(self) -> None:
+        self._kernel: Optional[FusedProfileKernel] = None
 
     def nearest_centroids(self, features: np.ndarray) -> np.ndarray:
         """Cluster of the closest centroid for each feature row."""
@@ -141,7 +174,13 @@ class FrozenProfile:
     # ------------------------------------------------------------------
 
     def save(self, path) -> None:
-        """Write the artifact to ``.npz``."""
+        """Write the artifact to ``.npz``.
+
+        Alongside the training data and forest hyper-parameters, the
+        archive embeds the array-compiled surrogate (flat ``compiled_*``
+        vectors) so :meth:`load` can stand the batch kernel up without
+        waiting for the object-forest refit to validate it.
+        """
         params: Dict[str, object] = {
             name: getattr(self.surrogate, name) for name in _FOREST_PARAMS
         }
@@ -161,11 +200,19 @@ class FrozenProfile:
         }
         if self.service_totals is not None:
             arrays["service_totals"] = self.service_totals
+        arrays.update(self.compiled_forest().to_arrays())
         np.savez_compressed(Path(path), **arrays)
 
     @classmethod
     def load(cls, path) -> "FrozenProfile":
-        """Load an artifact, refitting the deterministic surrogate."""
+        """Load an artifact, refitting the deterministic surrogate.
+
+        Archives written by this version carry the compiled forest's
+        flat arrays; they are restored directly, so the batch kernel is
+        exactly the one measured and committed at freeze time.  Older
+        archives without ``compiled_*`` arrays still load — the compiled
+        forest is then rebuilt lazily from the refitted surrogate.
+        """
         with np.load(Path(path), allow_pickle=False) as archive:
             features = np.asarray(archive["features"], dtype=float)
             labels = np.asarray(archive["labels"], dtype=int)
@@ -175,6 +222,11 @@ class FrozenProfile:
             service_totals = (
                 np.asarray(archive["service_totals"], dtype=float)
                 if "service_totals" in archive.files
+                else None
+            )
+            compiled = (
+                CompiledForest.from_arrays(archive)
+                if "compiled_roots" in archive.files
                 else None
             )
             meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
@@ -191,6 +243,7 @@ class FrozenProfile:
             service_names=tuple(meta["service_names"]),
             surrogate=surrogate,
             service_totals=service_totals,
+            compiled=compiled,
         )
 
 

@@ -1,0 +1,35 @@
+"""Tests for the ``scripts/bench.py`` wrapper's subcommand dispatch."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench.py"
+_spec = importlib.util.spec_from_file_location("bench_script", _SCRIPT)
+bench_script = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_script", bench_script)
+_spec.loader.exec_module(bench_script)
+
+
+def test_default_dispatch_is_bench_serve():
+    # Pre-existing CI invocations pass bench-serve flags directly.
+    assert bench_script.dispatch(["--queries", "10"]) == [
+        "bench-serve", "--queries", "10",
+    ]
+
+
+def test_empty_args_default_to_bench_serve():
+    assert bench_script.dispatch([]) == ["bench-serve"]
+
+
+def test_explicit_subcommands_pass_through():
+    assert bench_script.dispatch(["bench-forest", "--repeats", "1"]) == [
+        "bench-forest", "--repeats", "1",
+    ]
+    assert bench_script.dispatch(["bench-serve", "--queries", "5"]) == [
+        "bench-serve", "--queries", "5",
+    ]
+
+
+def test_wrapper_fronts_both_benchmarks():
+    assert set(bench_script.BENCHMARKS) == {"bench-serve", "bench-forest"}

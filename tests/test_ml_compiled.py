@@ -1,0 +1,359 @@
+"""Tests for the array-compiled forest and the fused serving kernel.
+
+The contract under test is **bit-identity**: every float the compiled
+kernel produces must equal — to the last bit, ``np.array_equal``, no
+tolerances — what the object forest produces, across direct calls,
+``.npz`` round-trips, and randomly fitted forests (hypothesis).
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.bench import format_forest_report, run_forest_benchmark
+from repro.ml.compiled import (
+    CompiledForest,
+    FusedProfileKernel,
+    compile_forest,
+    compile_tree,
+    compiled_equivalent,
+)
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import LEAF, DecisionTreeClassifier
+from repro.stream.frozen import FrozenProfile
+
+from tests.conftest import build_frozen_profile
+
+
+def fitted_forest(seed=0, n=200, m=8, n_labels=5, n_estimators=12,
+                  max_depth=6, spread=3):
+    """A small fitted forest on random data with non-contiguous labels."""
+    gen = np.random.default_rng(seed)
+    x = gen.normal(size=(n, m))
+    y = gen.integers(0, n_labels, size=n) * spread + 1
+    forest = RandomForestClassifier(
+        n_estimators=n_estimators, max_depth=max_depth, random_state=seed
+    )
+    return forest.fit(x, y), gen.normal(size=(97, m))
+
+
+class TestCompileTree:
+    def test_unfitted_tree_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            compile_tree(DecisionTreeClassifier())
+
+    def test_leaves_self_loop(self):
+        forest, _ = fitted_forest()
+        compiled = forest.trees_[0].compile()
+        leaves = np.flatnonzero(compiled.feature == LEAF)
+        assert leaves.size > 0
+        assert np.array_equal(compiled.left[leaves], leaves)
+        assert np.array_equal(compiled.right[leaves], leaves)
+
+    def test_class_space_expansion_is_exact(self):
+        forest, _ = fitted_forest()
+        tree = forest.trees_[0]
+        compiled = tree.compile(forest.classes_)
+        cols = np.searchsorted(forest.classes_, tree.classes_)
+        assert np.array_equal(compiled.values[:, cols], tree.tree_.value)
+        off_cols = np.setdiff1d(
+            np.arange(forest.classes_.size), cols
+        )
+        assert not compiled.values[:, off_cols].any()
+
+    def test_foreign_class_space_rejected(self):
+        forest, _ = fitted_forest()
+        tree = forest.trees_[0]
+        with pytest.raises(ValueError, match="absent from the target"):
+            compile_tree(tree, classes=np.array([999, 1000]))
+
+
+class TestCompiledForest:
+    def test_unfitted_forest_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            compile_forest(RandomForestClassifier())
+
+    def test_stacking_shapes(self):
+        forest, _ = fitted_forest()
+        compiled = forest.compile()
+        total = sum(t.tree_.n_nodes for t in forest.trees_)
+        assert compiled.n_nodes == total
+        assert compiled.n_trees == len(forest.trees_)
+        assert np.all(np.diff(compiled.roots) > 0)
+        assert compiled.values.shape == (total, forest.classes_.size)
+
+    def test_leaf_indices_match_object_traversal(self):
+        forest, queries = fitted_forest()
+        compiled = forest.compile()
+        leaves = compiled.leaf_indices(queries)
+        for t, tree in enumerate(forest.trees_):
+            object_leaves = tree.decision_path_leaf(queries)
+            assert np.array_equal(
+                leaves[:, t] - compiled.roots[t], object_leaves
+            )
+
+    def test_bit_identical_proba_and_labels(self):
+        forest, queries = fitted_forest()
+        compiled = forest.compile()
+        assert np.array_equal(
+            compiled.predict_proba(queries), forest.predict_proba(queries)
+        )
+        assert np.array_equal(compiled.predict(queries), forest.predict(queries))
+
+    def test_empty_batch_rejected_like_object_forest(self):
+        forest, queries = fitted_forest()
+        compiled = forest.compile()
+        empty = queries[:0]
+        with pytest.raises(ValueError, match="non-empty"):
+            forest.predict_proba(empty)
+        with pytest.raises(ValueError, match="non-empty"):
+            compiled.predict_proba(empty)
+
+    def test_feature_count_mismatch_raises(self):
+        forest, queries = fitted_forest()
+        compiled = forest.compile()
+        with pytest.raises(ValueError, match="features"):
+            compiled.predict_proba(queries[:, :-1])
+
+    def test_nan_rejected_like_object_forest(self):
+        forest, queries = fitted_forest()
+        compiled = forest.compile()
+        poisoned = queries.copy()
+        poisoned[::3, 0] = np.nan
+        with pytest.raises(ValueError):
+            forest.predict_proba(poisoned)
+        with pytest.raises(ValueError):
+            compiled.predict_proba(poisoned)
+
+    def test_array_roundtrip_bit_identical(self):
+        forest, queries = fitted_forest()
+        compiled = forest.compile()
+        restored = CompiledForest.from_arrays(compiled.to_arrays())
+        assert np.array_equal(
+            restored.predict_proba(queries), compiled.predict_proba(queries)
+        )
+        assert restored.max_depth == compiled.max_depth
+        assert restored.n_features == compiled.n_features
+
+    def test_compiled_equivalent_detects_tampering(self):
+        forest, queries = fitted_forest()
+        compiled = forest.compile()
+        ok, detail = compiled_equivalent(forest, compiled, queries)
+        assert ok and detail == "bit-identical"
+        arrays = compiled.to_arrays()
+        arrays["compiled_values"] = arrays["compiled_values"] * 1.01
+        tampered = CompiledForest.from_arrays(arrays)
+        ok, detail = compiled_equivalent(forest, tampered, queries)
+        assert not ok
+        assert "differs" in detail
+
+
+class TestFusedProfileKernel:
+    def test_vote_bit_identical_to_profile(self, tiny_frozen, rng):
+        frozen, _totals = tiny_frozen
+        kernel = frozen.kernel()
+        queries = frozen.features + rng.normal(0, 1e-3, frozen.features.shape)
+        assert np.array_equal(kernel.vote(queries), frozen.vote(queries))
+
+    def test_rsca_and_fused_volume_path(self, tiny_frozen, rng):
+        frozen, _totals = tiny_frozen
+        kernel = frozen.kernel()
+        volumes = rng.lognormal(1.0, 1.0, size=(40, len(frozen.service_names)))
+        assert np.array_equal(
+            kernel.rsca_of_volumes(volumes), frozen.rsca_of_volumes(volumes)
+        )
+        assert np.array_equal(
+            kernel.vote_volumes(volumes),
+            frozen.vote(frozen.rsca_of_volumes(volumes)),
+        )
+
+    def test_volume_queries_need_service_totals(self, tiny_frozen):
+        frozen, _totals = tiny_frozen
+        kernel = FusedProfileKernel(
+            frozen.compiled_forest(), frozen.clusters, frozen.centroids
+        )
+        with pytest.raises(ValueError, match="service_totals"):
+            kernel.rsca_of_volumes(np.ones((2, len(frozen.service_names))))
+
+    def test_shape_mismatches_raise(self, tiny_frozen):
+        frozen, _totals = tiny_frozen
+        with pytest.raises(ValueError, match="clusters"):
+            FusedProfileKernel(
+                frozen.compiled_forest(), frozen.clusters[:-1], frozen.centroids
+            )
+        kernel = frozen.kernel()
+        with pytest.raises(ValueError, match="features"):
+            kernel.vote(frozen.features[:, :-1])
+        with pytest.raises(ValueError, match="columns"):
+            kernel.rsca_of_volumes(np.ones((2, 3)))
+
+    def test_describe(self, tiny_frozen):
+        frozen, _totals = tiny_frozen
+        shape = frozen.kernel().describe()
+        assert shape["n_trees"] == 10
+        assert shape["n_clusters"] == 4
+        assert shape["volume_queries"] is True
+
+
+class TestFrozenProfileEmbedding:
+    def test_save_embeds_compiled_arrays(self, tiny_frozen, tmp_path):
+        frozen, _totals = tiny_frozen
+        path = tmp_path / "frozen.npz"
+        frozen.save(path)
+        with np.load(path, allow_pickle=False) as archive:
+            names = set(archive.files)
+        assert {"compiled_feature", "compiled_threshold", "compiled_left",
+                "compiled_right", "compiled_values", "compiled_roots",
+                "compiled_classes", "compiled_shape"} <= names
+
+    def test_load_restores_compiled_without_recompiling(
+        self, tiny_frozen, tmp_path
+    ):
+        frozen, _totals = tiny_frozen
+        path = tmp_path / "frozen.npz"
+        frozen.save(path)
+        loaded = FrozenProfile.load(path)
+        assert loaded.compiled is not None
+        queries = frozen.features[:50]
+        assert np.array_equal(
+            loaded.kernel().vote(queries), frozen.vote(queries)
+        )
+
+    def test_legacy_archive_without_compiled_arrays(
+        self, tiny_frozen, tmp_path
+    ):
+        frozen, _totals = tiny_frozen
+        path = tmp_path / "frozen.npz"
+        frozen.save(path)
+        with np.load(path, allow_pickle=False) as archive:
+            stripped = {
+                name: archive[name] for name in archive.files
+                if not name.startswith("compiled_")
+            }
+        legacy = tmp_path / "legacy.npz"
+        np.savez_compressed(legacy, **stripped)
+        loaded = FrozenProfile.load(legacy)
+        assert loaded.compiled is None
+        queries = frozen.features[:50]
+        assert np.array_equal(
+            loaded.kernel().vote(queries), frozen.vote(queries)
+        )
+        assert loaded.compiled is not None  # built lazily on first use
+
+
+class TestPaperScale:
+    def test_votes_bit_identical_at_paper_scale(self, full_dataset,
+                                                full_profile, rng):
+        frozen = full_profile.freeze(
+            service_totals=full_dataset.totals.sum(axis=0)
+        )
+        queries = np.clip(
+            frozen.features[:512]
+            + rng.normal(0, 1e-4, size=frozen.features[:512].shape),
+            -1.0, 1.0,
+        )
+        kernel = frozen.kernel()
+        assert np.array_equal(kernel.vote(queries), frozen.vote(queries))
+        ok, detail = compiled_equivalent(
+            frozen.surrogate, kernel.forest, queries
+        )
+        assert ok, detail
+
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestHypothesisBitIdentity:
+    @given(seed=seeds,
+           n_labels=st.integers(2, 6),
+           max_depth=st.integers(2, 8),
+           n_estimators=st.integers(1, 15))
+    @settings(max_examples=25, deadline=None)
+    def test_random_forests_bit_identical(self, seed, n_labels, max_depth,
+                                          n_estimators):
+        forest, queries = fitted_forest(
+            seed=seed, n=120, m=6, n_labels=n_labels,
+            n_estimators=n_estimators, max_depth=max_depth,
+        )
+        compiled = forest.compile()
+        assert np.array_equal(
+            compiled.predict_proba(queries), forest.predict_proba(queries)
+        )
+        assert np.array_equal(
+            compiled.predict(queries), forest.predict(queries)
+        )
+
+    @given(seed=seeds, scale=st.floats(min_value=1e-3, max_value=1e3,
+                                       allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_nan_free_float_inputs(self, seed, scale):
+        forest, _ = fitted_forest(seed=seed, n=100, m=5)
+        compiled = forest.compile()
+        gen = np.random.default_rng(seed + 1)
+        queries = gen.normal(0.0, scale, size=(64, 5))
+        assert np.array_equal(
+            compiled.predict_proba(queries), forest.predict_proba(queries)
+        )
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_npz_roundtripped_checkpoints(self, seed, tmp_path_factory):
+        frozen, _totals = build_frozen_profile(
+            n_antennas=60, n_services=6, n_clusters=3, seed=seed % 1000
+        )
+        path = tmp_path_factory.mktemp("frozen") / f"f{seed % 1000}.npz"
+        frozen.save(path)
+        loaded = FrozenProfile.load(path)
+        gen = np.random.default_rng(seed)
+        queries = np.clip(
+            frozen.features + gen.normal(0, 1e-3, frozen.features.shape),
+            -1.0, 1.0,
+        )
+        assert np.array_equal(
+            loaded.kernel().vote(queries), frozen.vote(queries)
+        )
+        assert np.array_equal(
+            loaded.compiled.predict_proba(queries),
+            frozen.surrogate.predict_proba(queries),
+        )
+
+
+class TestForestBenchHarness:
+    def test_report_shape_and_equivalence(self, tiny_frozen):
+        frozen, _totals = tiny_frozen
+        report = run_forest_benchmark(
+            frozen, n_queries=48, batch_sizes=(1, 16), repeats=1
+        )
+        assert report["equivalence"]["bit_identical"] is True
+        assert report["equivalence"]["votes_identical"] is True
+        assert [b["batch_size"] for b in report["batches"]] == [1, 16]
+        for entry in report["batches"]:
+            assert entry["object_rows_per_s"] > 0
+            assert entry["compiled_rows_per_s"] > 0
+            assert entry["speedup"] > 0
+        assert report["speedup"] == report["batches"][-1]["speedup"]
+        assert report["fused_volume"]["speedup"] > 0
+        json.dumps(report)  # must be JSON-serializable as-is
+        text = format_forest_report(report)
+        assert "compiled-kernel speedup" in text
+
+    def test_refuses_non_identical_kernel(self):
+        frozen, _totals = build_frozen_profile(n_antennas=60, n_services=6,
+                                               n_clusters=3)
+        arrays = frozen.compiled_forest().to_arrays()
+        arrays["compiled_values"] = arrays["compiled_values"] * 2.0
+        frozen.compiled = CompiledForest.from_arrays(arrays)
+        frozen._kernel = None  # drop any cached kernel
+        with pytest.raises(RuntimeError, match="bit-identical"):
+            run_forest_benchmark(frozen, n_queries=16, batch_sizes=(4,),
+                                 repeats=1)
+
+    def test_rejects_bad_parameters(self, tiny_frozen):
+        frozen, _totals = tiny_frozen
+        with pytest.raises(ValueError, match="n_queries"):
+            run_forest_benchmark(frozen, n_queries=0)
+        with pytest.raises(ValueError, match="batch_sizes"):
+            run_forest_benchmark(frozen, n_queries=4, batch_sizes=())

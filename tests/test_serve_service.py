@@ -279,3 +279,79 @@ class TestMetricsSnapshot:
         # Validation errors occur before submission; error counter tracks
         # failures of accepted requests, so nothing was recorded here.
         assert service.metrics.count("requests") == 0
+
+
+class TestCompiledKernelRouting:
+    """The tentpole serving path: batches vote through the fused kernel."""
+
+    def test_batches_route_through_kernel(self, frozen_and_totals):
+        frozen, _ = frozen_and_totals
+        with ProfileService(frozen, max_batch=16, n_workers=1,
+                            cache_size=0) as svc:
+            queries = frozen.features[:20]
+            result = svc.classify(queries)
+            assert np.array_equal(result.labels, frozen.vote(queries))
+            family = svc.metrics.registry.get("repro_stage_seconds")
+            assert family is not None
+            assert family.labels(stage="serve.kernel_vote").count >= 1
+
+    def test_use_compiled_false_pins_object_path(self, frozen_and_totals):
+        frozen, _ = frozen_and_totals
+        with ProfileService(frozen, max_batch=16, n_workers=1, cache_size=0,
+                            use_compiled=False) as svc:
+            queries = frozen.features[:20]
+            result = svc.classify(queries)
+            assert np.array_equal(result.labels, frozen.vote(queries))
+            family = svc.metrics.registry.get("repro_stage_seconds")
+            assert family.labels(stage="serve.kernel_vote").count == 0
+            assert family.labels(stage="serve.vote").count >= 1
+
+    def test_kernel_failure_falls_back_to_object_forest(self):
+        frozen, _ = build_frozen_profile(seed=11)
+
+        class _BrokenKernel:
+            def vote(self, features):
+                raise RuntimeError("kernel exploded")
+
+            def rsca_of_volumes(self, volumes):
+                raise RuntimeError("kernel exploded")
+
+        frozen._kernel = _BrokenKernel()
+        with ProfileService(frozen, max_batch=16, n_workers=1,
+                            cache_size=0) as svc:
+            queries = frozen.features[:10]
+            result = svc.classify(queries)
+            # Full-fidelity answer from the object forest, NOT degraded.
+            assert np.array_equal(result.labels, frozen.vote(queries))
+            assert not result.degraded
+            fallback = svc.metrics.registry.get("repro_kernel_fallback_total")
+            assert fallback.value >= 1
+
+    def test_volume_queries_use_fused_transform(self, frozen_and_totals):
+        frozen, totals = frozen_and_totals
+        with ProfileService(frozen, max_batch=16, n_workers=1,
+                            cache_size=0) as svc:
+            volumes = totals[:12]
+            result = svc.classify_volumes(volumes)
+            expected = frozen.vote(frozen.rsca_of_volumes(volumes))
+            assert np.array_equal(result.labels, expected)
+            family = svc.metrics.registry.get("repro_stage_seconds")
+            assert family.labels(stage="serve.rsca_transform").count >= 1
+
+    def test_broken_volume_kernel_falls_back(self):
+        frozen, totals = build_frozen_profile(seed=12)
+
+        class _BrokenKernel:
+            def vote(self, features):
+                raise RuntimeError("kernel exploded")
+
+            def rsca_of_volumes(self, volumes):
+                raise RuntimeError("kernel exploded")
+
+        frozen._kernel = _BrokenKernel()
+        with ProfileService(frozen, max_batch=16, n_workers=1,
+                            cache_size=0) as svc:
+            volumes = totals[:6]
+            result = svc.classify_volumes(volumes)
+            expected = frozen.vote(frozen.rsca_of_volumes(volumes))
+            assert np.array_equal(result.labels, expected)
