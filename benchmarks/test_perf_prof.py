@@ -1,0 +1,132 @@
+"""Continuous-profiler overhead benchmarks.
+
+The profiler's contract is "always on, effectively free": a duty-cycle
+throttle keeps sampling under ``max_overhead`` of wall time no matter
+how many threads exist.  These benchmarks put numbers behind that — a
+serving workload is timed bare and again with the profiler running, and
+the slowdown must stay under the 5% acceptance bound (with the same 2x
+CI-jitter headroom the other overhead benches use; the calibrated
+ratio lands in ``extra_info``).  The cost of one snapshot pass rides
+along so regressions in the sampler itself are visible directly.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import AgglomerativeClustering
+from repro.core.rca import rsca
+from repro.ml.forest import RandomForestClassifier
+from repro.obs.prof import ContinuousProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.serve import ProfileService
+from repro.stream import FrozenProfile
+
+N_ANTENNAS = 800
+N_SERVICES = 73
+BATCH_ROWS = 64
+
+#: Interleaved timing rounds; the minimum round is compared.
+ROUNDS = 10
+#: Classify calls per round.
+INNER = 20
+
+#: Acceptance bound from the issue: profiling adds < 5%.
+MAX_OVERHEAD = 0.05
+#: Headroom asserted in CI: timer jitter on shared runners can exceed
+#: the real overhead, so the hard assert allows 2x the bound while the
+#: measured ratio is recorded in ``extra_info`` for the calibrated run.
+ASSERT_CEILING = 2 * MAX_OVERHEAD
+
+
+@pytest.fixture(scope="module")
+def frozen():
+    rng = np.random.default_rng(0)
+    totals = rng.lognormal(0.0, 1.0, size=(N_ANTENNAS, N_SERVICES))
+    features = rsca(totals)
+    labels = AgglomerativeClustering(n_clusters=9,
+                                     linkage="ward").fit_predict(features)
+    surrogate = RandomForestClassifier(n_estimators=20, max_depth=6,
+                                       random_state=0)
+    surrogate.fit(features, labels)
+    clusters = np.unique(labels)
+    centroids = np.vstack(
+        [features[labels == c].mean(axis=0) for c in clusters]
+    )
+    return FrozenProfile(
+        features=features,
+        labels=labels,
+        antenna_ids=np.arange(N_ANTENNAS, dtype=np.int64),
+        clusters=clusters,
+        centroids=centroids,
+        service_names=tuple(f"service_{j}" for j in range(N_SERVICES)),
+        surrogate=surrogate,
+        service_totals=totals.sum(axis=0),
+    )
+
+
+def _workload_round(service, batches):
+    for batch in batches:
+        service.classify(batch)
+
+
+def test_perf_profiled_serve_overhead(benchmark, frozen):
+    """Serving under the profiler stays within the overhead budget."""
+    rng = np.random.default_rng(1)
+    # Unique rows each call so the result cache never hides the work.
+    batches = [
+        frozen.features[rng.integers(0, N_ANTENNAS, size=BATCH_ROWS)]
+        + rng.normal(0.0, 1e-4, size=(BATCH_ROWS, N_SERVICES))
+        for _ in range(INNER)
+    ]
+    service = ProfileService(frozen, max_batch=32, n_workers=2,
+                             cache_size=0)
+    profiler = ContinuousProfiler(hz=50.0, window_s=30.0,
+                                  registry=MetricsRegistry())
+    try:
+        _workload_round(service, batches)  # warm both paths
+
+        best_bare = float("inf")
+        best_prof = float("inf")
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            _workload_round(service, batches)
+            best_bare = min(best_bare, time.perf_counter() - start)
+            with profiler:
+                start = time.perf_counter()
+                _workload_round(service, batches)
+                best_prof = min(best_prof, time.perf_counter() - start)
+        ratio = (best_prof - best_bare) / best_bare
+
+        benchmark.extra_info["bare_ms"] = best_bare * 1e3
+        benchmark.extra_info["profiled_ms"] = best_prof * 1e3
+        benchmark.extra_info["overhead_ratio"] = ratio
+        benchmark.extra_info["bound"] = MAX_OVERHEAD
+        benchmark.extra_info["snapshot_passes"] = (
+            profiler.stats()["snapshot_passes"]
+        )
+        with profiler:
+            benchmark(lambda: _workload_round(service, batches))
+
+        assert ratio < ASSERT_CEILING, (
+            f"profiler overhead {ratio:.1%} exceeds {ASSERT_CEILING:.0%} "
+            f"(bound {MAX_OVERHEAD:.0%})"
+        )
+    finally:
+        service.close()
+
+
+def test_perf_single_snapshot_pass(benchmark, frozen):
+    """Cost of one ``sys._current_frames`` fold, the throttle's input."""
+    service = ProfileService(frozen, max_batch=32, n_workers=4)
+    profiler = ContinuousProfiler(hz=50.0, registry=MetricsRegistry())
+    try:
+        profiler.sample_once(now=0.0)
+        benchmark(lambda: profiler.sample_once(now=0.0))
+        stats = profiler.stats()
+        benchmark.extra_info["stacks_per_pass"] = (
+            stats["stacks"] / max(1, stats["snapshot_passes"])
+        )
+    finally:
+        service.close()

@@ -41,7 +41,9 @@ blocks (omit ``config_keys`` to always compare them).  Paths support
 ``a.b.c`` nesting, ``list[0]`` integer indexing, and
 ``list[key=value]`` selection of the first matching object.  A path
 that resolves to nothing in one report skips that metric rather than
-failing.
+failing; a path that resolves to nothing in *either* report is a spec
+error (typo'd path or selector) and fails with a message naming the
+offending path instead of a bare "no comparable metrics".
 
 Usage::
 
@@ -139,6 +141,35 @@ def load_spec(path: str) -> dict:
         if not isinstance(entry, str):
             raise SystemExit(f"{path}: metric {name!r} must be a path string")
     return spec
+
+
+def unresolved_spec_paths(
+    baseline: dict, fresh: dict, spec: dict
+) -> Dict[str, str]:
+    """Spec paths that resolve to no numeric value in *either* report.
+
+    A path absent from one report is routine (CI benches a subset); a
+    path absent from both means the spec names a metric that does not
+    exist — a typo'd dotted path or a ``[key=value]`` selector matching
+    nothing — which should be reported as a spec error, not silently
+    produce "no comparable metrics".  Returns ``path -> owning metric``
+    for the error message.
+    """
+    def resolves(path: str) -> bool:
+        for report in (baseline, fresh):
+            if isinstance(extract_path(report, path), (int, float)):
+                return True
+        return False
+
+    missing: Dict[str, str] = {}
+    for name, (num_path, den_path) in (spec.get("ratios") or {}).items():
+        for path in (num_path, den_path):
+            if not resolves(path):
+                missing[path] = f"ratio {name!r}"
+    for name, path in (spec.get("metrics") or {}).items():
+        if not resolves(path):
+            missing[path] = f"metric {name!r}"
+    return missing
 
 
 def spec_metrics(
@@ -280,6 +311,17 @@ def main(argv=None) -> int:
     baseline = load_report(args.baseline)
     fresh = load_report(args.fresh)
     spec = load_spec(args.spec) if args.spec else None
+    if spec is not None:
+        missing = unresolved_spec_paths(baseline, fresh, spec)
+        if missing:
+            print(f"error: {args.spec} names metric paths that match "
+                  f"nothing in {args.baseline} or {args.fresh}:")
+            for path, owner in sorted(missing.items()):
+                print(f"  {owner}: path {path!r} resolved to no numeric "
+                      f"value in either report")
+            print("check the dotted path spelling and any [key=value] "
+                  "selectors against the report JSON")
+            return 1
     rows, failures = compare(baseline, fresh, args.max_regression, spec=spec)
     if not rows:
         print("no comparable metrics found between the two reports")

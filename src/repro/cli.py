@@ -241,7 +241,9 @@ def _serve_frozen_profile(args):
 def _cmd_serve(args) -> int:
     from repro.obs import enable_tracing, get_registry, tracing_enabled
     from repro.obs.alerts import AlertManager, default_rules
+    from repro.obs.prof import ContinuousProfiler
     from repro.obs.slo import SLOEngine, default_slos
+    from repro.obs.tsdb import MetricsTSDB
     from repro.serve import ProfileService, ServeMetrics, make_server
 
     frozen, error = _serve_frozen_profile(args)
@@ -273,9 +275,20 @@ def _cmd_serve(args) -> int:
     )
     manager = AlertManager(engine, default_rules(engine), registry=registry)
     engine.tick()
+    # Scrape-driven history: every /metrics|/slo|/healthz|/query hit
+    # records one TSDB snapshot, giving /query and the obs-watch
+    # sparklines real rate/trend data with no background thread.
+    tsdb = MetricsTSDB(registry)
+    tsdb.record()
+    profiler = None
+    if args.profile:
+        profiler = ContinuousProfiler(
+            hz=args.profile_hz, registry=registry
+        ).start()
     server = make_server(service, host=args.host, port=args.port,
                          verbose=args.verbose, slo_engine=engine,
-                         alert_manager=manager)
+                         alert_manager=manager, profiler=profiler,
+                         tsdb=tsdb)
     host, port = server.server_address[:2]
     print(
         f"serving profile version {service.registry.current_version()} "
@@ -291,8 +304,13 @@ def _cmd_serve(args) -> int:
     print(
         f"  SLOs: {len(engine.slos)} objectives over "
         f"{args.slo_window:.0f}s windows, {len(manager.alerts)} burn-rate "
-        f"alerts — /healthz /slo /metrics"
+        f"alerts — /healthz /slo /metrics /query"
     )
+    if profiler is not None:
+        print(
+            f"  continuous profiler: {args.profile_hz:.0f} Hz, "
+            f"<= {profiler.max_overhead:.0%} overhead — /debug/prof"
+        )
     try:
         if args.max_requests > 0:
             for _ in range(args.max_requests):
@@ -304,6 +322,8 @@ def _cmd_serve(args) -> int:
     finally:
         server.server_close()
         service.close()
+        if profiler is not None:
+            profiler.stop()
         if not was_tracing:
             from repro.obs import disable_tracing
 
@@ -722,6 +742,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve N requests then exit (0 = run forever)")
     serve.add_argument("--slo-window", type=float, default=3600.0,
                        help="rolling SLO window in seconds")
+    serve.add_argument("--profile", action="store_true",
+                       help="run the continuous sampling profiler "
+                            "(GET /debug/prof)")
+    serve.add_argument("--profile-hz", type=float, default=50.0,
+                       help="profiler sampling frequency in Hz")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request")
     serve.set_defaults(func=_cmd_serve)

@@ -19,7 +19,16 @@ zero-dependency layer:
   rolling-window error-budget accounting and multi-window burn-rate
   alerting (the judging layer over the emitted signals);
 * :func:`run_checks` / :func:`service_health_checks` — liveness and
-  readiness probes behind the serve endpoint's ``GET /healthz``.
+  readiness probes behind the serve endpoint's ``GET /healthz``;
+* :class:`TraceContext` / :func:`inject` / :func:`extract` — W3C
+  ``traceparent`` propagation so spans on both sides of an HTTP (or
+  process) boundary assemble into one trace;
+* :class:`ContinuousProfiler` — always-on stack sampling with a hard
+  overhead budget, served at ``GET /debug/prof`` (speedscope /
+  collapsed stacks);
+* :class:`MetricsTSDB` — rolling metric history with
+  ``rate()``/``delta()``/``quantile()`` queries behind ``GET /query``
+  and the ``repro-icn obs watch`` sparklines.
 
 Quickstart::
 
@@ -48,13 +57,17 @@ from repro.obs.registry import (
 from repro.obs.trace import (
     DEFAULT_TRACE_CAPACITY,
     SpanRecord,
+    TraceContext,
     TraceStore,
+    current_context,
     current_span,
     current_span_id,
     current_trace_id,
     disable_tracing,
     enable_tracing,
+    extract,
     get_trace_store,
+    inject,
     span,
     tracing_enabled,
 )
@@ -88,12 +101,15 @@ from repro.obs.health import (
     run_checks,
     service_health_checks,
 )
+from repro.obs.prof import ContinuousProfiler
+from repro.obs.tsdb import MetricsTSDB, QueryError, SeriesRing, sparkline
 
 __all__ = [
     "ALERT_STATES",
     "Alert",
     "AlertManager",
     "BurnRateRule",
+    "ContinuousProfiler",
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_TRACE_CAPACITY",
@@ -104,14 +120,19 @@ __all__ = [
     "Histogram",
     "LEVELS",
     "MetricsRegistry",
+    "MetricsTSDB",
+    "QueryError",
     "SLO",
     "SLOEngine",
+    "SeriesRing",
     "SpanRecord",
     "StageStats",
     "StructLogger",
     "TokenBucket",
+    "TraceContext",
     "TraceStore",
     "counter_source",
+    "current_context",
     "current_span",
     "current_span_id",
     "current_trace_id",
@@ -119,11 +140,13 @@ __all__ = [
     "default_slos",
     "disable_tracing",
     "enable_tracing",
+    "extract",
     "get_logger",
     "get_registry",
     "get_trace_store",
     "histogram_count_source",
     "histogram_under_source",
+    "inject",
     "profile_stage",
     "run_checks",
     "service_health_checks",
@@ -131,6 +154,7 @@ __all__ = [
     "set_log_stream",
     "set_registry",
     "span",
+    "sparkline",
     "tracing_enabled",
     "timed_stage",
 ]

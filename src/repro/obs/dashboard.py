@@ -1,11 +1,15 @@
 """``repro-icn obs watch`` — a live ANSI terminal dashboard for one node.
 
 Polls a serving node's ``GET /metrics.json`` (plus, when available,
-``GET /slo`` and ``GET /healthz``) and renders an operator view in the
-terminal: traffic (qps, requests, errors, shed), the p50/p95/p99
-latency trio, cache and queue pressure, profile version, SLO
-error-budget bars, and any pending/firing alerts.  Pure stdlib —
-:mod:`urllib` for the polling, ANSI escape codes for the paint.
+``GET /slo``, ``GET /healthz``, and ``GET /query``) and renders an
+operator view in the terminal: traffic (qps, requests, errors, shed),
+the p50/p95/p99 latency trio, cache and queue pressure, profile
+version, SLO error-budget bars, any pending/firing alerts, and — when
+the node records history into a :class:`~repro.obs.tsdb.MetricsTSDB` —
+unicode sparklines of request rate, error rate, and queue depth backed
+by the node's real sample rings rather than client-side guesswork.
+Pure stdlib — :mod:`urllib` for the polling, ANSI escape codes for the
+paint.
 
 The renderer (:func:`render_dashboard`) is a pure function from the
 three JSON payloads to a string, so tests exercise layout and
@@ -17,12 +21,29 @@ pass ``color=False`` (or pipe to a non-TTY via the CLI) for plain text.
 from __future__ import annotations
 
 import json
+import math
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Callable, Dict, List, Optional, TextIO
 
-__all__ = ["fetch_json", "render_dashboard", "watch"]
+from repro.obs.tsdb import sparkline
+
+__all__ = [
+    "DEFAULT_HISTORY_EXPRS",
+    "fetch_history",
+    "fetch_json",
+    "render_dashboard",
+    "watch",
+]
+
+#: Sparkline panes painted by default: label -> /query expression.
+DEFAULT_HISTORY_EXPRS: Dict[str, str] = {
+    "req/s": "rate(repro_serve_requests_total[120s])",
+    "err/s": "rate(repro_serve_errors_total[120s])",
+    "queue": "repro_serve_queue_depth[120s]",
+}
 
 #: ANSI escape codes used by the renderer.
 _RESET = "\x1b[0m"
@@ -78,10 +99,64 @@ def _budget_bar(remaining: float, color: bool) -> str:
 def _fmt(value: object, spec: str = "", fallback: str = "n/a") -> str:
     if value is None:
         return fallback
+    # NaN formats "successfully" as the string "nan", which reads like a
+    # metric named nan rather than an absent value — treat it as n/a
+    # (quantiles of an empty histogram arrive as NaN, not None).
+    if isinstance(value, float) and math.isnan(value):
+        return fallback
     try:
         return format(value, spec) if spec else str(value)
     except (TypeError, ValueError):
         return fallback
+
+
+def _history_values(payload: dict) -> List[float]:
+    """Sparkline-able values from one ``/query`` response body.
+
+    ``rate()`` responses carry the raw cumulative counter samples; the
+    painted history is the per-interval rate between consecutive
+    samples (what an operator means by "qps over time").  Everything
+    else paints the sample values as-is.
+    """
+    series = payload.get("series") or []
+    if not series:
+        return []
+    samples = series[0].get("samples") or []
+    pairs = [
+        (float(t), float(v)) for t, v in samples
+        if isinstance(t, (int, float)) and isinstance(v, (int, float))
+    ]
+    if payload.get("fn") == "rate":
+        values = []
+        for (t0, v0), (t1, v1) in zip(pairs, pairs[1:]):
+            dt = t1 - t0
+            if dt > 0:
+                values.append(max(0.0, v1 - v0) / dt)
+        return values
+    return [v for _, v in pairs]
+
+
+def fetch_history(
+    base_url: str,
+    exprs: Optional[Dict[str, str]] = None,
+    timeout_s: float = 2.0,
+) -> Dict[str, List[float]]:
+    """Poll ``GET /query`` once per expression; label -> value history.
+
+    Nodes without a TSDB answer 404 (an ``error`` JSON body) — those
+    panes are silently absent rather than painted empty.
+    """
+    base = base_url.rstrip("/")
+    history: Dict[str, List[float]] = {}
+    for label, expr in (exprs or DEFAULT_HISTORY_EXPRS).items():
+        url = f"{base}/query?expr={urllib.parse.quote(expr)}"
+        payload = fetch_json(url, timeout_s=timeout_s)
+        if payload is None or payload.get("error") is not None:
+            continue
+        values = _history_values(payload)
+        if values:
+            history[label] = values
+    return history
 
 
 def render_dashboard(
@@ -90,6 +165,7 @@ def render_dashboard(
     health: Optional[dict] = None,
     color: bool = True,
     url: str = "",
+    history: Optional[Dict[str, List[float]]] = None,
 ) -> str:
     """Render one dashboard frame from the polled JSON payloads.
 
@@ -100,6 +176,8 @@ def render_dashboard(
         health: the ``/healthz`` body, optional.
         color: emit ANSI colour codes.
         url: node URL shown in the header.
+        history: label -> value series (see :func:`fetch_history`),
+            painted as unicode sparklines when non-empty.
     """
     lines: List[str] = []
     title = "repro-icn serving node"
@@ -149,6 +227,17 @@ def render_dashboard(
         f"   mean batch {_fmt(derived.get('mean_batch_size'), '5.1f')}"
     )
     lines.append("")
+
+    if history:
+        lines.append(_paint("history", _BOLD, color))
+        width = max(len(label) for label in history)
+        for label, values in history.items():
+            spark = sparkline(values)
+            latest = values[-1] if values else None
+            lines.append(
+                f"  {label:<{width}}  {spark:<32}  {_fmt(latest, '10.2f')}"
+            )
+        lines.append("")
 
     if health is not None:
         failing = [
@@ -244,8 +333,10 @@ def watch(
             metrics = fetch_json(endpoints["metrics"])
             slo = fetch_json(endpoints["slo"])
             health = fetch_json(endpoints["health"])
+            history = fetch_history(base)
             frame = render_dashboard(
-                metrics, slo=slo, health=health, color=color, url=base
+                metrics, slo=slo, health=health, color=color, url=base,
+                history=history,
             )
             if clear:
                 out.write(_CLEAR)

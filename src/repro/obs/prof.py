@@ -1,0 +1,386 @@
+"""Continuous sampling profiler: always-on, bounded-overhead CPU visibility.
+
+``repro-icn serve --profile`` answers "where is this node spending its
+time *right now*" without restarting anything: a daemon thread snapshots
+every Python thread's stack via :func:`sys._current_frames` at a
+configurable rate, folds the stacks into collapsed form (``root;...;leaf
+count`` — the flamegraph interchange format), and aggregates them into a
+ring of rotating time windows so queries see the trailing N seconds, not
+the process lifetime.
+
+The profiler polices its own cost.  ``max_overhead`` is a hard duty-
+cycle budget (default 2%): each snapshot pass is timed, and when the
+exponentially-weighted duty cycle (sample time / wall time) would exceed
+the budget the next tick is stretched until the ratio falls back under
+it.  A node drowning in threads therefore degrades to a *coarser*
+profile, never to a slower service.  The measured ratio is exported as
+``repro_prof_overhead_ratio`` alongside ``repro_prof_samples_total``,
+``repro_prof_stacks_total``, ``repro_prof_throttled_ticks_total``, and
+the ``repro_prof_sample_seconds`` histogram, so the profiler's own cost
+is visible on the same scrape surface it helps debug.
+
+Exports: :meth:`ContinuousProfiler.collapsed_text` (pipe straight into
+``flamegraph.pl``) and :meth:`~ContinuousProfiler.speedscope` /
+:meth:`~ContinuousProfiler.export_speedscope` (drop onto
+https://www.speedscope.app).  Serve nodes expose both at
+``GET /debug/prof?seconds=N[&format=collapsed]``.
+
+Tests drive :meth:`~ContinuousProfiler.sample_once` with synthetic
+timestamps for bit-reproducible aggregation; the background thread is
+only the scheduler around it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = ["ContinuousProfiler"]
+
+#: Frames from these files are the profiler's own machinery and the
+#: scheduler idle loop — noise in every profile, so they are dropped.
+_SELF_FILE = os.path.abspath(__file__)
+
+
+def _frame_label(code) -> str:
+    """``function (file.py:line)`` — stable, greppable frame naming."""
+    return (
+        f"{code.co_name} "
+        f"({os.path.basename(code.co_filename)}:{code.co_firstlineno})"
+    )
+
+
+class _Window:
+    """One rotation of aggregated stacks: ``stack tuple -> samples``."""
+
+    __slots__ = ("start", "counts", "n_samples")
+
+    def __init__(self, start: float) -> None:
+        self.start = start
+        self.counts: Dict[Tuple[str, ...], int] = {}
+        self.n_samples = 0
+
+
+class ContinuousProfiler:
+    """Samples all thread stacks into rotating collapsed-stack windows.
+
+    Args:
+        hz: target sampling frequency (snapshot passes per second).
+        window_s: width of one aggregation window; queries merge whole
+            windows, so this is the granularity of "the last N seconds".
+        n_windows: ring length — total retained history is
+            ``window_s * n_windows``.
+        max_overhead: hard duty-cycle budget in [0, 1); the sampler
+            stretches its tick interval whenever the EWMA of
+            (sample time / wall time) would exceed it.
+        registry: destination for the ``repro_prof_*`` self-metrics
+            (process-wide default when None).
+        clock: time source for window rotation (monotonic by default).
+
+    Use as a context manager (``with ContinuousProfiler() as prof:``) or
+    via explicit :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        hz: float = 50.0,
+        window_s: float = 10.0,
+        n_windows: int = 6,
+        max_overhead: float = 0.02,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if hz <= 0:
+            raise ValueError(f"hz must be positive, got {hz}")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        if n_windows < 1:
+            raise ValueError(f"n_windows must be >= 1, got {n_windows}")
+        if not 0.0 < max_overhead < 1.0:
+            raise ValueError(
+                f"max_overhead must be in (0, 1), got {max_overhead}"
+            )
+        self.hz = float(hz)
+        self.window_s = float(window_s)
+        self.n_windows = int(n_windows)
+        self.max_overhead = float(max_overhead)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._windows: List[_Window] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._duty_ewma = 0.0
+
+        reg = registry if registry is not None else get_registry()
+        self._samples_total = reg.counter(
+            "repro_prof_samples_total",
+            "Stack snapshot passes taken by the continuous profiler",
+        )
+        self._stacks_total = reg.counter(
+            "repro_prof_stacks_total",
+            "Individual thread stacks captured by the continuous profiler",
+        )
+        self._throttled_total = reg.counter(
+            "repro_prof_throttled_ticks_total",
+            "Profiler ticks stretched to respect the overhead budget",
+        )
+        self._overhead_gauge = reg.gauge(
+            "repro_prof_overhead_ratio",
+            "EWMA of profiler duty cycle (sample time / wall time)",
+        )
+        self._sample_seconds = reg.histogram(
+            "repro_prof_sample_seconds",
+            "Duration of one profiler snapshot pass",
+            buckets=(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+                     0.01, 0.025, 0.05),
+        )
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample_once(self, now: Optional[float] = None) -> int:
+        """Capture one snapshot of every thread; returns stacks folded.
+
+        The profiler's own sampler thread and any stack consisting
+        purely of profiler-internal frames are excluded — a profile of
+        the profiler is exactly the overhead the budget already
+        reports.
+        """
+        t = float(now) if now is not None else self._clock()
+        names = {
+            thread.ident: thread.name for thread in threading.enumerate()
+        }
+        me = threading.get_ident()
+        frames = sys._current_frames()
+        folded = 0
+        window = self._current_window(t)
+        for ident, frame in frames.items():
+            if ident == me:
+                continue
+            stack: List[str] = []
+            while frame is not None:
+                code = frame.f_code
+                if os.path.abspath(code.co_filename) != _SELF_FILE:
+                    stack.append(_frame_label(code))
+                frame = frame.f_back
+            if not stack:
+                continue
+            stack.append(f"thread:{names.get(ident, ident)}")
+            key = tuple(reversed(stack))  # root-first
+            with self._lock:
+                window.counts[key] = window.counts.get(key, 0) + 1
+            folded += 1
+        with self._lock:
+            window.n_samples += 1
+        self._samples_total.inc()
+        self._stacks_total.inc(folded)
+        return folded
+
+    def _current_window(self, t: float) -> _Window:
+        with self._lock:
+            if not self._windows or t - self._windows[-1].start >= self.window_s:
+                self._windows.append(_Window(t))
+                while len(self._windows) > self.n_windows:
+                    del self._windows[0]
+            return self._windows[-1]
+
+    def _run(self) -> None:
+        base_interval = 1.0 / self.hz
+        while not self._stop.is_set():
+            started = self._clock()
+            self.sample_once(now=started)
+            cost = self._clock() - started
+            self._sample_seconds.observe(cost)
+            # Stretch the next tick whenever sampling at the base rate
+            # would push the duty cycle past the budget: an interval of
+            # cost / max_overhead holds the cycle exactly at the budget.
+            interval = base_interval
+            budget_interval = cost / self.max_overhead
+            if budget_interval > base_interval:
+                interval = budget_interval
+                self._throttled_total.inc()
+            self._duty_ewma = 0.8 * self._duty_ewma + 0.2 * (
+                cost / max(interval, 1e-9)
+            )
+            self._overhead_gauge.set(self._duty_ewma)
+            self._stop.wait(interval)
+
+    def start(self) -> "ContinuousProfiler":
+        """Launch the daemon sampler thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-prof-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 2.0) -> None:
+        """Stop the sampler thread and join it."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout_s)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        """True while the sampler thread is alive."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def __enter__(self) -> "ContinuousProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def overhead_ratio(self) -> float:
+        """EWMA of the measured duty cycle (0.0 before any tick)."""
+        return self._duty_ewma
+
+    # ------------------------------------------------------------------
+    # Aggregation and export
+    # ------------------------------------------------------------------
+
+    def _merged(self, seconds: Optional[float] = None,
+                now: Optional[float] = None) -> Tuple[
+                    Dict[Tuple[str, ...], int], int]:
+        """``(stack -> count, snapshot passes)`` over the trailing window.
+
+        Whole windows are merged: every window whose *start* lies
+        inside the trailing ``seconds`` contributes (plus the window
+        straddling the boundary), so the result covers at least the
+        requested span.  ``seconds=None`` merges all retained windows.
+        """
+        t = float(now) if now is not None else self._clock()
+        merged: Dict[Tuple[str, ...], int] = {}
+        passes = 0
+        with self._lock:
+            windows = list(self._windows)
+        for index, window in enumerate(windows):
+            if seconds is not None:
+                window_end = (
+                    windows[index + 1].start
+                    if index + 1 < len(windows) else t
+                )
+                if window_end < t - float(seconds):
+                    continue
+            with self._lock:
+                items = list(window.counts.items())
+                passes += window.n_samples
+            for stack, count in items:
+                merged[stack] = merged.get(stack, 0) + count
+        return merged, passes
+
+    def collapsed(self, seconds: Optional[float] = None,
+                  now: Optional[float] = None) -> Dict[str, int]:
+        """Folded-stack counts: ``"root;child;leaf" -> samples``."""
+        merged, _ = self._merged(seconds=seconds, now=now)
+        return {
+            ";".join(stack): count
+            for stack, count in sorted(merged.items())
+        }
+
+    def collapsed_text(self, seconds: Optional[float] = None,
+                       now: Optional[float] = None) -> str:
+        """Collapsed stacks, one ``stack count`` line each (flamegraph.pl)."""
+        lines = [
+            f"{stack} {count}"
+            for stack, count in self.collapsed(
+                seconds=seconds, now=now
+            ).items()
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def speedscope(self, seconds: Optional[float] = None,
+                   now: Optional[float] = None,
+                   name: str = "repro-icn continuous profile") -> Dict[
+                       str, object]:
+        """The merged window as a speedscope *sampled* profile document.
+
+        Each distinct collapsed stack becomes one sample whose weight is
+        its share of wall time (``count / hz`` seconds) — open the
+        returned JSON directly at https://www.speedscope.app.
+        """
+        merged, _ = self._merged(seconds=seconds, now=now)
+        frame_index: Dict[str, int] = {}
+        frames: List[Dict[str, object]] = []
+        samples: List[List[int]] = []
+        weights: List[float] = []
+        for stack, count in sorted(merged.items()):
+            indices = []
+            for label in stack:
+                index = frame_index.get(label)
+                if index is None:
+                    index = len(frames)
+                    frame_index[label] = index
+                    frames.append({"name": label})
+                indices.append(index)
+            samples.append(indices)
+            weights.append(count / self.hz)
+        total = sum(weights)
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "exporter": "repro-icn",
+            "name": name,
+            "activeProfileIndex": 0,
+            "shared": {"frames": frames},
+            "profiles": [{
+                "type": "sampled",
+                "name": name,
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }],
+        }
+
+    def export_speedscope(self, path: Union[str, "os.PathLike[str]"],
+                          seconds: Optional[float] = None) -> int:
+        """Write the speedscope document to ``path``; returns samples."""
+        document = self.speedscope(seconds=seconds)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        profiles = document["profiles"]
+        assert isinstance(profiles, list)
+        samples = profiles[0]["samples"]
+        assert isinstance(samples, list)
+        return len(samples)
+
+    def export_collapsed(self, path: Union[str, "os.PathLike[str]"],
+                         seconds: Optional[float] = None) -> int:
+        """Write collapsed-stack text to ``path``; returns stack lines."""
+        text = self.collapsed_text(seconds=seconds)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return 0 if not text else text.count("\n")
+
+    def stats(self) -> Dict[str, object]:
+        """Snapshot of the profiler's own accounting (for reports)."""
+        with self._lock:
+            windows = len(self._windows)
+            passes = sum(w.n_samples for w in self._windows)
+            stacks = sum(
+                sum(w.counts.values()) for w in self._windows
+            )
+        return {
+            "running": self.running,
+            "hz": self.hz,
+            "window_s": self.window_s,
+            "n_windows": windows,
+            "snapshot_passes": passes,
+            "stacks": stacks,
+            "overhead_ratio": self._duty_ewma,
+            "max_overhead": self.max_overhead,
+        }

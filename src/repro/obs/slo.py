@@ -41,15 +41,14 @@ synthetic clock and get bit-identical verdicts on every run.
 
 from __future__ import annotations
 
-import bisect
 import math
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.tsdb import SeriesRing
 
 __all__ = [
     "SLO",
@@ -186,11 +185,17 @@ class SLOSample:
 
 @dataclass
 class _Track:
-    """Sample history of one SLO (engine-internal)."""
+    """Sample history of one SLO (engine-internal).
+
+    Two parallel :class:`~repro.obs.tsdb.SeriesRing` buffers — the same
+    bounded-ring primitive the metrics TSDB records into — appended
+    together under the engine lock, so the good/total readings at any
+    index share one timestamp.
+    """
 
     slo: SLO
-    samples: Deque[SLOSample] = field(default_factory=deque)
-    times: List[float] = field(default_factory=list)
+    good: SeriesRing
+    total: SeriesRing
 
 
 class SLOEngine:
@@ -234,8 +239,12 @@ class SLOEngine:
         # compliance()/budget_remaining(), which take `_lock` themselves.
         self._tick_lock = threading.Lock()
         self.max_samples = int(max_samples)
+        capacity = max(2, self.max_samples)
         self._tracks: Dict[str, _Track] = {
-            slo.name: _Track(slo) for slo in slos
+            slo.name: _Track(
+                slo, good=SeriesRing(capacity), total=SeriesRing(capacity)
+            )
+            for slo in slos
         }
         objective_gauge = self.registry.gauge(
             "repro_slo_objective", "Declared SLO target fraction",
@@ -288,9 +297,11 @@ class SLOEngine:
         with self._tick_lock:
             t = float(now) if now is not None else self._clock()
             with self._lock:
+                latest = [
+                    track.good.latest() for track in self._tracks.values()
+                ]
                 newest = max(
-                    (track.times[-1] for track in self._tracks.values()
-                     if track.times),
+                    (sample[0] for sample in latest if sample is not None),
                     default=None,
                 )
             if newest is not None and t < newest:
@@ -306,11 +317,8 @@ class SLOEngine:
                     total=float(track.slo.total()),
                 )
                 with self._lock:
-                    track.samples.append(sample)
-                    track.times.append(t)
-                    while len(track.samples) > self.max_samples:
-                        track.samples.popleft()
-                        track.times.pop(0)
+                    track.good.append(t, sample.good)
+                    track.total.append(t, sample.total)
                 fresh[name] = sample
                 self._compliance_gauge.labels(slo=name).set(
                     self.compliance(name, track.slo.window_s, now=t)
@@ -326,19 +334,22 @@ class SLOEngine:
         track = self._tracks[name]
         t = float(now) if now is not None else self._clock()
         with self._lock:
-            if not track.samples:
-                return 0.0, 0.0
-            # Latest sample at or before the window start; the oldest
-            # sample anchors short histories so early storms still burn.
-            index = bisect.bisect_right(track.times, t - float(window_s)) - 1
-            anchor = track.samples[max(0, index)]
-            # Latest sample at or before `now` is the window end.
-            end_index = bisect.bisect_right(track.times, t) - 1
-            if end_index < 0:
-                return 0.0, 0.0
-            end = track.samples[end_index]
-        d_good = max(0.0, end.good - anchor.good)
-        d_total = max(0.0, end.total - anchor.total)
+            # SeriesRing.bounds anchors on the latest sample at or
+            # before the window start (the oldest sample for short
+            # histories, so early storms still burn) and ends on the
+            # latest sample at or before `now`; both rings share
+            # timestamps, so the two windows are aligned.
+            good_anchor, good_end = track.good.bounds(
+                float(window_s), now=t
+            )
+            total_anchor, total_end = track.total.bounds(
+                float(window_s), now=t
+            )
+        if good_anchor is None or good_end is None:
+            return 0.0, 0.0
+        assert total_anchor is not None and total_end is not None
+        d_good = max(0.0, good_end[1] - good_anchor[1])
+        d_total = max(0.0, total_end[1] - total_anchor[1])
         return d_good, d_total
 
     # ------------------------------------------------------------------
@@ -391,7 +402,7 @@ class SLOEngine:
     def n_samples(self, name: str) -> int:
         """Recorded samples for one SLO."""
         with self._lock:
-            return len(self._tracks[name].samples)
+            return len(self._tracks[name].good)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -32,8 +32,11 @@ real stream/serve stack — no mocks, no instrumented copies:
    every alert must resolve.  The budget report is written to the work
    directory as ``chaos_slo_report.json``.
 
-The run ends with a check that the process-wide ``/metrics`` surface
-shows nonzero retry / breaker / degraded / fault counters.  Everything
+A :class:`~repro.obs.prof.ContinuousProfiler` samples stacks for the
+whole storm (its speedscope export lands in the work directory as
+``chaos_prof.speedscope.json``), and the run ends with a check that the
+process-wide ``/metrics`` surface shows nonzero retry / breaker /
+degraded / fault counters plus the profiler's own sampling series.  Everything
 is seeded — same seed, same faults, same verdicts (SLO evaluation uses
 explicit synthetic timestamps, so the alert transitions are replayable
 too).
@@ -61,6 +64,7 @@ from repro.obs import (
     tracing_enabled,
 )
 from repro.obs.alerts import AlertManager, default_rules
+from repro.obs.prof import ContinuousProfiler
 from repro.obs.slo import SLOEngine, default_slos
 from repro.relia.degrade import (
     ResilientStreamingProfiler,
@@ -81,6 +85,7 @@ REQUIRED_SERIES = (
     "repro_faults_injected_total",
     "repro_slo_error_budget_remaining",
     "repro_alert_state",
+    "repro_prof_samples_total",
 )
 
 
@@ -224,6 +229,12 @@ def _run_scenario(
     work.mkdir(parents=True, exist_ok=True)
 
     _log.info("chaos_start", seed=int(seed), work_dir=str(work))
+
+    # The continuous profiler rides along for the whole storm: a chaos
+    # run is exactly the situation where an operator would pull
+    # /debug/prof, so the scenario proves the sampler keeps capturing
+    # (and keeps its overhead accounting) while everything else burns.
+    profiler = ContinuousProfiler(hz=25.0, window_s=5.0).start()
 
     # SLO judging layer on a synthetic clock: the scenario passes
     # explicit timestamps to tick()/evaluate(), so alert transitions are
@@ -504,6 +515,21 @@ def _run_scenario(
     # ------------------------------------------------------------------
     # Stage 5: the telemetry surface must show the whole story
     # ------------------------------------------------------------------
+    profiler.stop()
+    prof_stats = profiler.stats()
+    prof_path = work / "chaos_prof.speedscope.json"
+    profiler.export_speedscope(prof_path)
+    report.checks.append(ChaosCheck(
+        "profiler_sampled_through_storm",
+        int(prof_stats["snapshot_passes"]) > 0  # type: ignore[call-overload]
+        and int(prof_stats["stacks"]) > 0  # type: ignore[call-overload]
+        and prof_path.exists(),
+        f"continuous profiler captured {prof_stats['stacks']} stacks over "
+        f"{prof_stats['snapshot_passes']} passes at measured overhead "
+        f"{float(prof_stats['overhead_ratio']):.2%}; "  # type: ignore[arg-type]
+        f"speedscope written to {prof_path.name}",
+    ))
+
     exposition = get_registry().prometheus_text()
     missing = [name for name in REQUIRED_SERIES if name not in exposition]
     nonzero = {

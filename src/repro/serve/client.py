@@ -6,6 +6,12 @@ the full cache/admission/micro-batch path without a socket in the way.
 :class:`HttpServeClient` speaks the JSON protocol of
 :mod:`repro.serve.http` over ``urllib`` for end-to-end checks against a
 live server.
+
+Trace propagation: every :class:`HttpServeClient` request runs inside a
+``client.request`` span and carries the active trace as a W3C
+``traceparent`` header (:func:`repro.obs.trace.inject`), so the server's
+``serve.http`` span tree parents onto the caller's trace — one merged
+trace across the process boundary.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.obs.trace import inject, span
 from repro.serve.scheduler import ShedRequest
 from repro.serve.service import ClassifyResult, PendingClassify, ProfileService
 
@@ -65,21 +72,27 @@ class HttpServeClient:
     def _request(self, path: str, payload: Optional[dict] = None) -> dict:
         url = f"{self.base_url}{path}"
         data = None
-        headers = {}
+        headers: Dict[str, str] = {}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            body = exc.read().decode("utf-8", errors="replace")
-            if exc.code == 429:
-                retry_after = float(exc.headers.get("Retry-After", "0.05"))
-                raise ShedRequest(-1, -1, retry_after) from None
-            raise RuntimeError(f"HTTP {exc.code}: {body}") from None
+        with span("client.request", path=path, url=self.base_url):
+            # Inside the span so the header names *this* request's span
+            # as the remote parent (a no-op when tracing is off).
+            inject(headers)
+            request = urllib.request.Request(url, data=data, headers=headers)
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                body = exc.read().decode("utf-8", errors="replace")
+                if exc.code == 429:
+                    retry_after = float(
+                        exc.headers.get("Retry-After", "0.05")
+                    )
+                    raise ShedRequest(-1, -1, retry_after) from None
+                raise RuntimeError(f"HTTP {exc.code}: {body}") from None
 
     def classify(self, vectors) -> dict:
         """POST /classify with RSCA rows; returns the raw JSON answer."""

@@ -17,14 +17,29 @@ micro-batcher aggregates them).  JSON in, JSON out, no dependencies:
   :class:`~repro.obs.MetricsRegistry` (qps, latency histograms and
   quantiles, cache, shed, queue depth, profile version);
 * ``GET  /metrics.json`` — :meth:`ProfileService.metrics_snapshot`;
+* ``GET  /query``        — metric-history queries against the attached
+  :class:`~repro.obs.tsdb.MetricsTSDB` (404 when the server was built
+  without one): ``?expr=rate(repro_serve_requests_total[60s])`` with an
+  optional ``&range=N`` seconds override; answers the evaluated value
+  plus the per-interval sample series behind it;
+* ``GET  /debug/prof``   — the attached continuous profiler's
+  (:class:`~repro.obs.prof.ContinuousProfiler`; 404 when absent) view
+  of the trailing ``?seconds=N``: speedscope JSON by default,
+  collapsed-stack text with ``&format=collapsed``;
 * ``POST /classify``     — body ``{"vectors": [[...], ...]}`` (RSCA rows)
   or ``{"volumes": [[...], ...]}`` (raw per-service MB); responds
   ``{"labels": [...], "version": V, "cached": C, "degraded": bool}``.
 
-Every scrape of ``/metrics``, ``/metrics.json``, ``/slo``, or
-``/healthz`` first ticks the attached SLO engine and re-evaluates the
-alert rules, so the exported ``repro_slo_*`` / ``repro_alert_*`` series
-are current as of the scrape — no background evaluator thread needed.
+Every scrape of ``/metrics``, ``/metrics.json``, ``/slo``, ``/query``,
+or ``/healthz`` first ticks the attached SLO engine, re-evaluates the
+alert rules, and records a TSDB snapshot, so the exported series are
+current as of the scrape — no background evaluator thread needed.
+
+Trace propagation: every request runs inside a ``serve.http`` span, and
+when the request carries a W3C ``traceparent`` header the span parents
+onto the caller's trace (see :func:`repro.obs.trace.extract`) — a
+client-side trace and the server-side handler/vote spans assemble into
+one tree in the Chrome export.
 
 Error mapping: malformed input -> 400; no profile loaded -> 503;
 admission shed -> 429 with a ``Retry-After`` header; unknown path ->
@@ -40,15 +55,19 @@ from __future__ import annotations
 
 import itertools
 import json
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.obs import current_trace_id, get_logger, span
 from repro.obs.alerts import AlertManager
 from repro.obs.health import run_checks, service_health_checks
+from repro.obs.prof import ContinuousProfiler
 from repro.obs.slo import SLOEngine
+from repro.obs.trace import extract
+from repro.obs.tsdb import MetricsTSDB, QueryError
 from repro.serve.scheduler import ShedRequest
 from repro.serve.service import ProfileService
 
@@ -111,7 +130,11 @@ class ServeHandler(BaseHTTPRequestHandler):
         is an operational dead end.
         """
         request_id = f"req-{next(_request_ids):08x}"
-        with span("serve.http", method=self.command,
+        # A caller that propagates trace context (HttpServeClient does,
+        # any W3C-instrumented client will) parents this request's span
+        # tree onto its own trace instead of rooting a fresh one.
+        parent = extract(dict(self.headers.items()))
+        with span("serve.http", parent=parent, method=self.command,
                   path=self.path, request_id=request_id) as record:
             try:
                 route()
@@ -143,15 +166,87 @@ class ServeHandler(BaseHTTPRequestHandler):
                     pass
 
     def _refresh_slo(self) -> None:
-        """Tick the SLO engine / alert rules so this scrape sees fresh state."""
+        """Tick the SLO/alert/TSDB layers so this scrape sees fresh state."""
         engine = getattr(self.server, "slo_engine", None)
         if engine is not None:
             engine.tick()
         manager = getattr(self.server, "alert_manager", None)
         if manager is not None:
             manager.evaluate()
+        tsdb = getattr(self.server, "tsdb", None)
+        if tsdb is not None:
+            tsdb.record()
+
+    def _query_params(self) -> Dict[str, str]:
+        """Single-valued query parameters of this request's URL."""
+        query = urllib.parse.urlsplit(self.path).query
+        return {
+            name: values[-1]
+            for name, values in urllib.parse.parse_qs(query).items()
+        }
+
+    def _route_query(self) -> None:
+        """``GET /query?expr=...&range=...`` against the attached TSDB."""
+        tsdb = getattr(self.server, "tsdb", None)
+        if tsdb is None:
+            self._error(404, "no metrics TSDB attached to this server")
+            return
+        self._refresh_slo()
+        params = self._query_params()
+        expr = params.get("expr")
+        if not expr:
+            self._error(400, "missing required parameter 'expr'")
+            return
+        range_s: Optional[float] = None
+        if "range" in params:
+            try:
+                range_s = float(params["range"])
+            except ValueError:
+                self._error(400, f"invalid range {params['range']!r}")
+                return
+        try:
+            self._respond(200, tsdb.query(expr, range_s=range_s))
+        except QueryError as exc:
+            self._error(400, str(exc))
+
+    def _route_prof(self) -> None:
+        """``GET /debug/prof?seconds=N&format=...`` from the profiler."""
+        profiler = getattr(self.server, "profiler", None)
+        if profiler is None:
+            self._error(404, "no continuous profiler attached to this server")
+            return
+        params = self._query_params()
+        seconds: Optional[float] = None
+        if "seconds" in params:
+            try:
+                seconds = float(params["seconds"])
+            except ValueError:
+                self._error(400, f"invalid seconds {params['seconds']!r}")
+                return
+            if seconds <= 0:
+                self._error(400, "seconds must be positive")
+                return
+        fmt = params.get("format", "speedscope")
+        if fmt == "collapsed":
+            self._respond_bytes(
+                200,
+                profiler.collapsed_text(seconds=seconds).encode("utf-8"),
+                "text/plain; charset=utf-8",
+            )
+        elif fmt == "speedscope":
+            self._respond(200, profiler.speedscope(seconds=seconds))
+        else:
+            self._error(
+                400, f"unknown format {fmt!r} (speedscope or collapsed)"
+            )
 
     def _route_get(self) -> None:
+        if self.path.startswith("/query"):
+            self._route_query()
+            return
+        if self.path.startswith("/debug/prof"):
+            self._route_prof()
+            return
         if self.path == "/healthz":
             self._refresh_slo()
             engine = getattr(self.server, "slo_engine", None)
@@ -269,12 +364,16 @@ class ServeHTTPServer(ThreadingHTTPServer):
     def __init__(self, address, service: ProfileService,
                  verbose: bool = False,
                  slo_engine: Optional[SLOEngine] = None,
-                 alert_manager: Optional[AlertManager] = None) -> None:
+                 alert_manager: Optional[AlertManager] = None,
+                 profiler: Optional[ContinuousProfiler] = None,
+                 tsdb: Optional[MetricsTSDB] = None) -> None:
         super().__init__(address, ServeHandler)
         self.service = service
         self.verbose = verbose
         self.slo_engine = slo_engine
         self.alert_manager = alert_manager
+        self.profiler = profiler
+        self.tsdb = tsdb
 
 
 def make_server(
@@ -284,9 +383,12 @@ def make_server(
     verbose: bool = False,
     slo_engine: Optional[SLOEngine] = None,
     alert_manager: Optional[AlertManager] = None,
+    profiler: Optional[ContinuousProfiler] = None,
+    tsdb: Optional[MetricsTSDB] = None,
 ) -> ServeHTTPServer:
     """Bind a :class:`ServeHTTPServer` (``port=0`` picks a free port)."""
     return ServeHTTPServer(
         (host, port), service, verbose=verbose,
         slo_engine=slo_engine, alert_manager=alert_manager,
+        profiler=profiler, tsdb=tsdb,
     )

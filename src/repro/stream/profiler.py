@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.analysis.drift import DriftReport, compare_partitions
 from repro.obs import get_logger, span
+from repro.obs.trace import TraceContext
 from repro.stream.accumulators import IncrementalRSCA, SlidingWindowTensor
 from repro.stream.batch import HourlyBatch
 from repro.relia.faults import fault_point
@@ -113,6 +114,12 @@ class StreamingProfiler:
         drift_threshold: centroid distance above which a matched cluster
             pair no longer counts as the same profile; also the
             mean-drift level that flips ``refit_recommended``.
+        trace_parent: optional :class:`~repro.obs.trace.TraceContext`
+            every ``stream.ingest`` span parents onto — a driver
+            (``repro-icn stream`` feeding a serve hot-swap, a future
+            worker process) passes its own context so the ingestion
+            span tree joins the driver's trace instead of rooting new
+            ones.
     """
 
     def __init__(
@@ -122,6 +129,7 @@ class StreamingProfiler:
         classify_every: int = 1,
         drift_check_every: int = 0,
         drift_threshold: float = 1.5,
+        trace_parent: Optional["TraceContext"] = None,
     ) -> None:
         if classify_every < 0 or drift_check_every < 0:
             raise ValueError("classify_every/drift_check_every must be >= 0")
@@ -133,6 +141,7 @@ class StreamingProfiler:
         self.classify_every = int(classify_every)
         self.drift_check_every = int(drift_check_every)
         self.drift_threshold = float(drift_threshold)
+        self.trace_parent = trace_parent
         self.totals = IncrementalRSCA(frozen.service_names)
         self.window = SlidingWindowTensor(frozen.service_names, window_hours)
         self.metrics = StreamMetrics()
@@ -146,8 +155,8 @@ class StreamingProfiler:
         # Chaos hook, armed only under an installed FaultPlan.  Placed
         # before any accumulator mutation so a retried ingest is safe.
         fault_point("stream.ingest", hour=str(batch.hour))
-        with span("stream.ingest", hour=str(batch.hour),
-                  n_rows=int(batch.n_rows)):
+        with span("stream.ingest", parent=self.trace_parent,
+                  hour=str(batch.hour), n_rows=int(batch.n_rows)):
             with self.metrics.timer("ingest_seconds"):
                 new_ids = self.totals.update(batch)
                 self.window.update(batch)

@@ -150,3 +150,61 @@ class TestDefaultMode:
             "--baseline", str(baseline), "--fresh", str(fresh),
             "--spec", str(spec),
         ]) == 1
+
+
+class TestUnresolvedSpecPaths:
+    def test_typoed_path_reported_not_traceback(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        spec = tmp_path / "spec.json"
+        baseline.write_text(json.dumps(serve_report()))
+        fresh.write_text(json.dumps(serve_report()))
+        spec.write_text(json.dumps({
+            "metrics": {"oops": "unbatchd.qps"},  # typo'd path
+            "ratios": {
+                "bad": ["batched[workers=99].qps", "unbatched.qps"],
+            },
+        }))
+        code = bench_compare.main([
+            "--baseline", str(baseline), "--fresh", str(fresh),
+            "--spec", str(spec),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "Traceback" not in out
+        assert "match nothing" in out or "resolved to no numeric" in out
+        assert "unbatchd.qps" in out
+        assert "batched[workers=99].qps" in out
+        assert "check the dotted path spelling" in out
+
+    def test_path_in_only_one_report_is_fine(self, tmp_path):
+        # A metric missing from one report is routine subset-benching,
+        # not a spec error.
+        baseline = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        spec = tmp_path / "spec.json"
+        full = serve_report()
+        partial = serve_report()
+        del partial["cached"]
+        baseline.write_text(json.dumps(full))
+        fresh.write_text(json.dumps(partial))
+        spec.write_text(json.dumps({
+            "metrics": {"cached_qps": "cached.qps",
+                        "unbatched_qps": "unbatched.qps"},
+        }))
+        assert bench_compare.main([
+            "--baseline", str(baseline), "--fresh", str(fresh),
+            "--spec", str(spec),
+        ]) == 0
+
+    def test_unresolved_helper_maps_path_to_owner(self):
+        spec = {
+            "metrics": {"good": "unbatched.qps", "bad": "nope.qps"},
+            "ratios": {"r": ["missing.num", "unbatched.qps"]},
+        }
+        missing = bench_compare.unresolved_spec_paths(
+            serve_report(), serve_report(), spec
+        )
+        assert set(missing) == {"nope.qps", "missing.num"}
+        assert missing["nope.qps"] == "metric 'bad'"
+        assert missing["missing.num"] == "ratio 'r'"

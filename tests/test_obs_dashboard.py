@@ -1,7 +1,9 @@
 """Tests for the operator dashboard renderer and poll loop."""
 
 import io
+import math
 
+from repro.obs import dashboard as dashboard_module
 from repro.obs.dashboard import render_dashboard, watch
 
 METRICS = {
@@ -106,3 +108,84 @@ class TestWatchLoop:
         watch("http://127.0.0.1:1", interval_s=0.0, iterations=1,
               stream=stream, color=False, clear=True, sleep=lambda s: None)
         assert stream.getvalue().startswith("\x1b[2J")
+
+
+class TestDegradedPayloads:
+    """The renderer must survive what a just-started or idle node serves."""
+
+    def test_empty_registry_metrics_payload(self):
+        # A node that has served nothing yet: counters exist but derived
+        # quantile gauges are absent or NaN.
+        frame = render_dashboard(
+            {"counters": {}, "derived": {}, "cache": {}}, color=False
+        )
+        assert "n/a" in frame
+        assert "Traceback" not in frame
+
+    def test_nan_histogram_quantiles_render_na(self):
+        # Quantiles over a zero-count histogram arrive as NaN — they
+        # must paint as n/a, never as the string "nan".
+        metrics = {
+            "profile_version": 1,
+            "counters": {"requests": 0, "errors": 0, "shed_requests": 0},
+            "derived": {"qps": 0.0, "p50_ms": math.nan, "p95_ms": math.nan,
+                        "p99_ms": math.nan, "cache_hit_rate": math.nan,
+                        "mean_batch_size": math.nan},
+            "cache": {"size": 0},
+        }
+        frame = render_dashboard(metrics, color=False)
+        assert "nan" not in frame
+        assert frame.count("n/a") >= 5
+
+    def test_all_panes_none_values(self):
+        metrics = {
+            "profile_version": None,
+            "counters": {"requests": None},
+            "derived": {"qps": None},
+            "cache": {"size": None},
+        }
+        frame = render_dashboard(
+            metrics,
+            slo={"slos": [{"name": "s", "compliance": None,
+                           "error_budget_remaining": None}],
+                 "alerts": []},
+            color=False,
+        )
+        assert "n/a" in frame
+        assert "Traceback" not in frame
+
+
+class TestHistoryPane:
+    def test_sparklines_painted_from_history(self):
+        history = {
+            "req/s": [0.0, 1.0, 2.0, 3.0],
+            "queue": [5.0, 5.0, 5.0],
+        }
+        frame = render_dashboard(METRICS, history=history, color=False)
+        assert "history" in frame
+        assert "▁" in frame and "█" in frame  # the req/s ramp
+        assert "req/s" in frame and "queue" in frame
+        assert "3.00" in frame  # latest value of the ramp
+
+    def test_no_history_no_pane(self):
+        frame = render_dashboard(METRICS, history={}, color=False)
+        assert "history" not in frame
+
+    def test_history_values_rate_payload(self):
+        payload = {
+            "fn": "rate",
+            "series": [{"samples": [[0.0, 0.0], [10.0, 5.0], [20.0, 15.0]]}],
+        }
+        values = dashboard_module._history_values(payload)
+        assert values == [0.5, 1.0]
+
+    def test_history_values_gauge_payload(self):
+        payload = {
+            "fn": "latest",
+            "series": [{"samples": [[0.0, 2.0], [10.0, 7.0]]}],
+        }
+        assert dashboard_module._history_values(payload) == [2.0, 7.0]
+
+    def test_history_values_empty_series(self):
+        assert dashboard_module._history_values({"series": []}) == []
+        assert dashboard_module._history_values({}) == []

@@ -1,0 +1,249 @@
+"""End-to-end observability acceptance tests: trace propagation across
+the HTTP boundary, profiling a busy MicroBatcher, and ``/query`` rates
+that match hand-computed counter deltas."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.obs.prof import ContinuousProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import disable_tracing, enable_tracing
+from repro.obs.tsdb import MetricsTSDB
+from repro.serve import HttpServeClient, ProfileService, make_server
+from tests.conftest import build_frozen_profile
+
+
+@pytest.fixture(scope="module")
+def frozen_and_totals():
+    return build_frozen_profile()
+
+
+@pytest.fixture()
+def traced():
+    store = enable_tracing(capacity=512)
+    try:
+        yield store
+    finally:
+        disable_tracing()
+        store.clear()
+
+
+@pytest.fixture()
+def live_server(frozen_and_totals):
+    """Serve node with a TSDB and profiler attached, plus its service."""
+    frozen, _ = frozen_and_totals
+    service = ProfileService(frozen, max_batch=16, n_workers=2)
+    tsdb = MetricsTSDB(service.metrics.registry, min_interval_s=0.05)
+    profiler = ContinuousProfiler(hz=100.0, registry=MetricsRegistry())
+    server = make_server(service, port=0, profiler=profiler, tsdb=tsdb)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", frozen, service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(5.0)
+
+
+def _get(base_url, path):
+    try:
+        with urllib.request.urlopen(f"{base_url}{path}", timeout=10.0) as r:
+            return r.status, json.loads(r.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+class TestTracePropagation:
+    def test_server_span_joins_client_trace(self, traced, live_server):
+        base_url, frozen, _ = live_server
+        client = HttpServeClient(base_url)
+        client.classify(frozen.features[:3])
+
+        client_spans = [
+            s for s in traced.spans() if s.name == "client.request"
+        ]
+        assert client_spans, "client did not record a span"
+        origin = client_spans[0]
+        # The server records its span on handler exit, which can land a
+        # hair after the client finishes reading the response body.
+        deadline = time.monotonic() + 2.0
+        server_spans = []
+        while not server_spans and time.monotonic() < deadline:
+            server_spans = [
+                s for s in traced.spans()
+                if s.name == "serve.http" and s.trace_id == origin.trace_id
+            ]
+            if not server_spans:
+                time.sleep(0.01)
+        spans = traced.spans()
+        assert server_spans, (
+            "server span did not join the client's trace; "
+            f"server traces: {[s.trace_id for s in spans if s.name == 'serve.http']}"
+        )
+        assert server_spans[0].parent_id == origin.span_id
+
+    def test_untraced_request_starts_fresh_trace(self, traced, live_server):
+        base_url, _, _ = live_server
+        # A raw request without a traceparent header still gets a span,
+        # rooted in its own new trace.
+        status, _ = _get(base_url, "/healthz")
+        assert status == 200
+        # The span is recorded on handler exit, which can land a hair
+        # after the client finishes reading the response body.
+        deadline = time.monotonic() + 2.0
+        roots = []
+        while not roots and time.monotonic() < deadline:
+            roots = [
+                s for s in traced.spans()
+                if s.name == "serve.http" and s.parent_id is None
+            ]
+            if not roots:
+                time.sleep(0.01)
+        assert roots
+
+
+class TestProfilerHotPath:
+    def test_busy_microbatcher_speedscope_contains_vote(
+            self, live_server, tmp_path):
+        _, frozen, service = live_server
+        profiler = ContinuousProfiler(hz=100.0, window_s=30.0,
+                                      registry=MetricsRegistry())
+        stop = threading.Event()
+
+        def hammer():
+            i = 0
+            while not stop.is_set():
+                # Scale the vectors slightly each round so the result
+                # cache never absorbs the work we want to profile.
+                i += 1
+                vectors = frozen.features[:32] * (1.0 + 1e-9 * i)
+                service.classify(vectors)
+
+        drivers = [
+            threading.Thread(target=hammer, daemon=True) for _ in range(2)
+        ]
+        for driver in drivers:
+            driver.start()
+        try:
+            deadline = time.monotonic() + 20.0
+            found = False
+            while time.monotonic() < deadline and not found:
+                for _ in range(50):
+                    profiler.sample_once(now=0.0)
+                found = any(
+                    "vote" in stack for stack in profiler.collapsed()
+                )
+        finally:
+            stop.set()
+            for driver in drivers:
+                driver.join(timeout=5.0)
+        assert found, (
+            "vote hot path never sampled; stacks: "
+            f"{list(profiler.collapsed())[:10]}"
+        )
+        path = tmp_path / "batcher.speedscope.json"
+        assert profiler.export_speedscope(path) > 0
+        document = json.loads(path.read_text())
+        assert "vote" in json.dumps(document["shared"]["frames"])
+
+
+class TestQueryEndpoint:
+    def test_rate_matches_hand_computed_counter_deltas(self, live_server):
+        base_url, frozen, _ = live_server
+        client = HttpServeClient(base_url)
+        expr = "rate(repro_serve_requests_total[60s])"
+
+        client.classify(frozen.features[:2])
+        client.metrics()  # scrape → first TSDB sample
+        time.sleep(0.2)
+        client.classify(frozen.features[2:5])
+        client.classify(frozen.features[5:7])
+        time.sleep(0.1)
+        status, payload = _get(
+            base_url, f"/query?expr={urllib.parse.quote(expr)}"
+        )
+        assert status == 200
+        assert payload["fn"] == "rate"
+        samples = payload["series"][0]["samples"]
+        assert len(samples) >= 2
+        increase = sum(
+            max(0.0, v1 - v0)
+            for (_, v0), (_, v1) in zip(samples, samples[1:])
+        )
+        elapsed = samples[-1][0] - samples[0][0]
+        assert payload["value"] == pytest.approx(increase / elapsed)
+        assert payload["value"] > 0.0
+        # The window really did absorb the classify calls made between
+        # the two scrapes.
+        assert increase >= 2.0
+
+    def test_query_missing_expr_and_unknown_series(self, live_server):
+        base_url, _, _ = live_server
+        status, payload = _get(base_url, "/query")
+        assert status == 400
+        assert "expr" in payload["error"]
+        status, payload = _get(base_url, "/query?expr=no_such_series")
+        assert status == 400
+        assert "no recorded series" in payload["error"]
+
+    def test_query_bad_range(self, live_server):
+        base_url, _, _ = live_server
+        status, payload = _get(
+            base_url, "/query?expr=repro_serve_requests_total&range=banana"
+        )
+        assert status == 400
+
+
+class TestDebugProfEndpoint:
+    def test_speedscope_and_collapsed_formats(self, live_server):
+        base_url, frozen, _ = live_server
+        HttpServeClient(base_url).classify(frozen.features[:2])
+        # The fixture's profiler is attached but not started; sampling
+        # is driven by its own thread only when `serve --profile` runs,
+        # so just assert the route shape here.
+        status, payload = _get(base_url, "/debug/prof?seconds=5")
+        assert status == 200
+        assert payload["$schema"].endswith("file-format-schema.json")
+        request = urllib.request.Request(
+            f"{base_url}/debug/prof?seconds=5&format=collapsed"
+        )
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            assert response.status == 200
+            assert "text/plain" in response.headers.get("Content-Type", "")
+
+    def test_bad_seconds_and_format(self, live_server):
+        base_url, _, _ = live_server
+        status, _ = _get(base_url, "/debug/prof?seconds=-1")
+        assert status == 400
+        status, _ = _get(base_url, "/debug/prof?seconds=banana")
+        assert status == 400
+        status, _ = _get(base_url, "/debug/prof?format=protobuf")
+        assert status == 400
+
+    def test_404_when_no_profiler_or_tsdb(self, frozen_and_totals):
+        frozen, _ = frozen_and_totals
+        service = ProfileService(frozen, max_batch=8, n_workers=1)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base_url = f"http://{host}:{port}"
+        try:
+            status, _ = _get(base_url, "/debug/prof")
+            assert status == 404
+            status, _ = _get(base_url, "/query?expr=x")
+            assert status == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(5.0)

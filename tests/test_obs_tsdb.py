@@ -1,0 +1,294 @@
+"""Metrics TSDB: SeriesRing mechanics, scrape ingestion, and the mini
+query language behind ``GET /query``."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tsdb import MetricsTSDB, QueryError, SeriesRing, sparkline
+
+
+class FakeClock:
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+        return self.t
+
+
+class TestSeriesRing:
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SeriesRing(capacity=1)
+
+    def test_append_evicts_oldest(self):
+        ring = SeriesRing(capacity=3)
+        for i in range(5):
+            ring.append(float(i), float(i * 10))
+        assert len(ring) == 3
+        assert ring.samples() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+
+    def test_backwards_clock_clamped(self):
+        ring = SeriesRing(capacity=4)
+        ring.append(10.0, 1.0)
+        used = ring.append(5.0, 2.0)
+        assert used == 10.0
+        assert [t for t, _ in ring.samples()] == [10.0, 10.0]
+
+    def test_latest_and_empty(self):
+        ring = SeriesRing(capacity=2)
+        assert ring.latest() is None
+        assert ring.samples() == []
+        assert ring.bounds(10.0) == (None, None)
+        ring.append(1.0, 7.0)
+        assert ring.latest() == (1.0, 7.0)
+
+    def test_bounds_anchor_and_end(self):
+        ring = SeriesRing(capacity=10)
+        for t in (0.0, 10.0, 20.0, 30.0):
+            ring.append(t, t)
+        anchor, end = ring.bounds(15.0, now=30.0)
+        # latest sample at or before now - 15 = 15 → (10.0, 10.0)
+        assert anchor == (10.0, 10.0)
+        assert end == (30.0, 30.0)
+
+    def test_bounds_short_history_uses_oldest(self):
+        ring = SeriesRing(capacity=10)
+        ring.append(20.0, 5.0)
+        ring.append(25.0, 8.0)
+        anchor, end = ring.bounds(100.0, now=25.0)
+        assert anchor == (20.0, 5.0)
+        assert end == (25.0, 8.0)
+
+    def test_bounds_everything_in_future(self):
+        ring = SeriesRing(capacity=4)
+        ring.append(50.0, 1.0)
+        assert ring.bounds(10.0, now=40.0) == (None, None)
+
+    def test_delta(self):
+        ring = SeriesRing(capacity=10)
+        ring.append(0.0, 100.0)
+        ring.append(30.0, 130.0)
+        assert ring.delta(60.0, now=30.0) == 30.0
+        assert SeriesRing(capacity=2).delta(60.0) == 0.0
+
+    def test_increase_monotonic(self):
+        ring = SeriesRing(capacity=10)
+        for t, v in [(0.0, 0.0), (10.0, 4.0), (20.0, 9.0)]:
+            ring.append(t, v)
+        total, elapsed = ring.increase(60.0, now=20.0)
+        assert total == 9.0
+        assert elapsed == 20.0
+
+    def test_increase_counter_reset(self):
+        # Counter climbs to 10, process restarts (drops to 2), climbs to 5:
+        # visible increase = 10 + 2 + 3 = 15, not 5 - 0.
+        ring = SeriesRing(capacity=10)
+        for t, v in [(0.0, 0.0), (10.0, 10.0), (20.0, 2.0), (30.0, 5.0)]:
+            ring.append(t, v)
+        total, elapsed = ring.increase(60.0, now=30.0)
+        assert total == 15.0
+        assert elapsed == 30.0
+
+    def test_increase_needs_two_samples(self):
+        ring = SeriesRing(capacity=4)
+        ring.append(0.0, 3.0)
+        assert ring.increase(60.0, now=0.0) == (0.0, 0.0)
+
+
+@pytest.fixture()
+def rig():
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    tsdb = MetricsTSDB(registry, capacity=64, min_interval_s=0.25,
+                       clock=clock)
+    return registry, clock, tsdb
+
+
+class TestIngestion:
+    def test_record_snapshots_counters_and_gauges(self, rig):
+        registry, clock, tsdb = rig
+        requests = registry.counter("demo_requests_total", "demo")
+        depth = registry.gauge("demo_depth", "demo")
+        requests.inc(3)
+        depth.set(7.0)
+        touched = tsdb.record()
+        assert touched == 2
+        assert tsdb.latest("demo_requests_total") == 3.0
+        assert tsdb.latest("demo_depth") == 7.0
+
+    def test_min_interval_coalesces_scrape_storms(self, rig):
+        registry, clock, tsdb = rig
+        registry.counter("demo_total", "demo").inc()
+        assert tsdb.record() > 0
+        clock.advance(0.1)  # within min_interval_s=0.25
+        assert tsdb.record() == 0
+        clock.advance(0.2)
+        assert tsdb.record() > 0
+
+    def test_explicit_now_bypasses_limiter(self, rig):
+        registry, _, tsdb = rig
+        registry.counter("demo_total", "demo").inc()
+        assert tsdb.record(now=1.0) > 0
+        assert tsdb.record(now=1.01) > 0
+
+    def test_histograms_fan_out(self, rig):
+        registry, _, tsdb = rig
+        hist = registry.histogram("demo_seconds", "demo",
+                                  buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        tsdb.record(now=1.0)
+        names = tsdb.series_names()
+        assert "demo_seconds_count" in names
+        assert "demo_seconds_sum" in names
+        assert "demo_seconds_bucket" in names
+        buckets = tsdb.select("demo_seconds_bucket")
+        les = sorted(labels["le"] for labels, _ in buckets)
+        assert les == ["+Inf", "0.1", "1"]
+
+    def test_labeled_series_kept_apart(self, rig):
+        registry, _, tsdb = rig
+        family = registry.counter("demo_by_service_total", "demo",
+                                  labelnames=("service",))
+        family.labels("video").inc(10)
+        family.labels("web").inc(2)
+        tsdb.record(now=1.0)
+        assert tsdb.latest("demo_by_service_total",
+                           labels={"service": "video"}) == 10.0
+        # Unfiltered latest sums across label sets.
+        assert tsdb.latest("demo_by_service_total") == 12.0
+
+
+class TestQueries:
+    def _fill_counter(self, rig, name="demo_total", per_tick=5.0,
+                      ticks=6, dt=10.0):
+        registry, _, tsdb = rig
+        counter = registry.counter(name, "demo")
+        for i in range(ticks):
+            counter.inc(per_tick)
+            tsdb.record(now=float(i) * dt)
+        return tsdb
+
+    def test_rate_matches_hand_computed_delta(self, rig):
+        tsdb = self._fill_counter(rig)
+        # 5/tick over 10 s ticks → exactly 0.5/s, hand-checkable.
+        assert tsdb.rate("demo_total", 60.0, now=50.0) == pytest.approx(0.5)
+
+    def test_rate_none_with_single_sample(self, rig):
+        registry, _, tsdb = rig
+        registry.counter("demo_total", "demo").inc()
+        tsdb.record(now=0.0)
+        assert tsdb.rate("demo_total", 60.0, now=0.0) is None
+
+    def test_delta_of_gauge(self, rig):
+        registry, _, tsdb = rig
+        gauge = registry.gauge("demo_depth", "demo")
+        gauge.set(2.0)
+        tsdb.record(now=0.0)
+        gauge.set(9.0)
+        tsdb.record(now=30.0)
+        assert tsdb.delta("demo_depth", 60.0, now=30.0) == 7.0
+
+    def test_quantile_over_time_windows_out_old_observations(self, rig):
+        registry, _, tsdb = rig
+        hist = registry.histogram("demo_seconds", "demo",
+                                  buckets=(0.1, 1.0, 10.0))
+        # Old slow observations, then a recent fast regime.
+        for _ in range(100):
+            hist.observe(5.0)
+        tsdb.record(now=0.0)
+        for _ in range(100):
+            hist.observe(0.05)
+        tsdb.record(now=100.0)
+        # Window covering only the second batch sees the fast regime.
+        q = tsdb.quantile_over_time(0.5, "demo_seconds", 60.0, now=100.0)
+        assert q is not None and q <= 0.1
+        # Bad quantile rejected.
+        with pytest.raises(QueryError, match="quantile"):
+            tsdb.quantile_over_time(1.5, "demo_seconds", 60.0)
+
+    def test_query_latest_form(self, rig):
+        registry, _, tsdb = rig
+        registry.gauge("demo_depth", "demo").set(4.0)
+        tsdb.record(now=0.0)
+        result = tsdb.query("demo_depth")
+        assert result["fn"] == "latest"
+        assert result["value"] == 4.0
+        assert result["series"][0]["samples"] == [[0.0, 4.0]]
+
+    def test_query_rate_value_recomputable_from_samples(self, rig):
+        tsdb = self._fill_counter(rig)
+        result = tsdb.query("rate(demo_total[60s])", now=50.0)
+        samples = result["series"][0]["samples"]
+        increase = sum(
+            max(0.0, v1 - v0)
+            for (_, v0), (_, v1) in zip(samples, samples[1:])
+        )
+        elapsed = samples[-1][0] - samples[0][0]
+        assert result["value"] == pytest.approx(increase / elapsed)
+
+    def test_query_label_selector(self, rig):
+        registry, _, tsdb = rig
+        family = registry.counter("demo_by_service_total", "demo",
+                                  labelnames=("service",))
+        family.labels("video").inc(8)
+        family.labels("web").inc(1)
+        tsdb.record(now=0.0)
+        result = tsdb.query("demo_by_service_total{service=video}")
+        assert result["value"] == 8.0
+        assert result["labels"] == {"service": "video"}
+
+    def test_query_range_param_overrides(self, rig):
+        tsdb = self._fill_counter(rig)
+        result = tsdb.query("rate(demo_total[5s])", range_s=60.0, now=50.0)
+        assert result["range_s"] == 60.0
+
+    @pytest.mark.parametrize("expr,fragment", [
+        ("", "empty expression"),
+        ("rate(demo_total)", "needs a range"),
+        ("rate(demo total[60s])", "malformed selector"),
+        ("quantile(demo_seconds[60s])", "two arguments"),
+        ("quantile(nope, demo_seconds[60s])", "invalid quantile"),
+        ("quantile(2.0, demo_seconds[60s])", "in \\[0, 1\\]"),
+        ("demo_total{oops}", "malformed label matcher"),
+    ])
+    def test_query_parse_errors(self, rig, expr, fragment):
+        _, _, tsdb = rig
+        with pytest.raises(QueryError, match=fragment):
+            tsdb.query(expr)
+
+    def test_query_unknown_series_lists_recorded(self, rig):
+        registry, _, tsdb = rig
+        registry.gauge("demo_depth", "demo").set(1.0)
+        tsdb.record(now=0.0)
+        with pytest.raises(QueryError, match="demo_depth"):
+            tsdb.query("no_such_series")
+
+
+class TestSparkline:
+    def test_ramp_uses_full_glyph_range(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_flat_series_paints_mid_glyph(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_nan_renders_as_space(self):
+        line = sparkline([0.0, math.nan, 1.0])
+        assert line[1] == " "
+
+    def test_all_nan_or_empty(self):
+        assert sparkline([]) == ""
+        assert sparkline([math.nan, math.nan]) == ""
+
+    def test_width_keeps_newest(self):
+        line = sparkline(list(range(100)), width=8)
+        assert len(line) == 8

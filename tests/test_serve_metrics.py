@@ -92,6 +92,13 @@ class TestServeMetrics:
         assert snapshot["batch_size_histogram"] == {"2": 1}
         assert json.loads(text)["derived"]["p50_ms"] == pytest.approx(1.0)
 
+    def test_to_dict_snapshot_ts_is_monotonic(self):
+        metrics = ServeMetrics()
+        first = metrics.to_dict()["snapshot_ts"]
+        second = metrics.to_dict()["snapshot_ts"]
+        assert isinstance(first, float)
+        assert second >= first
+
     def test_summary_mentions_key_lines(self):
         metrics = ServeMetrics()
         metrics.observe_request(0.001)

@@ -148,6 +148,9 @@ class TestStreamingProfiler:
         assert snapshot["counters"]["batches_ingested"] == 24
         assert snapshot["derived"]["rows_per_second"] > 0
         assert snapshot["derived"]["classification_latency_ms"] > 0
+        assert isinstance(snapshot["snapshot_ts"], float)
+        assert streamer.metrics.to_dict()["snapshot_ts"] >= \
+            snapshot["snapshot_ts"]
 
     def test_metrics_to_dict_latency_none_before_first_pass(self, frozen,
                                                             batches):
